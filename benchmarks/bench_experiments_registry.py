@@ -1,0 +1,22 @@
+"""Registry sweep: run every DESIGN.md experiment at quick scale.
+
+One pytest-benchmark entry per registered experiment id, so the single
+command ``pytest benchmarks/ --benchmark-only`` regenerates the complete
+per-experiment index (Table 1 rows + theorem experiments) through the
+same code path as ``python -m repro run-all``.
+"""
+
+import pytest
+
+from repro.experiments.registry import list_experiments, run
+from tables import emit
+
+
+@pytest.mark.parametrize("experiment_id", list_experiments())
+def test_registry_experiment(benchmark, experiment_id):
+    result = benchmark.pedantic(
+        lambda: run(experiment_id, "quick"), rounds=1, iterations=1
+    )
+    name = "registry_" + experiment_id.replace(".", "_").lower()
+    emit(name, result.render().splitlines())
+    assert result.rows, experiment_id

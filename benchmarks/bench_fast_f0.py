@@ -1,0 +1,104 @@
+"""E.Fast — Lemma 5.2 / Theorem 5.4: fast distinct-elements updates.
+
+Paper claim: Algorithm 2's update time depends on delta only through
+poly(log log) factors, so it absorbs the computation-paths delta inflation
+(delta_0 ~ n^{-(1/eps) log n}); the standard approach (median of
+O(log 1/delta) independent sketches) would pay the log(1/delta) factor in
+*time* per update.
+
+Measured with pytest-benchmark: per-update time of (a) the level-list
+sketch at delta = 2^-30 (the capped computation-paths regime), direct and
+batched, vs (b) a median stack of KMV sketches sized for the same delta.
+Expected shape: the level-list update time is flat in delta while the
+median stack's grows ~ log(1/delta).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import MedianTracker, median_copies
+from repro.sketches.fast_f0 import FastF0Sketch
+from repro.sketches.kmv import KMVSketch
+from tables import emit
+
+N = 1 << 14
+DELTA0 = 2.0**-30
+EPS = 0.25
+
+
+def _feed(sketch, count, start=0):
+    for i in range(start, start + count):
+        sketch.update(i)
+
+
+def test_fast_f0_update_time(benchmark):
+    sketch = FastF0Sketch(n=N, eps=EPS, delta=DELTA0,
+                          rng=np.random.default_rng(0))
+    _feed(sketch, 2000)  # warm past the exact regime
+    counter = [2000]
+
+    def burst():
+        _feed(sketch, 100, start=counter[0])
+        counter[0] += 100
+
+    benchmark(burst)
+
+
+def test_fast_f0_batched_update_time(benchmark):
+    sketch = FastF0Sketch(n=N, eps=EPS, delta=DELTA0,
+                          rng=np.random.default_rng(1), batch=True)
+    _feed(sketch, 2000)
+    counter = [2000]
+
+    def burst():
+        _feed(sketch, 100, start=counter[0])
+        counter[0] += 100
+
+    benchmark(burst)
+
+
+def test_median_stack_update_time(benchmark):
+    copies = median_copies(DELTA0, base_failure=0.25, constant=0.25)
+    stack = MedianTracker(
+        lambda r: KMVSketch.for_accuracy(EPS, 0.25, r, constant=2.0),
+        copies=copies, rng=np.random.default_rng(2),
+    )
+    _feed(stack, 2000)
+    counter = [2000]
+
+    def burst():
+        _feed(stack, 100, start=counter[0])
+        counter[0] += 100
+
+    benchmark(burst)
+
+
+def test_delta_dependence_of_update_time(benchmark):
+    """Flat-in-delta for Algorithm 2 vs log(1/delta) for the median stack."""
+    report = ["per-update cost vs delta (seconds per 4000 updates):"]
+    benchmark.pedantic(lambda: _sweep(report), rounds=1, iterations=1)
+    emit("fast_f0_update_time", report)
+
+
+def _sweep(report):
+    import time
+
+    for log2_inv_delta in (10, 30):
+        delta = 2.0**-log2_inv_delta
+        fast = FastF0Sketch(n=N, eps=EPS, delta=delta,
+                            rng=np.random.default_rng(3))
+        copies = median_copies(delta, base_failure=0.25, constant=0.25)
+        stack = MedianTracker(
+            lambda r: KMVSketch.for_accuracy(EPS, 0.25, r, constant=2.0),
+            copies=copies, rng=np.random.default_rng(4),
+        )
+        t0 = time.perf_counter()
+        _feed(fast, 4000)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _feed(stack, 4000)
+        t_stack = time.perf_counter() - t0
+        report.append(
+            f"  log2(1/delta)={log2_inv_delta}: level-list {t_fast:.3f}s "
+            f"(d={fast.d}), median-stack {t_stack:.3f}s ({copies} copies)"
+        )

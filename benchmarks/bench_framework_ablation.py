@@ -1,0 +1,91 @@
+"""E.Switch — the sketch-switching vs computation-paths tradeoff.
+
+Paper claim (Section 1.1): the two frameworks are incomparable — sketch
+switching exploits strong trackers (cost: lambda copies), computation
+paths exploits mild delta dependence (cost: one copy at delta_0 ~
+delta / (eps^-1 log T)^lambda).  For most deltas switching wins on space;
+for very small target delta the paths route wins (Theorem 4.2's regime).
+
+Measured: (a) the *formula-level* crossover — bits-of-failure-budget each
+framework asks of the base sketch as the target delta shrinks; (b) a
+run-off between the two robust F0 implementations on the same stream
+(space, error, update time).
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.computation_paths import required_log2_delta0
+from repro.core.flip_number import monotone_flip_number_bound
+from repro.robust.distinct import FastRobustDistinctElements, RobustDistinctElements
+from repro.streams.model import Update
+from tables import emit, format_row, kib, run_stream
+
+N = 1 << 12
+M = 3000
+EPS = 0.25
+WIDTHS = (18, 22, 26)
+
+
+def test_framework_cost_crossover(benchmark):
+    """Failure budget (log2 1/delta) demanded of the base sketch."""
+    lam = monotone_flip_number_bound(EPS / 2, 1.0, float(N))
+    rows = [format_row(
+        ("target delta", "switching: copies x", "paths: log2(1/delta_0)"),
+        WIDTHS)]
+    data = []
+
+    def compute():
+        for log10_delta in (1, 4, 16, 64):
+            delta = 10.0 ** (-log10_delta)
+            # Switching: lambda copies each at delta/lambda.
+            switching_budget = lam * math.log2(lam / delta)
+            # Paths: one copy at delta_0.
+            paths_budget = -required_log2_delta0(delta, M, lam, EPS, float(N))
+            data.append((delta, switching_budget, paths_budget))
+            rows.append(format_row(
+                (f"1e-{log10_delta}",
+                 f"{lam} x {math.log2(lam / delta):.0f} = "
+                 f"{switching_budget:.0f}",
+                 f"{paths_budget:.0f}"),
+                WIDTHS))
+        return data
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(f"lambda={lam} (eps={EPS}, n={N}); entries are total bits "
+                "of failure budget bought from base sketches")
+    rows.append("shape: switching's budget scales with lambda*log(1/delta), "
+                "paths' is ~constant in delta until delta ~ 1/|S| — the "
+                "incomparability the paper describes")
+    emit("framework_ablation_crossover", rows)
+
+    # For tiny delta the *marginal* cost of paths is flat: its budget grows
+    # by < 2x from delta=1e-4 to 1e-64 while switching's grows ~ lambda x.
+    assert data[3][2] - data[1][2] < data[3][1] - data[1][1]
+
+
+def test_framework_runoff(benchmark):
+    updates = [Update(i, 1) for i in range(M)]
+    rows = [format_row(("framework", "space", "worst err"), WIDTHS)]
+    results = {}
+
+    def run_all():
+        for name, algo in [
+            ("switching (T5.1)", RobustDistinctElements(
+                n=N, m=M, eps=EPS, rng=np.random.default_rng(0))),
+            ("comp-paths (T5.4)", FastRobustDistinctElements(
+                n=N, m=M, eps=EPS, rng=np.random.default_rng(1))),
+        ]:
+            worst, _, secs, bits = run_stream(
+                algo, updates, lambda f: f.f0(), skip=150
+            )
+            results[name] = (bits, worst)
+            rows.append(format_row((name, kib(bits), f"{worst:.3f}"), WIDTHS))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("framework_ablation_runoff", rows)
+    for name, (_, worst) in results.items():
+        assert worst <= EPS + 0.05, name

@@ -1,0 +1,70 @@
+"""T1.BD — Table 1 row 7: Fp with alpha-bounded deletions.
+
+Paper claim (Thm 8.3 / 1.11): robust Fp estimation in
+O(alpha eps^-(2+p) log^3 n) bits, via Lemma 8.2's flip-number bound
+O(p alpha eps^-p log n) — linear in alpha.
+
+Measured, for alpha in {2, 8}: F1 tracking error of the Theorem 8.3
+algorithm on by-construction alpha-bounded-deletion streams, Lemma 8.2's
+bound vs the measured flip number, and space (which grows with alpha
+through the flip-number-driven delta_0).
+"""
+
+import numpy as np
+
+from repro.core.flip_number import (
+    bounded_deletion_flip_number_bound,
+    measured_flip_number,
+)
+from repro.robust.bounded_deletion import RobustBoundedDeletionFp
+from repro.streams.generators import bounded_deletion_stream
+from repro.streams.validators import check_bounded_deletion, function_trajectory
+from tables import emit, format_row, kib, run_stream
+
+N = 128
+M = 1600
+EPS = 0.35
+P = 1.0
+WIDTHS = (8, 14, 14, 12, 12)
+
+
+def test_table1_bounded_deletion_row(benchmark):
+    rows = [format_row(
+        ("alpha", "flips (meas.)", "flip bound", "worst err", "space"),
+        WIDTHS)]
+    results = []
+
+    def run_all():
+        for alpha in (2.0, 8.0):
+            updates = bounded_deletion_stream(
+                N, M, np.random.default_rng(int(alpha)), alpha=alpha, p=P
+            )
+            assert check_bounded_deletion(updates, alpha, p=P)
+            traj = function_trajectory(updates, lambda f: f.lp(P))
+            flips = measured_flip_number(traj, EPS / 2)
+            bound = bounded_deletion_flip_number_bound(
+                EPS / 2, N, P, alpha, M=M
+            )
+            algo = RobustBoundedDeletionFp(
+                p=P, n=N, m=M, eps=EPS, alpha=alpha,
+                rng=np.random.default_rng(50 + int(alpha)),
+            )
+            worst, _, _, bits = run_stream(
+                algo, updates, lambda f: f.fp(P), skip=100, floor=20.0
+            )
+            results.append((alpha, flips, bound, worst, bits))
+            rows.append(format_row(
+                (alpha, flips, bound, f"{worst:.3f}", kib(bits)), WIDTHS))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(f"n={N}, m={M}, eps={EPS}, p={P}; streams satisfy "
+                "Definition 8.1 by construction")
+    emit("table1_row7_bounded_deletion", rows)
+
+    for alpha, flips, bound, worst, _ in results:
+        assert flips <= bound, f"Lemma 8.2 violated at alpha={alpha}"
+        assert worst <= EPS + 0.1, f"alpha={alpha}"
+    # Lemma 8.2 shape: the bound grows with alpha.
+    assert results[1][2] > results[0][2]

@@ -1,0 +1,114 @@
+"""T1.F0 — Table 1 row 1: distinct elements (F0 estimation).
+
+Paper claim (Table 1): static randomized O~(eps^-2 + log n) [6];
+deterministic Omega(n) [9]; adversarially robust
+O~(eps^-3 + eps^-1 log n) (Thm 5.1) / O(eps^-3 log^3 n) with fast updates
+(Thm 5.4); crypto route matches static (Thm 10.1).
+
+The experiment measures space (bits) and worst tracking error on a
+fresh-item stream (the flip-number worst case) and under the adaptive
+probing adversary, for: the exact deterministic baseline, static KMV, the
+Theorem 5.1 switching algorithm, the Theorem 5.4 computation-paths
+algorithm, and the Theorem 10.1 crypto algorithm.  Expected shape: the
+robust wrappers cost a poly(1/eps, log) factor over static, all far below
+the Omega(n)-bit deterministic baseline, and none of them exceed their
+error band under the adaptive adversary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary.attacks import EstimateProbingAdversary
+from repro.adversary.game import AdversarialGame, relative_error_judge
+from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.distinct import FastRobustDistinctElements, RobustDistinctElements
+from repro.sketches.exact import ExactDistinctCounter
+from repro.sketches.kmv import KMVSketch
+from repro.streams.model import Update
+from tables import emit, format_row, kib, run_stream
+
+N = 1 << 14
+M = 6000
+EPS = 0.25
+WIDTHS = (26, 12, 12, 12, 10)
+
+
+def _contenders(rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    seeds = rng.integers(0, 2**31, size=8)
+    return [
+        ("exact (deterministic)", ExactDistinctCounter()),
+        ("static KMV [6]-style", KMVSketch.for_accuracy(
+            EPS, 0.05, np.random.default_rng(int(seeds[0])))),
+        ("robust switching (T5.1)", RobustDistinctElements(
+            n=N, m=M, eps=EPS, rng=np.random.default_rng(int(seeds[1])))),
+        ("robust fast paths (T5.4)", FastRobustDistinctElements(
+            n=N, m=M, eps=EPS, rng=np.random.default_rng(int(seeds[2])))),
+        ("robust crypto (T10.1)", CryptoRobustDistinctElements(
+            n=N, eps=EPS, rng=np.random.default_rng(int(seeds[3])))),
+    ]
+
+
+def test_table1_distinct_row(benchmark):
+    updates = [Update(i, 1) for i in range(M)]
+    rows = [
+        format_row(
+            ("algorithm", "space", "worst err", "mean err", "sec"), WIDTHS
+        )
+    ]
+    results = {}
+
+    def run_all():
+        for name, algo in _contenders():
+            worst, mean, secs, bits = run_stream(
+                algo, updates, lambda f: f.f0(), skip=150
+            )
+            results[name] = (bits, worst)
+            rows.append(
+                format_row(
+                    (name, kib(bits), f"{worst:.3f}", f"{mean:.3f}",
+                     f"{secs:.1f}"),
+                    WIDTHS,
+                )
+            )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(f"n={N}, m={M}, eps={EPS}; stream = fresh items (worst-case "
+                "flip number)")
+    emit("table1_row1_distinct", rows)
+
+    static_bits = results["static KMV [6]-style"][0]
+    robust_bits = results["robust switching (T5.1)"][0]
+    crypto_bits = results["robust crypto (T10.1)"][0]
+    # Shape assertions.  The deterministic baseline's Omega(n) lower bound
+    # is asymptotic — at laptop scale the exact counter's F0*64 bits can be
+    # modest — so the load-bearing comparisons are: the generic wrapper
+    # pays a poly(1/eps, log) multiplicative factor over the static sketch,
+    # while the crypto route is robust at essentially the static cost.
+    assert static_bits < robust_bits
+    assert crypto_bits < 3 * static_bits
+    # All tracking errors inside the band.
+    for name, (_, worst) in results.items():
+        assert worst <= EPS + 0.05, name
+
+
+def test_table1_distinct_adaptive(benchmark):
+    """Same row under the adaptive probing adversary: nobody breaks."""
+    game = AdversarialGame(
+        lambda f: f.f0(), relative_error_judge(EPS + 0.05), grace_steps=150
+    )
+    report = []
+
+    def run_all():
+        for name, algo in _contenders(rng_seed=7):
+            adv = EstimateProbingAdversary(N, np.random.default_rng(11))
+            result = game.run(algo, adv, max_rounds=3000)
+            report.append(f"{name}: failed={result.failed} "
+                          f"worst={result.max_relative_error:.3f}")
+            assert not result.failed, name
+        return report
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("table1_row1_distinct_adaptive", report)

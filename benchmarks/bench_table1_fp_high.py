@@ -1,0 +1,79 @@
+"""T1.FpHigh — Table 1 row 3: Fp estimation, p > 2.
+
+Paper claim: static O(n^{1-2/p} poly(eps^-1 log n)) [14]; deterministic
+Omega(n); robust matches static up to the computation-paths delta
+inflation (Thm 4.4).
+
+Measured: F3 tracking error and space on skewed (zipfian) streams — the
+workload high moments exist for ([12]'s skew estimation) — comparing the
+exact baseline, the static level-set estimator, and the Theorem 4.4
+wrapper; plus the n^{1-2/p} space scaling across universe sizes.
+"""
+
+import numpy as np
+
+from repro.robust.moments import RobustFpHigh
+from repro.sketches.exact import ExactMomentCounter
+from repro.sketches.fp_high import HighMomentSketch
+from repro.streams.generators import zipfian_stream
+from tables import emit, format_row, kib, run_stream
+
+N = 512
+M = 3000
+EPS = 0.3
+P = 3.0
+WIDTHS = (28, 12, 12, 12, 10)
+
+
+def test_table1_fp_high_row(benchmark):
+    updates = zipfian_stream(N, M, np.random.default_rng(0), s=1.6)
+    contenders = [
+        ("exact (deterministic)", ExactMomentCounter(P)),
+        ("static level-set [14]", HighMomentSketch.for_accuracy(
+            P, N, EPS, np.random.default_rng(1))),
+        ("robust comp-paths (T4.4)", RobustFpHigh(
+            p=P, n=N, m=M, eps=EPS, rng=np.random.default_rng(2))),
+    ]
+    rows = [format_row(("algorithm", "space", "worst err", "mean err", "sec"),
+                       WIDTHS)]
+    results = {}
+
+    def run_all():
+        for name, algo in contenders:
+            worst, mean, secs, bits = run_stream(
+                algo, updates, lambda f: f.fp(P), skip=400
+            )
+            results[name] = (bits, worst)
+            rows.append(format_row(
+                (name, kib(bits), f"{worst:.3f}", f"{mean:.3f}", f"{secs:.1f}"),
+                WIDTHS))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(f"p={P}, n={N}, m={M}, eps={EPS}; zipfian(1.6) stream")
+    emit("table1_row3_fp_high", rows)
+
+    # Constant-factor regime for the simplified level-set recovery.
+    assert results["static level-set [14]"][1] <= 0.8
+    assert results["robust comp-paths (T4.4)"][1] <= 0.8
+
+
+def test_fp_high_space_scaling(benchmark):
+    """Space grows ~ n^{1-2/p} = n^{1/3} for p=3: strongly sublinear."""
+    small, large = benchmark.pedantic(
+        lambda: (
+            HighMomentSketch.for_accuracy(P, 256, EPS, np.random.default_rng(3)),
+            HighMomentSketch.for_accuracy(P, 4096, EPS, np.random.default_rng(3)),
+        ),
+        rounds=1, iterations=1,
+    )
+    ratio = large.space_bits() / small.space_bits()
+    report = [
+        f"space(n=256)  = {kib(small.space_bits())}",
+        f"space(n=4096) = {kib(large.space_bits())}",
+        f"ratio = {ratio:.2f} (16x universe growth; "
+        f"n^(1/3) predicts ~2.5x plus one extra level)",
+    ]
+    emit("table1_row3_space_scaling", report)
+    assert ratio < 8

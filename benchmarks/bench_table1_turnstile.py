@@ -1,0 +1,61 @@
+"""T1.Turnstile — Table 1 row 6: turnstile Fp for lambda-flip streams.
+
+Paper claim (Thm 4.3): for the class S_lambda of turnstile streams with
+Fp flip number <= lambda, space O(eps^-2 lambda log^2 n) with failure
+probability n^{-C lambda}; the hard instance of [25] (insert-then-delete
+waves) shows the lambda dependence is necessary.
+
+Measured: F2 tracking error of the Theorem 4.3 wrapper on wave streams
+with increasing wave counts (i.e. increasing realised flip number), plus
+the measured flip number against the promised lambda.
+"""
+
+import numpy as np
+
+from repro.core.flip_number import measured_flip_number
+from repro.robust.moments import RobustTurnstileFp
+from repro.streams.generators import turnstile_wave_stream
+from repro.streams.validators import function_trajectory
+from tables import emit, format_row, kib, run_stream
+
+N = 256
+M = 2400
+EPS = 0.4
+WIDTHS = (10, 14, 12, 12, 12)
+
+
+def test_table1_turnstile_row(benchmark):
+    rows = [format_row(
+        ("waves", "flips (meas.)", "lam promise", "worst err", "space"),
+        WIDTHS)]
+    results = []
+
+    def run_all():
+        for waves in (2, 4):
+            updates = turnstile_wave_stream(
+                N, M, np.random.default_rng(waves), waves=waves
+            )
+            traj = function_trajectory(updates, lambda f: f.fp(2))
+            flips = measured_flip_number(traj, EPS / 2)
+            lam = max(64, 2 * flips)
+            algo = RobustTurnstileFp(
+                p=2.0, n=N, m=M, eps=EPS, lam=lam,
+                rng=np.random.default_rng(100 + waves),
+            )
+            worst, _, _, bits = run_stream(
+                algo, updates, lambda f: f.fp(2), skip=60, floor=25.0
+            )
+            results.append((waves, flips, lam, worst, bits))
+            rows.append(format_row(
+                (waves, flips, lam, f"{worst:.3f}", kib(bits)), WIDTHS))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(f"n={N}, m={M}, eps={EPS}; insert/delete wave streams "
+                "(the [25] hard-instance family)")
+    emit("table1_row6_turnstile", rows)
+
+    for waves, flips, lam, worst, _ in results:
+        assert flips <= lam, "stream left the promised class"
+        assert worst <= 0.5, f"waves={waves}"

@@ -1,0 +1,81 @@
+"""Shared reporting helpers for the experiment benchmarks.
+
+Every benchmark regenerates one Table-1 row or theorem-level experiment and
+emits a plain-text table to ``benchmarks/out/<experiment>.txt`` (and to
+stdout, visible with ``pytest -s``).  EXPERIMENTS.md records the captured
+outputs next to the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.streams.frequency import FrequencyVector
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def emit(experiment: str, lines: list[str]) -> str:
+    """Write (and print) the experiment report; return the text."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (OUT_DIR / f"{experiment}.txt").write_text(text)
+    print(f"\n=== {experiment} ===")
+    print(text)
+    return text
+
+
+def format_row(cols, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))
+
+
+def run_stream(algo, updates, truth_fn, skip: int = 100, floor: float = 0.0):
+    """Feed a stream; return (worst rel err, mean rel err, secs, space_bits).
+
+    Errors are judged against the exact ground truth after every update,
+    starting at ``skip`` and only when the truth exceeds ``floor``.
+    """
+    truth = FrequencyVector()
+    worst = 0.0
+    total = 0.0
+    judged = 0
+    start = time.perf_counter()
+    for t, u in enumerate(updates):
+        truth.update(u.item, u.delta)
+        out = algo.process_update(u.item, u.delta)
+        g = truth_fn(truth)
+        if t >= skip and abs(g) > floor:
+            err = abs(out - g) / abs(g)
+            worst = max(worst, err)
+            total += err
+            judged += 1
+    elapsed = time.perf_counter() - start
+    mean = total / judged if judged else 0.0
+    return worst, mean, elapsed, algo.space_bits()
+
+
+def run_additive(algo, updates, truth_fn, skip: int = 100):
+    """Like :func:`run_stream` but with additive error (entropy)."""
+    truth = FrequencyVector()
+    worst = 0.0
+    total = 0.0
+    judged = 0
+    start = time.perf_counter()
+    for t, u in enumerate(updates):
+        truth.update(u.item, u.delta)
+        out = algo.process_update(u.item, u.delta)
+        g = truth_fn(truth)
+        if t >= skip:
+            err = abs(out - g)
+            worst = max(worst, err)
+            total += err
+            judged += 1
+    elapsed = time.perf_counter() - start
+    mean = total / judged if judged else 0.0
+    return worst, mean, elapsed, algo.space_bits()
+
+
+def kib(bits: int | float) -> str:
+    """Human-readable space."""
+    return f"{bits / 8 / 1024:.1f} KiB"

@@ -1,0 +1,74 @@
+"""Entropy-based anomaly detection with the robust tracker (Theorem 7.3).
+
+Traffic entropy is a standard DDoS / scan detector: the empirical entropy
+of destination addresses collapses during a concentration attack and
+spikes during address-scanning.  A detector that publishes its entropy
+estimate is exactly the adaptive setting — attackers shape traffic based
+on what the detector reports.
+
+This example streams three phases (benign mixed traffic, a concentration
+attack on one address, recovery) through the Theorem 7.3 robust entropy
+tracker and a naive exact reference, and checks the tracker (a) follows
+the entropy collapse within its additive band and (b) crosses the alarm
+threshold during the attack phase.
+
+Run:  python examples/entropy_anomaly.py
+"""
+
+import numpy as np
+
+from repro.robust import RobustEntropy
+from repro.streams import FrequencyVector
+
+N = 1024
+PHASE = 900
+EPS = 0.4
+#: Alarm when the entropy estimate drops this far below its running peak.
+#: (The tracked quantity is the entropy of the *cumulative* distribution,
+#: which declines gradually once an attack starts — a relative-drop alarm
+#: is the standard detector shape for it.)
+ALARM_DROP = 1.2  # bits
+
+
+def phase_item(phase: int, rng: np.random.Generator) -> int:
+    if phase == 1:  # concentration attack: 85% of traffic to one target
+        return 7 if rng.random() < 0.85 else int(rng.integers(0, N))
+    return int(rng.integers(0, 256))  # benign: uniform over 256 endpoints
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    tracker = RobustEntropy(n=N, m=3 * PHASE, eps=EPS,
+                            rng=np.random.default_rng(1), copies=32)
+    truth = FrequencyVector()
+    alarms = []
+    worst = 0.0
+    peak = 0.0
+    for t in range(3 * PHASE):
+        item = phase_item(t // PHASE, rng)
+        truth.update(item, 1)
+        est = tracker.process_update(item, 1)
+        peak = max(peak, est)
+        if t > 150:
+            worst = max(worst, abs(est - truth.shannon_entropy()))
+        if t % 50 == 49:
+            alarms.append((t, est, est <= peak - ALARM_DROP))
+
+    print(f"== entropy anomaly detection, 3 phases x {PHASE} records ==")
+    print("phase boundaries at t=900 (attack start) and t=1800 (recovery)")
+    print(f"worst additive error vs exact entropy: {worst:.3f} "
+          f"(band eps={EPS})")
+    print("\n    t   estimate  alarm")
+    for t, est, alarm in alarms[::3]:
+        marker = " <-- ATTACK" if alarm else ""
+        print(f"  {t:5d}  {est:7.2f}  {marker}")
+    attack_alarms = [a for t, _, a in alarms if PHASE + 100 <= t < 2 * PHASE]
+    benign_alarms = [a for t, _, a in alarms if t < PHASE - 50]
+    print(f"\nalarm rate during attack phase: "
+          f"{sum(attack_alarms)}/{len(attack_alarms)}")
+    print(f"false alarms during benign phase: "
+          f"{sum(benign_alarms)}/{len(benign_alarms)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work offline
+with the pre-wheel setuptools available in the build environment.  All
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

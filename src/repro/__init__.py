@@ -1,0 +1,50 @@
+"""repro — adversarially robust streaming algorithms.
+
+A from-scratch reproduction of *"A Framework for Adversarially Robust
+Streaming Algorithms"* (Ben-Eliezer, Jayaram, Woodruff, Yogev — PODS 2020).
+
+Public API layers:
+
+* :mod:`repro.streams` — the data stream model, exact frequency vectors,
+  workload generators and validators;
+* :mod:`repro.hashing` — k-wise families, random oracle, PRF, Feistel PRP;
+* :mod:`repro.sketches` — static (non-robust) sketches: AMS, CountSketch,
+  CountMin, Misra–Gries, KMV, fast level lists, HLL, p-stable, high
+  moments, entropy;
+* :mod:`repro.core` — the paper's contribution: flip numbers,
+  epsilon-rounding, sketch switching (Algorithm 1), computation paths
+  (Lemma 3.8);
+* :mod:`repro.adversary` — the two-player game and concrete attacks,
+  including Algorithm 3 against AMS;
+* :mod:`repro.robust` — one robust algorithm per theorem.
+
+Quickstart::
+
+    import numpy as np
+    from repro.robust import RobustDistinctElements
+    from repro.adversary import AdversarialGame, RandomAdversary, \
+        relative_error_judge
+
+    rng = np.random.default_rng(0)
+    algo = RobustDistinctElements(n=10_000, m=5_000, eps=0.2, rng=rng)
+    game = AdversarialGame(lambda f: f.f0(), relative_error_judge(0.2))
+    result = game.run(algo, RandomAdversary(10_000, 5_000, rng), 5_000)
+    assert not result.failed
+"""
+
+from repro import adversary, core, hashing, robust, sketches, streams
+from repro.api import PROBLEMS, robust_estimator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "adversary",
+    "core",
+    "hashing",
+    "robust",
+    "sketches",
+    "streams",
+    "PROBLEMS",
+    "robust_estimator",
+    "__version__",
+]

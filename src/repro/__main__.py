@@ -1,0 +1,7 @@
+"""``python -m repro`` — the reproduction CLI (see repro.experiments.cli)."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

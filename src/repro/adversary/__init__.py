@@ -1,0 +1,30 @@
+"""Adversarial game loop, adversary protocol, and concrete attacks."""
+
+from repro.adversary.ams_attack import AMSAttackAdversary, run_ams_attack
+from repro.adversary.attacks import (
+    CountMinInflationAttack,
+    EstimateProbingAdversary,
+    VictimPointQueryGame,
+)
+from repro.adversary.base import Adversary, RandomAdversary, StaticAdversary
+from repro.adversary.game import (
+    AdversarialGame,
+    GameResult,
+    additive_error_judge,
+    relative_error_judge,
+)
+
+__all__ = [
+    "AMSAttackAdversary",
+    "run_ams_attack",
+    "CountMinInflationAttack",
+    "EstimateProbingAdversary",
+    "VictimPointQueryGame",
+    "Adversary",
+    "RandomAdversary",
+    "StaticAdversary",
+    "AdversarialGame",
+    "GameResult",
+    "additive_error_judge",
+    "relative_error_judge",
+]

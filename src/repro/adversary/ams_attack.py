@@ -1,0 +1,136 @@
+"""Algorithm 3: the adaptive attack on the AMS sketch (Theorem 9.1).
+
+The adversary first inserts ``(item 0, C * sqrt(t))``, driving the true F2
+to ``C^2 t``.  Then for fresh items i = 1, 2, ...: insert i once and watch
+the published estimate move.  Writing ``y = Sf`` before the insertion, the
+estimate moves by ``1 + 2 <y, S e_i>``:
+
+* moved by < 1  (``<y, S e_i> < 0``): insert i once more — the second
+  insertion moves the estimate by ``3 + 4<y, Se_i>``, doubling down on a
+  column anti-correlated with y;
+* moved by > 1: leave it — the column is positively correlated and would
+  grow the estimate;
+* moved by exactly 1: fair coin decides.
+
+Each doubled item drags ``|Sf|^2`` below the true F2 (which grows by 4
+instead); Khintchine's inequality gives the expected drift
+``E[s_{i+1}] <= s_i + 5/2 - sqrt(s_i / 2t)``, so after O(t) rounds the
+estimate collapses below ``F2 / 2`` with probability 9/10.
+
+The adversary only uses the *published estimates*, never the sketch
+internals — it runs unchanged against any F2 tracker, which is how the
+experiments show the sketch-switching tracker survives the same attack.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.adversary.base import Adversary
+from repro.streams.model import Update
+
+
+class AMSAttackAdversary(Adversary):
+    """Algorithm 3, driven purely by observed estimates.
+
+    Parameters
+    ----------
+    t:
+        Row count of the attacked sketch; sets the initial heavy insertion
+        ``C * sqrt(t)`` and the scale of the attack.
+    rng:
+        Source of the tie-breaking coin flips.
+    constant:
+        The paper's C (> 200 in the proof; the drift argument works for
+        moderate constants in practice, and the default keeps the
+        simulated streams short).
+    """
+
+    def __init__(self, t: int, rng: np.random.Generator, constant: float = 8.0):
+        if t < 1:
+            raise ValueError(f"sketch rows t must be >= 1, got {t}")
+        self.t = t
+        self.constant = constant
+        self._rng = rng
+        self._next_item = 1
+        self._phase = "init"
+        self._estimate_before: float | None = None
+        self._pending_item: int | None = None
+
+    def next_update(self, t: int, last_response: float | None) -> Update | None:
+        if self._phase == "init":
+            self._phase = "probe"
+            heavy = max(1, round(self.constant * math.sqrt(self.t)))
+            return Update(0, heavy)
+
+        if self._phase == "probe":
+            # Insert a fresh item once; decide on the follow-up after
+            # observing how the estimate moved.
+            self._estimate_before = last_response
+            self._pending_item = self._next_item
+            self._next_item += 1
+            self._phase = "decide"
+            return Update(self._pending_item, 1)
+
+        # phase == "decide": we just observed the estimate after the single
+        # insertion of _pending_item.
+        assert last_response is not None and self._estimate_before is not None
+        moved = last_response - self._estimate_before
+        item = self._pending_item
+        self._phase = "probe"
+        double = moved < 1.0 or (moved == 1.0 and self._rng.random() < 0.5)
+        if double:
+            return Update(item, 1)
+        # No second insertion: immediately move to probing the next item.
+        return self.next_update(t, last_response)
+
+    def items_probed(self) -> int:
+        """Number of fresh items the attack has spent so far."""
+        return self._next_item - 1
+
+
+def run_ams_attack(
+    sketch,
+    rng: np.random.Generator,
+    max_updates: int,
+    fool_factor: float = 2.0,
+    constant: float = 8.0,
+    t: int | None = None,
+):
+    """Run Algorithm 3 against an F2 tracker; report when it gets fooled.
+
+    The tracker must publish estimates of ``F2 = |f|_2^2`` (the attack's
+    move-by-one logic lives on that scale).  ``t`` sizes the attack (the
+    attacked sketch's row count); it defaults to the sketch's ``t``
+    attribute, and must be given when attacking wrappers (e.g. the robust
+    tracker survival experiment).
+
+    Returns ``(fooled, updates_used, transcript)`` where ``fooled`` is True
+    once the published estimate drops below ``true F2 / fool_factor``
+    (Theorem 9.1's failure event), and ``transcript`` is the list of
+    (estimate, truth) pairs.
+    """
+    from repro.streams.frequency import FrequencyVector
+
+    if t is None:
+        t = getattr(sketch, "t", None)
+        if t is None:
+            raise ValueError("pass t= explicitly when the sketch has no .t")
+    adversary = AMSAttackAdversary(t=t, rng=rng, constant=constant)
+    truth = FrequencyVector()
+    transcript: list[tuple[float, float]] = []
+    last: float | None = None
+    for step in range(max_updates):
+        upd = adversary.next_update(step, last)
+        if upd is None:
+            break
+        truth.update(upd.item, upd.delta)
+        last = sketch.process_update(upd.item, upd.delta)
+        adversary.observe(step, last)
+        f2 = truth.fp(2)
+        transcript.append((last, f2))
+        if last < f2 / fool_factor:
+            return True, step + 1, transcript
+    return False, len(transcript), transcript

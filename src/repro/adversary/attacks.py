@@ -1,0 +1,156 @@
+"""Additional adaptive attacks (extensions in the spirit of Section 9).
+
+The paper proves non-robustness for the AMS sketch; these attacks extend
+the negative-results suite to other classic static sketches, giving the
+experiments more than one demonstration that "static guarantee" does not
+survive adaptivity:
+
+* :class:`CountMinInflationAttack` — inflates a victim item's CountMin
+  point estimate: probe fresh items one at a time, keep hammering the ones
+  whose insertion raised the victim's estimate (they collide with the
+  victim in every argmin row).  The victim's true count stays 1 while its
+  estimate grows without bound — breaking any (eps * F1) point-query
+  guarantee long before F1 catches up.
+
+* :class:`EstimateProbingAdversary` — a generic distinct-elements stressor:
+  alternates fresh items with repeats of items whose insertion did not
+  move the published estimate, maximising correlation between the stream
+  and the sketch's internal sample.  Robust F0 algorithms shrug it off;
+  it is used as a non-trivial (if not provably fooling) opponent in
+  integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import Adversary
+from repro.streams.model import Update
+
+
+class CountMinInflationAttack(Adversary):
+    """Adaptively inflate ``point_query(victim)`` of a CountMin sketch.
+
+    The adversary only observes the published response, which for this
+    game is the victim's estimated count.  Protocol: insert the victim
+    once; then probe fresh items; any probe that raises the victim's
+    estimate collides with it in all of its current argmin rows, so the
+    attacker re-inserts that item ``hammer`` more times before resuming
+    probing.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        n: int,
+        rng: np.random.Generator,
+        hammer: int = 32,
+    ):
+        if hammer < 1:
+            raise ValueError(f"hammer must be >= 1, got {hammer}")
+        self.victim = victim
+        self.n = n
+        self.hammer = hammer
+        self._rng = rng
+        self._next_probe = victim + 1
+        self._last_estimate: float | None = None
+        self._hammer_left = 0
+        self._hammer_item: int | None = None
+        self._started = False
+
+    def next_update(self, t: int, last_response: float | None) -> Update | None:
+        if not self._started:
+            self._started = True
+            return Update(self.victim, 1)
+        if self._hammer_left > 0 and self._hammer_item is not None:
+            self._hammer_left -= 1
+            return Update(self._hammer_item, 1)
+        if (
+            self._last_estimate is not None
+            and last_response is not None
+            and last_response > self._last_estimate
+        ):
+            # The previous probe collided: hammer it.
+            self._hammer_item = self._next_probe - 1
+            self._hammer_left = self.hammer - 1
+            self._last_estimate = last_response
+            return Update(self._hammer_item, 1)
+        self._last_estimate = last_response
+        probe = self._next_probe
+        self._next_probe = probe + 1 if probe + 1 < self.n else self.victim + 1
+        return Update(probe, 1)
+
+
+class VictimPointQueryGame:
+    """Tiny referee for point-query attacks: response = estimate of victim.
+
+    Returns the step at which the victim's estimate exceeds
+    ``threshold_factor * true count`` (or None if the attack failed within
+    the budget).
+    """
+
+    def __init__(self, victim: int, threshold_factor: float = 5.0):
+        self.victim = victim
+        self.threshold_factor = threshold_factor
+
+    def run(self, sketch, adversary: Adversary, max_rounds: int):
+        from repro.streams.frequency import FrequencyVector
+
+        truth = FrequencyVector()
+        last: float | None = None
+        for t in range(max_rounds):
+            upd = adversary.next_update(t, last)
+            if upd is None:
+                break
+            truth.update(upd.item, upd.delta)
+            sketch.update(upd.item, upd.delta)
+            last = sketch.point_query(self.victim)
+            adversary.observe(t, last)
+            true_count = max(1, truth[self.victim])
+            if last >= self.threshold_factor * true_count:
+                return t + 1
+        return None
+
+
+class EstimateProbingAdversary(Adversary):
+    """Generic adaptive stressor for distinct-elements trackers.
+
+    Inserts fresh items; whenever an insertion leaves the published
+    estimate unchanged the item is remembered as "invisible" and re-probed
+    in bursts later.  Against a non-robust sampler this maximises the
+    correlation between the stream and the sketch's sample; against the
+    paper's robust trackers the rounded outputs leak too little for the
+    strategy to bite, which is exactly what the integration tests assert.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator, burst: int = 8):
+        self.n = n
+        self.burst = burst
+        self._rng = rng
+        self._fresh = 0
+        self._invisible: list[int] = []
+        self._prev_response: float | None = None
+        self._burst_left = 0
+
+    def next_update(self, t: int, last_response: float | None) -> Update | None:
+        if (
+            self._prev_response is not None
+            and last_response is not None
+            and last_response == self._prev_response
+            and self._fresh > 0
+        ):
+            self._invisible.append(self._fresh - 1)
+        self._prev_response = last_response
+        if self._burst_left > 0 and self._invisible:
+            self._burst_left -= 1
+            pick = self._invisible[
+                int(self._rng.integers(0, len(self._invisible)))
+            ]
+            return Update(pick, 1)
+        if self._invisible and self._rng.random() < 0.25:
+            self._burst_left = self.burst
+        if self._fresh >= self.n:
+            self._fresh = 0  # wrap: keep the game going
+        item = self._fresh
+        self._fresh += 1
+        return Update(item, 1)

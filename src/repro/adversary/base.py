@@ -1,0 +1,63 @@
+"""Adversary protocol for the two-player streaming game (Section 1).
+
+The game proceeds in rounds: the adversary chooses an update (which may
+depend on everything it has seen), the algorithm processes it and publishes
+its response R_t, the adversary observes R_t.  An adversary here is any
+object with ``next_update(t, last_response) -> Update | None`` (None ends
+the stream early) and an optional ``observe`` hook for richer bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.streams.model import Update
+
+
+class Adversary(abc.ABC):
+    """One player of the adversarial game: produces updates adaptively."""
+
+    @abc.abstractmethod
+    def next_update(self, t: int, last_response: float | None) -> Update | None:
+        """Choose the t-th update (0-indexed) given the previous response.
+
+        ``last_response`` is None on the first round.  Returning None ends
+        the stream (the adversary gives up or has exhausted its budget).
+        """
+
+    def observe(self, t: int, response: float) -> None:
+        """Optional hook: the response R_t to the update just processed."""
+
+
+class StaticAdversary(Adversary):
+    """A non-adaptive adversary: replays a fixed stream, ignores responses.
+
+    This is the static setting embedded in the game, used to sanity-check
+    that robust algorithms lose nothing against oblivious streams.
+    """
+
+    def __init__(self, updates):
+        self._updates = list(updates)
+
+    def next_update(self, t: int, last_response: float | None) -> Update | None:
+        if t >= len(self._updates):
+            return None
+        return self._updates[t]
+
+
+class RandomAdversary(Adversary):
+    """Oblivious random insertions — the weakest baseline opponent."""
+
+    def __init__(self, n: int, m: int, rng: np.random.Generator):
+        if n < 1 or m < 1:
+            raise ValueError("need n >= 1 and m >= 1")
+        self.n = n
+        self.m = m
+        self._rng = rng
+
+    def next_update(self, t: int, last_response: float | None) -> Update | None:
+        if t >= self.m:
+            return None
+        return Update(int(self._rng.integers(0, self.n)), 1)

@@ -1,0 +1,145 @@
+"""The two-player adversarial game loop (Section 1, "The Adversarial Setting").
+
+``AdversarialGame.run`` referees a match between a streaming algorithm and
+an adversary: each round the adversary picks an update, the algorithm
+ingests it and publishes a response, the referee scores the response
+against the exact ground truth (maintained in a
+:class:`~repro.streams.frequency.FrequencyVector`), and the adversary
+observes the response.  The result records the full transcript, the first
+failure step, and summary error statistics — everything the robustness
+experiments report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.adversary.base import Adversary
+from repro.sketches.base import Sketch
+from repro.streams.frequency import FrequencyVector
+from repro.streams.model import Update
+
+#: Computes the true value being estimated from the exact frequency vector.
+TruthFn = Callable[[FrequencyVector], float]
+
+
+def relative_error_judge(eps: float) -> Callable[[float, float], bool]:
+    """Failure predicate for (1 ± eps)-approximation queries.
+
+    A response R fails against truth g iff ``|R - g| > eps * |g|`` —
+    the tracking requirement of Definition 2.1.  When g = 0 any nonzero
+    response fails.
+    """
+    def judge(response: float, truth: float) -> bool:
+        return abs(response - truth) > eps * abs(truth)
+    return judge
+
+
+def additive_error_judge(eps: float) -> Callable[[float, float], bool]:
+    """Failure predicate for additive-eps queries (entropy)."""
+    def judge(response: float, truth: float) -> bool:
+        return abs(response - truth) > eps
+    return judge
+
+
+@dataclass
+class GameResult:
+    """Transcript and verdict of one adversarial game."""
+
+    steps: int
+    failed: bool
+    first_failure_step: int | None
+    responses: list[float] = field(repr=False)
+    truths: list[float] = field(repr=False)
+    updates: list[Update] = field(repr=False)
+
+    @property
+    def max_relative_error(self) -> float:
+        worst = 0.0
+        for r, g in zip(self.responses, self.truths):
+            if g != 0:
+                worst = max(worst, abs(r - g) / abs(g))
+            elif r != 0:
+                worst = max(worst, float("inf"))
+        return worst
+
+    @property
+    def max_additive_error(self) -> float:
+        return max(
+            (abs(r - g) for r, g in zip(self.responses, self.truths)),
+            default=0.0,
+        )
+
+
+class AdversarialGame:
+    """Referee for algorithm-vs-adversary matches.
+
+    Parameters
+    ----------
+    truth_fn:
+        Ground-truth query evaluated on the exact frequency vector after
+        every update (e.g. ``lambda f: f.f0()``).
+    judge:
+        Failure predicate ``(response, truth) -> bool``; see
+        :func:`relative_error_judge` / :func:`additive_error_judge`.
+    grace_steps:
+        Number of initial steps exempt from judging.  Useful for
+        estimators whose guarantee is asymptotic in the stream prefix
+        (e.g. KMV is exact below k distinct items but a single fresh item
+        right at the boundary flips bands); the theorems' guarantees are
+        stated for all t, so experiments default to 0.
+    """
+
+    def __init__(
+        self,
+        truth_fn: TruthFn,
+        judge: Callable[[float, float], bool],
+        grace_steps: int = 0,
+    ):
+        self.truth_fn = truth_fn
+        self.judge = judge
+        self.grace_steps = grace_steps
+
+    def run(
+        self,
+        algorithm: Sketch,
+        adversary: Adversary,
+        max_rounds: int,
+        stop_at_failure: bool = False,
+    ) -> GameResult:
+        """Play up to ``max_rounds`` rounds; return the scored transcript."""
+        truth = FrequencyVector()
+        responses: list[float] = []
+        truths: list[float] = []
+        updates: list[Update] = []
+        first_failure: int | None = None
+        last_response: float | None = None
+        for t in range(max_rounds):
+            upd = adversary.next_update(t, last_response)
+            if upd is None:
+                break
+            truth.update(upd.item, upd.delta)
+            response = algorithm.process_update(upd.item, upd.delta)
+            adversary.observe(t, response)
+            g = self.truth_fn(truth)
+            responses.append(response)
+            truths.append(g)
+            updates.append(upd)
+            last_response = response
+            if (
+                first_failure is None
+                and t >= self.grace_steps
+                and self.judge(response, g)
+            ):
+                first_failure = t
+                if stop_at_failure:
+                    break
+        return GameResult(
+            steps=len(responses),
+            failed=first_failure is not None,
+            first_failure_step=first_failure,
+            responses=responses,
+            truths=truths,
+            updates=updates,
+        )

@@ -1,0 +1,128 @@
+"""High-level facade: one entry point per streaming problem.
+
+``robust_estimator(problem, ...)`` builds the paper's recommended robust
+algorithm for each problem with sensible defaults, so downstream users
+don't need to know which theorem applies:
+
+====================  =============================  ==================
+problem               algorithm                      paper
+====================  =============================  ==================
+"distinct"            sketch switching over KMV      Theorem 5.1
+"distinct-fast"       computation paths over Alg 2   Theorem 5.4
+"distinct-crypto"     PRP preprocessing              Theorem 10.1
+"fp"                  switching over p-stable        Theorem 4.1
+"fp-small-delta"      computation paths, p-stable    Theorem 4.2
+"fp-high"             computation paths, level sets  Theorem 4.4
+"heavy-hitters"       epoch-frozen CountSketch ring  Theorem 6.5
+"entropy"             additive switching over CC     Theorem 7.3
+"bounded-deletion"    computation paths, turnstile   Theorem 8.3
+====================  =============================  ==================
+
+Every estimator satisfies the :class:`repro.sketches.base.Sketch`
+contract (``process_update`` / ``query`` / ``space_bits``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.robust.bounded_deletion import RobustBoundedDeletionFp
+from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.distinct import (
+    FastRobustDistinctElements,
+    RobustDistinctElements,
+)
+from repro.robust.entropy import RobustEntropy
+from repro.robust.heavy_hitters import RobustHeavyHitters
+from repro.robust.moments import (
+    RobustFpHigh,
+    RobustFpPaths,
+    RobustFpSwitching,
+)
+from repro.sketches.base import Sketch
+
+PROBLEMS = (
+    "distinct",
+    "distinct-fast",
+    "distinct-crypto",
+    "fp",
+    "fp-small-delta",
+    "fp-high",
+    "heavy-hitters",
+    "entropy",
+    "bounded-deletion",
+)
+
+
+def robust_estimator(
+    problem: str,
+    n: int,
+    m: int,
+    eps: float,
+    seed: int = 0,
+    p: float = 2.0,
+    alpha: float = 4.0,
+    delta: float = 0.05,
+    **kwargs,
+) -> Sketch:
+    """Build the adversarially robust estimator for ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        One of :data:`PROBLEMS`.
+    n, m:
+        Universe size and stream-length bound (drive the flip budgets).
+    eps:
+        Approximation parameter ((1 ± eps) multiplicative, or additive
+        eps bits for "entropy").
+    seed:
+        Seeds all internal randomness (reproducible).
+    p:
+        Moment order for the Fp problems.
+    alpha:
+        Deletion bound for "bounded-deletion".
+    delta:
+        Target failure probability.
+    kwargs:
+        Forwarded to the underlying constructor (expert knobs such as
+        ``copies`` or ``stable_constant``).
+    """
+    rng = np.random.default_rng(seed)
+    if problem == "distinct":
+        return RobustDistinctElements(n=n, m=m, eps=eps, rng=rng,
+                                      delta=delta, **kwargs)
+    if problem == "distinct-fast":
+        return FastRobustDistinctElements(n=n, m=m, eps=eps, rng=rng,
+                                          delta=delta, **kwargs)
+    if problem == "distinct-crypto":
+        return CryptoRobustDistinctElements(n=n, eps=eps, rng=rng,
+                                            delta=delta, **kwargs)
+    if problem == "fp":
+        if p > 2:
+            raise ValueError("use problem='fp-high' for p > 2")
+        return RobustFpSwitching(p=p, n=n, m=m, eps=eps, rng=rng,
+                                 delta=delta, **kwargs)
+    if problem == "fp-small-delta":
+        if p > 2:
+            raise ValueError("use problem='fp-high' for p > 2")
+        return RobustFpPaths(p=p, n=n, m=m, eps=eps, rng=rng,
+                             delta=delta, **kwargs)
+    if problem == "fp-high":
+        if p <= 2:
+            raise ValueError("fp-high requires p > 2")
+        return RobustFpHigh(p=p, n=n, m=m, eps=eps, rng=rng,
+                            delta=delta, **kwargs)
+    if problem == "heavy-hitters":
+        return RobustHeavyHitters(n=n, m=m, eps=eps, rng=rng,
+                                  delta=delta, **kwargs)
+    if problem == "entropy":
+        return RobustEntropy(n=n, m=m, eps=eps, rng=rng,
+                             delta=delta, **kwargs)
+    if problem == "bounded-deletion":
+        return RobustBoundedDeletionFp(p=min(p, 2.0), n=n, m=m, eps=eps,
+                                       alpha=alpha, rng=rng, delta=delta,
+                                       **kwargs)
+    raise ValueError(
+        f"unknown problem {problem!r}; choose from {PROBLEMS}"
+    )

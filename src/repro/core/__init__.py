@@ -1,0 +1,53 @@
+"""The paper's contribution: flip numbers, rounding, and the two frameworks."""
+
+from repro.core.computation_paths import (
+    ComputationPathsEstimator,
+    paths_log2_count,
+    required_delta0,
+    required_log2_delta0,
+)
+from repro.core.flip_number import (
+    bounded_deletion_flip_number_bound,
+    cascaded_norm_flip_number_bound,
+    entropy_flip_number_bound,
+    flip_number_dp,
+    fp_flip_number_bound,
+    greedy_flip_lower_bound,
+    lp_norm_flip_number_bound,
+    measured_flip_number,
+    monotone_flip_number_bound,
+)
+from repro.core.rounding import RoundedSequence, num_rounded_values, round_to_power
+from repro.core.sketch_switching import (
+    AdditiveSwitchingEstimator,
+    SketchExhaustedError,
+    SketchSwitchingEstimator,
+    restart_ring_size,
+)
+from repro.core.tracking import MedianTracker, median_copies, union_bound_delta
+
+__all__ = [
+    "ComputationPathsEstimator",
+    "paths_log2_count",
+    "required_delta0",
+    "required_log2_delta0",
+    "bounded_deletion_flip_number_bound",
+    "cascaded_norm_flip_number_bound",
+    "entropy_flip_number_bound",
+    "flip_number_dp",
+    "fp_flip_number_bound",
+    "greedy_flip_lower_bound",
+    "lp_norm_flip_number_bound",
+    "measured_flip_number",
+    "monotone_flip_number_bound",
+    "RoundedSequence",
+    "num_rounded_values",
+    "round_to_power",
+    "AdditiveSwitchingEstimator",
+    "SketchExhaustedError",
+    "SketchSwitchingEstimator",
+    "restart_ring_size",
+    "MedianTracker",
+    "median_copies",
+    "union_bound_delta",
+]

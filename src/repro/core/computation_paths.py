@@ -1,0 +1,104 @@
+"""Computation paths (Lemma 3.8) — the second generic framework.
+
+Keep a *single* instance of the static algorithm, but instantiated at a
+tiny failure probability ``delta_0``, and publish only the epsilon-rounded
+output sequence (Definition 3.7).  Because the rounded output changes at
+most ``lambda`` times and takes one of ``O(eps^-1 log T)`` values per
+change, a deterministic adversary's entire interaction is determined by
+one of
+
+    |S| = C(m, lambda) * O(eps^-1 log T)^lambda
+
+fixed streams; union-bounding the static guarantee over S makes the single
+instance simultaneously correct on every stream the adversary could
+possibly produce.  The framework pays in ``log(1/delta_0) ~ lambda *
+log(m eps^-1 log T)`` — a win exactly when the base algorithm's cost
+depends mildly on delta (Theorems 1.2/4.2/4.3/4.4).
+
+:func:`paths_log2_count` computes ``log2 |S|`` exactly;
+:func:`required_delta0` divides the target delta by it in log space (the
+numbers are astronomically small — e.g. ``n^{-(1/eps) log n}`` — so
+experiments size base sketches from ``log2(1/delta_0)``, never from the
+raw float, which would underflow).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rounding import RoundedSequence, num_rounded_values
+from repro.sketches.base import Sketch
+
+
+def paths_log2_count(m: int, flip_number: int, eps: float, value_range: float) -> float:
+    """log2 of the number of adversarial computation paths |S|.
+
+    ``log2 C(m, lambda) + lambda * log2 K`` with K the rounded-value count
+    for outputs in [1/T, T] (Lemma 3.8's counting argument).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    lam = min(max(flip_number, 1), m)
+    log2_binom = (
+        math.lgamma(m + 1) - math.lgamma(lam + 1) - math.lgamma(m - lam + 1)
+    ) / math.log(2)
+    k = num_rounded_values(eps, value_range)
+    return log2_binom + lam * math.log2(k)
+
+
+def required_log2_delta0(
+    delta: float, m: int, flip_number: int, eps: float, value_range: float
+) -> float:
+    """log2 of the per-path failure probability delta_0 = delta / |S|."""
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    return math.log2(delta) - paths_log2_count(m, flip_number, eps, value_range)
+
+
+def required_delta0(
+    delta: float, m: int, flip_number: int, eps: float, value_range: float,
+    floor: float = 1e-300,
+) -> float:
+    """delta_0 as a float, clamped away from underflow.
+
+    Experiments that size a base sketch via ``log(1/delta_0)`` should use
+    :func:`required_log2_delta0` directly; this convenience form exists
+    for the moderate regimes where the float is representable.
+    """
+    log2_d0 = required_log2_delta0(delta, m, flip_number, eps, value_range)
+    if log2_d0 < math.log2(floor):
+        return floor
+    return 2.0**log2_d0
+
+
+class ComputationPathsEstimator(Sketch):
+    """Lemma 3.8 wrapper: one low-delta instance behind epsilon-rounding.
+
+    The caller builds ``sketch`` with failure probability ``delta_0``
+    (see :func:`required_log2_delta0`); the wrapper contributes the
+    Definition 3.7 output discipline that makes the union bound valid.
+    """
+
+    def __init__(self, sketch: Sketch, eps: float):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        self.eps = eps
+        self._inner = sketch
+        self._rounder = RoundedSequence(eps)
+        self.supports_deletions = sketch.supports_deletions
+
+    @property
+    def changes(self) -> int:
+        """How many times the published value moved (<= flip number whp)."""
+        return max(0, self._rounder.changes - 1)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._inner.update(item, delta)
+        self._rounder.push(self._inner.query())
+
+    def query(self) -> float:
+        current = self._rounder.current
+        return 0.0 if current is None else current
+
+    def space_bits(self) -> int:
+        return self._inner.space_bits() + 128

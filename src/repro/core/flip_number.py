@@ -1,0 +1,233 @@
+"""Flip number (Definition 3.2): measurement and analytic bounds.
+
+The flip number ``lambda_{eps,m}(g)`` — the longest chain of time steps on
+which g changes by more than a (1 ± eps) factor — is the quantity both
+robustification frameworks pay for: sketch switching keeps ``lambda``
+copies, computation paths union-bounds over ``~ (eps^-1 log T)^lambda``
+output sequences.
+
+This module provides:
+
+* :func:`measured_flip_number` — the exact flip number of a concrete value
+  sequence, computed in O(m log m) as a longest-chain DP accelerated with
+  value-indexed max-Fenwick trees (an O(m^2) reference DP,
+  :func:`flip_number_dp`, serves as the test oracle);
+* :func:`greedy_flip_lower_bound` — the cheap greedy chain (a valid chain,
+  hence a lower bound; *not* always optimal);
+* analytic bounds: Proposition 3.4 (monotone functions), Corollary 3.5
+  (Fp moments), Proposition 7.2 (exponentiated entropy), Lemma 8.2
+  (bounded-deletion Lp), and the cascaded-norm remark after Corollary 3.5.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Sequence
+
+
+def _band(cur: float, eps: float) -> tuple[float, float]:
+    """The closed interval [(1-eps) cur, (1+eps) cur], endpoints sorted."""
+    a = (1.0 - eps) * cur
+    b = (1.0 + eps) * cur
+    return (a, b) if a <= b else (b, a)
+
+
+def _flips(prev: float, cur: float, eps: float) -> bool:
+    """Is ``prev`` outside ``[(1-eps) cur, (1+eps) cur]``?"""
+    lo, hi = _band(cur, eps)
+    return prev < lo or prev > hi
+
+
+class _MaxFenwick:
+    """Fenwick tree over ranks supporting prefix-max queries and point updates."""
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+
+    def update(self, idx: int, value: int) -> None:
+        """Raise position ``idx`` (0-based) to at least ``value``."""
+        i = idx + 1
+        while i < len(self._tree):
+            if self._tree[i] < value:
+                self._tree[i] = value
+            i += i & (-i)
+
+    def prefix_max(self, count: int) -> int:
+        """Max over the first ``count`` positions (0 if count <= 0)."""
+        best = 0
+        i = count
+        while i > 0:
+            if self._tree[i] > best:
+                best = self._tree[i]
+            i -= i & (-i)
+        return best
+
+
+def measured_flip_number(values: Sequence[float], eps: float) -> int:
+    """The exact (eps, m)-flip number of a concrete sequence (Definition 3.2).
+
+    Maximum k for which indices ``i_1 < ... < i_k`` exist with
+    ``y_{i_{j-1}}`` outside ``(1 ± eps) y_{i_j}`` for all j = 2..k.
+
+    Longest-chain DP: ``L[i] = 1 + max L[j]`` over earlier j whose value
+    lies outside the band of value i.  The band condition is two value-range
+    queries (``v_j < lo`` or ``v_j > hi``), answered by two max-Fenwick
+    trees over the compressed value axis — O(m log m) total.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if not values:
+        return 0
+    vals = [float(v) for v in values]
+    uniq = sorted(set(vals))
+    rank = {v: r for r, v in enumerate(uniq)}
+    size = len(uniq)
+    lo_tree = _MaxFenwick(size)  # prefix max over ascending value order
+    hi_tree = _MaxFenwick(size)  # prefix max over descending value order
+    best_overall = 0
+    for v in vals:
+        lo, hi = _band(v, eps)
+        # Chains ending at this element extend any earlier element with
+        # value strictly below lo ...
+        below_count = bisect.bisect_left(uniq, lo)
+        best = lo_tree.prefix_max(below_count)
+        # ... or strictly above hi.
+        above_count = size - bisect.bisect_right(uniq, hi)
+        cand = hi_tree.prefix_max(above_count)
+        if cand > best:
+            best = cand
+        length = best + 1
+        r = rank[v]
+        lo_tree.update(r, length)
+        hi_tree.update(size - 1 - r, length)
+        if length > best_overall:
+            best_overall = length
+    return best_overall
+
+
+def flip_number_dp(values: Sequence[float], eps: float) -> int:
+    """O(m^2) reference DP for the flip number — test oracle."""
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if not values:
+        return 0
+    m = len(values)
+    best = [1] * m
+    for i in range(m):
+        for j in range(i):
+            if _flips(values[j], values[i], eps) and best[j] + 1 > best[i]:
+                best[i] = best[j] + 1
+    return max(best)
+
+
+def greedy_flip_lower_bound(values: Sequence[float], eps: float) -> int:
+    """Greedy chain length — a lower bound on the flip number.
+
+    Optimal for monotone sequences (where a smaller anchor flips on
+    everything a larger one does); can undercount on oscillating
+    sequences, hence only a bound.  O(m).
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if not values:
+        return 0
+    count = 1
+    anchor = float(values[0])
+    for y in values[1:]:
+        if _flips(anchor, float(y), eps):
+            count += 1
+            anchor = float(y)
+    return count
+
+
+def monotone_flip_number_bound(eps: float, value_min: float, value_max: float) -> int:
+    """Proposition 3.4: monotone g with nonzero range [value_min, value_max].
+
+    At most one power of (1+eps) can be crossed per flip, so the flip
+    number is ``O(eps^-1 log T)`` — concretely
+    ``ceil(log(value_max/value_min) / log(1+eps)) + 2`` (the +2 covers the
+    initial zero and the first nonzero value).
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if not 0 < value_min <= value_max:
+        raise ValueError("need 0 < value_min <= value_max")
+    return math.ceil(math.log(value_max / value_min) / math.log1p(eps)) + 2
+
+
+def fp_flip_number_bound(eps: float, n: int, p: float, M: int = 1 << 20) -> int:
+    """Corollary 3.5: flip number of ``|f|_p^p`` on insertion-only streams.
+
+    ``O(eps^-1 log n)`` for p <= 2 and ``O(p eps^-1 log n)`` for p > 2,
+    instantiated through Proposition 3.4 with T = max(n, M^p n).
+    """
+    if p < 0:
+        raise ValueError(f"p must be >= 0, got {p}")
+    t_max = float(n) if p == 0 else float(M) ** p * n
+    return monotone_flip_number_bound(eps, 1.0, max(t_max, 1.0 + 1e-9))
+
+
+def lp_norm_flip_number_bound(eps: float, n: int, p: float, M: int = 1 << 20) -> int:
+    """Flip number of the *norm* ``|f|_p`` (what Theorems 4.1/6.5 track).
+
+    A (1+eps) change of the norm is a (1+eps)^p change of the moment; the
+    norm's range is [1, (M^p n)^(1/p)].
+    """
+    if p <= 0:
+        raise ValueError(f"norm order p must be > 0, got {p}")
+    t_max = (float(M) ** p * n) ** (1.0 / p)
+    return monotone_flip_number_bound(eps, 1.0, max(t_max, 1.0 + 1e-9))
+
+
+def entropy_flip_number_bound(eps: float, n: int, m: int, M: int = 1 << 20) -> int:
+    """Proposition 7.2: flip number of ``g = 2^H`` on insertion-only streams.
+
+    Follows the paper's arithmetic: with ``nu = eps/(4 log n log m)`` and
+    ``beta = 1 + nu/(16 log(1/nu))``, a (1 ± eps) change of ``2^H`` forces
+    ``|x|_1`` to grow by ``(1 + tau)`` with ``tau = Theta(eps (beta - 1))``;
+    since ``|x|_1 <= Mn``, the count is ``log(Mn)/log(1+tau)`` —
+    the O~(eps^-3 log^3) shape of the proposition.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    log_n = max(2.0, math.log2(n))
+    log_m = max(2.0, math.log2(m))
+    nu = eps / (4.0 * log_n * log_m)
+    beta_minus_1 = nu / (16.0 * max(1.0, math.log(1.0 / nu)))
+    tau = eps * beta_minus_1
+    return math.ceil(math.log(float(M) * n) / math.log1p(tau)) + 2
+
+
+def bounded_deletion_flip_number_bound(
+    eps: float, n: int, p: float, alpha: float, M: int = 1 << 20
+) -> int:
+    """Lemma 8.2: flip number of ``|f|_p`` on alpha-bounded-deletion streams.
+
+    Each flip forces the insertion-only companion mass ``|h|_p^p`` to grow
+    by ``(1 + eps^p / alpha)``; ``|h|_p^p <= M^p n``, giving
+    ``O(p alpha eps^-p log n)``.
+    """
+    if p < 1:
+        raise ValueError(f"Lemma 8.2 requires p >= 1, got {p}")
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0,1), got {eps}")
+    growth = eps**p / alpha
+    return math.ceil(math.log(float(M) ** p * n) / math.log1p(growth)) + 2
+
+
+def cascaded_norm_flip_number_bound(
+    eps: float, n: int, d: int, p: float, k: float, M: int = 1 << 20
+) -> int:
+    """Flip number of the cascaded norm ``|A|_(p,k)`` (Section 3 remark).
+
+    The cascaded norm of an insertion-only matrix stream is monotone with
+    range poly(n d M), so Proposition 3.4 applies; we use the conservative
+    envelope T = (M n d)^(max(1,k) max(1,p)).
+    """
+    if p <= 0 or k <= 0:
+        raise ValueError("cascaded norm orders must be positive")
+    t_max = (float(M) * n * d) ** (max(1.0, k) * max(1.0, p))
+    return monotone_flip_number_bound(eps, 1.0, t_max)

@@ -1,0 +1,96 @@
+"""epsilon-rounding (Definitions 3.1 and 3.7).
+
+The rounding technique is the information-hiding half of both
+robustification frameworks: publishing only powers of ``(1 + eps)``, and
+only *changing* the published value when forced, limits what the adversary
+learns about the algorithm's randomness from its outputs.
+
+``round_to_power(x, eps)`` implements ``[x]_eps`` — the signed power of
+``(1 + eps)`` closest to x in multiplicative terms (with ``[0]_eps = 0``).
+:class:`RoundedSequence` implements the stateful epsilon-rounding of an
+output sequence: keep the previous published value while it remains a
+``(1 ± eps)`` approximation of the raw value, otherwise re-round.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def round_to_power(x: float, eps: float) -> float:
+    """The value ``[x]_eps``: nearest signed power of (1+eps), or 0.
+
+    For x > 0 returns ``(1+eps)^l`` with integer l minimizing
+    ``max(y/x, x/y)``; for x < 0 returns ``-[-x]_eps``; ``[0]_eps = 0``.
+    The result is always a ``(1 + eps/2)``-multiplicative approximation
+    of x (Section 3).
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if x == 0:
+        return 0.0
+    sign = 1.0 if x > 0 else -1.0
+    mag = abs(x)
+    log_step = math.log1p(eps)
+    ell = mag and math.log(mag) / log_step
+    lo = math.floor(ell)
+    hi = lo + 1
+    y_lo = (1.0 + eps) ** lo
+    y_hi = (1.0 + eps) ** hi
+    # Choose the candidate with smaller multiplicative distance.
+    if max(y_lo / mag, mag / y_lo) <= max(y_hi / mag, mag / y_hi):
+        return sign * y_lo
+    return sign * y_hi
+
+
+def num_rounded_values(eps: float, value_range: float) -> int:
+    """How many values ``[x]_eps`` can take for |x| in [1/T, T] (plus zero).
+
+    This is the ``O(eps^-1 log T)`` count that Lemma 3.8's union bound
+    multiplies per flip: powers of (1+eps) between 1/T and T, both signs,
+    and zero.
+    """
+    if value_range < 1:
+        raise ValueError(f"value range T must be >= 1, got {value_range}")
+    if value_range == 1:
+        return 3
+    powers = 2 * math.ceil(math.log(value_range) / math.log1p(eps)) + 1
+    return 2 * powers + 1
+
+
+class RoundedSequence:
+    """Stateful epsilon-rounding of a real output sequence (Definition 3.1).
+
+    ``push(y)`` returns the published value: the previous published value
+    if it is still within ``(1 ± eps)`` of y, else ``[y]_eps``.
+    ``changes`` counts how many times the published value moved — the
+    quantity Lemma 3.3 bounds by the flip number.
+    """
+
+    def __init__(self, eps: float):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.eps = eps
+        self._current: float | None = None
+        self.changes = 0
+
+    @property
+    def current(self) -> float | None:
+        """Last published value (None before the first push)."""
+        return self._current
+
+    def push(self, y: float) -> float:
+        if self._current is None:
+            self._current = round_to_power(y, self.eps)
+            self.changes += 1
+            return self._current
+        if self._within(self._current, y):
+            return self._current
+        self._current = round_to_power(y, self.eps)
+        self.changes += 1
+        return self._current
+
+    def _within(self, published: float, y: float) -> bool:
+        """Is ``published`` in ``[(1-eps) y, (1+eps) y]`` (sign-aware)?"""
+        lo, hi = sorted(((1.0 - self.eps) * y, (1.0 + self.eps) * y))
+        return lo <= published <= hi

@@ -1,0 +1,223 @@
+"""Sketch switching (Algorithm 1, Lemma 3.6) — the first generic framework.
+
+Maintain ``lambda`` independent instances of a static strong tracker; only
+one instance is *active* at a time.  The published output changes only when
+the active instance's estimate drifts multiplicatively away from it; at
+that moment the algorithm publishes the (eps/2)-rounded fresh estimate,
+**burns** the active instance (its randomness is now correlated with the
+adversary's view), and activates the next one.  Correctness: between
+switches the adversary learns nothing about the active instance beyond the
+already-published value, so each instance faces an (adaptively chosen but)
+fixed stream, to which its static tracking guarantee applies; the flip
+number bounds how many switches can ever happen.
+
+Two modes:
+
+* ``restart=False`` — verbatim Algorithm 1 with ``copies = lambda``;
+* ``restart=True`` — the Theorem 4.1 optimization: a ring of
+  ``O(eps^-1 log eps^-1)`` copies, each restarted after use.  A restarted
+  copy only sees a suffix of the stream, but it is next activated after the
+  tracked norm has grown by ``(1+eps/2)^copies``, at which point the missed
+  prefix is an O(eps) fraction of the current mass.  Requires the tracked
+  function to be a monotone norm-like quantity (true for the Fp/F0/L2 uses
+  in the paper); do not combine with turnstile streams.
+
+Both modes expose ``switches`` and ``space_bits`` so the experiments can
+verify the switch count against the flip-number bound and account space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.rounding import round_to_power
+from repro.sketches.base import Sketch, SketchFactory, spawn_rngs
+
+
+class SketchExhaustedError(RuntimeError):
+    """All sketch copies were burned: the flip-number budget was exceeded.
+
+    Under the theorems' preconditions this happens only with probability
+    delta; in experiments it signals an undersized ``copies`` parameter.
+    """
+
+
+def restart_ring_size(eps: float, constant: float = 2.0) -> int:
+    """The Theorem 4.1 ring size Theta(eps^-1 log eps^-1).
+
+    Sized so the norm grows by ``(1+eps/2)^size >= 100/eps`` between
+    reuses of a slot, making the missed prefix an eps/100 fraction.
+    """
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0,1), got {eps}")
+    size = math.ceil(constant * math.log(100.0 / eps) / math.log1p(eps / 2))
+    return max(4, size)
+
+
+class SketchSwitchingEstimator(Sketch):
+    """Algorithm 1: adversarially robust g-estimation by sketch switching.
+
+    Parameters
+    ----------
+    factory:
+        Builds one independent static tracker per call (already sized for
+        the target (eps0, delta0) of Lemma 3.6).
+    copies:
+        Number of instances: the flip-number bound ``lambda_{eps/20,m}(g)``
+        in plain mode, or the restart ring size in restart mode.
+    eps:
+        The overall approximation parameter; switches trigger when the
+        published value leaves ``(1 ± eps/2)`` of the active estimate.
+    rng:
+        Seeds the independent copies.
+    restart:
+        Enable the Theorem 4.1 ring-restart optimization.
+    on_exhausted:
+        ``"raise"`` (default) raises :class:`SketchExhaustedError` when all
+        copies are burned in plain mode; ``"clamp"`` keeps the last copy
+        active (useful for measuring failure modes in experiments).
+    """
+
+    def __init__(
+        self,
+        factory: SketchFactory,
+        copies: int,
+        eps: float,
+        rng: np.random.Generator,
+        restart: bool = False,
+        on_exhausted: str = "raise",
+    ):
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        if on_exhausted not in ("raise", "clamp"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.eps = eps
+        self.restart = restart
+        self.on_exhausted = on_exhausted
+        self._rngs = spawn_rngs(rng, copies + 1)
+        self._fresh_rng = self._rngs[copies]
+        self._factory = factory
+        self._sketches = [factory(r) for r in self._rngs[:copies]]
+        self.supports_deletions = all(
+            s.supports_deletions for s in self._sketches
+        ) and not restart
+        self._rho = 0
+        self._published = 0.0
+        self.switches = 0
+
+    @property
+    def copies(self) -> int:
+        return len(self._sketches)
+
+    @property
+    def active_index(self) -> int:
+        return self._rho
+
+    def update(self, item: int, delta: int = 1) -> None:
+        for s in self._sketches:
+            s.update(item, delta)
+        active = self._sketches[self._rho % len(self._sketches)]
+        y = active.query()
+        if self._within_band(y):
+            return
+        # Publish the rounded fresh estimate from the (now burned) active
+        # copy, then advance.
+        self._published = round_to_power(y, self.eps / 2) if y != 0 else 0.0
+        self.switches += 1
+        self._advance()
+
+    def _within_band(self, y: float) -> bool:
+        """Is the published value inside (1 ± eps/2) of the active estimate?"""
+        lo, hi = sorted(((1 - self.eps / 2) * y, (1 + self.eps / 2) * y))
+        return lo <= self._published <= hi
+
+    def _advance(self) -> None:
+        if self.restart:
+            burned = self._rho % len(self._sketches)
+            self._sketches[burned] = self._factory(
+                np.random.default_rng(int(self._fresh_rng.integers(0, 2**62)))
+            )
+            self._rho += 1
+            return
+        if self._rho + 1 >= len(self._sketches):
+            if self.on_exhausted == "raise":
+                raise SketchExhaustedError(
+                    f"all {len(self._sketches)} copies burned after "
+                    f"{self.switches} switches; flip-number budget exceeded"
+                )
+            return  # clamp: keep using the last copy
+        self._rho += 1
+
+    def query(self) -> float:
+        return self._published
+
+    def space_bits(self) -> int:
+        return sum(s.space_bits() for s in self._sketches) + 128
+
+
+class AdditiveSwitchingEstimator(Sketch):
+    """Sketch switching for *additively* tracked functions (entropy).
+
+    Identical protocol with the multiplicative band replaced by
+    ``|published - estimate| <= eps/2`` and rounding to multiples of
+    ``eps/2``.  Used by the robust entropy algorithm, where the paper's
+    multiplicative machinery is applied to ``g = 2^H`` — additive eps on H
+    is exactly multiplicative ``2^(+-eps)`` on g, so the flip-number bound
+    of Proposition 7.2 carries over.
+    """
+
+    def __init__(
+        self,
+        factory: SketchFactory,
+        copies: int,
+        eps: float,
+        rng: np.random.Generator,
+        on_exhausted: str = "raise",
+    ):
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        if on_exhausted not in ("raise", "clamp"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.eps = eps
+        self.on_exhausted = on_exhausted
+        self._sketches = [factory(r) for r in spawn_rngs(rng, copies)]
+        self.supports_deletions = all(
+            s.supports_deletions for s in self._sketches
+        )
+        self._rho = 0
+        self._published = 0.0
+        self.switches = 0
+
+    @property
+    def copies(self) -> int:
+        return len(self._sketches)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        for s in self._sketches:
+            s.update(item, delta)
+        y = self._sketches[min(self._rho, len(self._sketches) - 1)].query()
+        if abs(self._published - y) <= self.eps / 2:
+            return
+        step = self.eps / 2
+        self._published = round(y / step) * step
+        self.switches += 1
+        if self._rho + 1 >= len(self._sketches):
+            if self.on_exhausted == "raise":
+                raise SketchExhaustedError(
+                    f"all {len(self._sketches)} copies burned after "
+                    f"{self.switches} switches"
+                )
+        else:
+            self._rho += 1
+
+    def query(self) -> float:
+        return self._published
+
+    def space_bits(self) -> int:
+        return sum(s.space_bits() for s in self._sketches) + 128

@@ -1,0 +1,86 @@
+"""Strong tracking wrappers (Definition 2.1).
+
+Both robustification frameworks consume *strong trackers*: static
+algorithms whose estimate is (1 ± eps)-correct at **every** step
+``t in [m]`` simultaneously, with probability 1 - delta.  The paper's
+instantiations ([6] for F0, [7] for Fp) are constant-factor-optimal
+constructions; as documented in DESIGN.md we realise the same contract
+generically:
+
+* :func:`union_bound_delta` — footnote 1's one-shot -> tracking reduction:
+  run the one-shot sketch at per-query failure ``delta / m`` and union
+  bound over the stream positions;
+* :class:`MedianTracker` — median amplification over independent copies,
+  driving a constant-failure sketch's error probability to
+  ``exp(-Omega(copies))``.
+
+The wrappers preserve linearity properties of the base sketch (a median of
+turnstile sketches supports deletions), which the turnstile theorems need.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.base import Sketch, SketchFactory, spawn_rngs
+
+
+def union_bound_delta(delta: float, m: int) -> float:
+    """Per-step failure probability for a whole-stream guarantee of delta."""
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    if m < 1:
+        raise ValueError(f"stream length must be >= 1, got {m}")
+    return delta / m
+
+
+def median_copies(delta: float, base_failure: float = 1.0 / 3.0,
+                  constant: float = 1.0) -> int:
+    """Copies needed so the median fails w.p. <= delta.
+
+    If each copy fails w.p. ``base_failure < 1/2``, the median of R copies
+    fails w.p. ``exp(-2 R (1/2 - base_failure)^2)`` (Hoeffding), so
+    ``R = O(log(1/delta))``.
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    if not 0 < base_failure < 0.5:
+        raise ValueError(f"base failure must be in (0, 1/2), got {base_failure}")
+    gap = 0.5 - base_failure
+    r = math.ceil(constant * math.log(1.0 / delta) / (2.0 * gap * gap))
+    r = max(1, r)
+    return r if r % 2 == 1 else r + 1
+
+
+class MedianTracker(Sketch):
+    """Median of independent copies of a base sketch.
+
+    Turns a constant-probability estimator into a ``1 - delta`` one with
+    ``O(log 1/delta)`` copies.  ``supports_deletions`` is inherited from
+    the copies (all copies are built by the same factory).
+    """
+
+    def __init__(self, factory: SketchFactory, copies: int,
+                 rng: np.random.Generator):
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        self._sketches = [factory(r) for r in spawn_rngs(rng, copies)]
+        self.supports_deletions = all(
+            s.supports_deletions for s in self._sketches
+        )
+
+    @property
+    def copies(self) -> int:
+        return len(self._sketches)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        for s in self._sketches:
+            s.update(item, delta)
+
+    def query(self) -> float:
+        return float(np.median([s.query() for s in self._sketches]))
+
+    def space_bits(self) -> int:
+        return sum(s.space_bits() for s in self._sketches)

@@ -1,0 +1,35 @@
+"""Experiment harness: runners, registry, CLI for regenerating the paper's
+evaluation (Table 1 rows + theorem-level experiments)."""
+
+from repro.experiments.config import FULL, QUICK, SCALES, Scale, get_scale
+from repro.experiments.records import ExperimentResult, space_kib
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    run,
+    run_all,
+)
+from repro.experiments.runner import (
+    RunStats,
+    run_additive,
+    run_relative,
+    sweep_contenders,
+)
+
+__all__ = [
+    "FULL",
+    "QUICK",
+    "SCALES",
+    "Scale",
+    "get_scale",
+    "ExperimentResult",
+    "space_kib",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run",
+    "run_all",
+    "RunStats",
+    "run_additive",
+    "run_relative",
+    "sweep_contenders",
+]

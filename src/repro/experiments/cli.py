@@ -1,0 +1,74 @@
+"""Command-line reproduction driver.
+
+Usage::
+
+    python -m repro list
+    python -m repro run T1.F0 [--scale quick|full] [--out DIR]
+    python -m repro run-all  [--scale quick|full] [--out DIR]
+
+``run-all --scale full`` regenerates every number in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.registry import list_experiments, run, run_all
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and theorem experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see `list`)")
+    run_p.add_argument("--scale", default="quick", choices=("quick", "full"))
+    run_p.add_argument("--out", default=None, help="directory for .txt output")
+
+    all_p = sub.add_parser("run-all", help="run every experiment")
+    all_p.add_argument("--scale", default="quick", choices=("quick", "full"))
+    all_p.add_argument("--out", default=None, help="directory for .txt output")
+    return parser
+
+
+def _write(result, out_dir: str | None) -> None:
+    text = result.render()
+    print(text)
+    if out_dir:
+        path = pathlib.Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        fname = result.experiment_id.replace(".", "_").lower() + ".txt"
+        (path / fname).write_text(text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid in list_experiments():
+            print(eid)
+        return 0
+    if args.command == "run":
+        start = time.perf_counter()
+        result = run(args.experiment, args.scale)
+        _write(result, args.out)
+        print(f"({time.perf_counter() - start:.1f}s)")
+        return 0
+    if args.command == "run-all":
+        start = time.perf_counter()
+        for result in run_all(args.scale):
+            _write(result, args.out)
+        print(f"total: {time.perf_counter() - start:.1f}s")
+        return 0
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

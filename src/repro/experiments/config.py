@@ -1,0 +1,38 @@
+"""Experiment scale presets.
+
+``QUICK`` finishes each experiment in seconds (CI / laptop smoke);
+``FULL`` is the EXPERIMENTS.md configuration.  Both keep the paper's
+parameter *relationships* (eps bands, flip budgets) and differ only in
+stream length / universe size / trial counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs every experiment reads."""
+
+    name: str
+    n: int            # universe size
+    m: int            # stream length
+    eps: float        # headline accuracy for multiplicative rows
+    trials: int       # repetition count for probabilistic claims
+    seed: int = 2020  # PODS 2020
+
+
+QUICK = Scale(name="quick", n=1 << 12, m=1500, eps=0.3, trials=3)
+FULL = Scale(name="full", n=1 << 14, m=5000, eps=0.25, trials=6)
+
+SCALES = {"quick": QUICK, "full": FULL}
+
+
+def get_scale(name: str) -> Scale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,62 @@
+"""Experiment result records and plain-text rendering.
+
+Every reproduction experiment returns an :class:`ExperimentResult`: an id
+(matching DESIGN.md's per-experiment index), a title, tabular rows, and
+free-form notes.  The renderer produces the fixed-width tables that
+EXPERIMENTS.md and the benchmark outputs embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure/theorem experiment."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: Machine-readable scalars for assertions (e.g. {"worst_err": 0.12}).
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Fixed-width text table with title and notes."""
+        cells = [[str(c) for c in self.columns]]
+        cells += [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.columns))
+        ]
+        lines = [f"[{self.experiment_id}] {self.title}", ""]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.extend(self.notes)
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def space_kib(bits: int | float) -> str:
+    """Render a bit count as KiB with one decimal."""
+    return f"{bits / 8 / 1024:.1f} KiB"

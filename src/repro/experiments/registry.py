@@ -1,0 +1,59 @@
+"""Experiment registry: every reproducible artifact, addressable by id.
+
+The ids match DESIGN.md's per-experiment index.  ``run(experiment_id)``
+executes one experiment at a given scale; ``run_all`` regenerates the
+whole evaluation (what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import table1, theorems
+from repro.experiments.config import Scale, get_scale
+from repro.experiments.records import ExperimentResult
+
+ExperimentFn = Callable[[Scale], ExperimentResult]
+
+EXPERIMENTS: dict[str, ExperimentFn] = {
+    "T1.F0": table1.t1_distinct,
+    "T1.Fp": table1.t1_fp,
+    "T1.FpHigh": table1.t1_fp_high,
+    "T1.HH": table1.t1_heavy_hitters,
+    "T1.H": table1.t1_entropy,
+    "T1.Turnstile": table1.t1_turnstile,
+    "T1.BD": table1.t1_bounded_deletion,
+    "E.AMS": theorems.e_ams_attack,
+    "E.AMS.robust": theorems.e_ams_survival,
+    "E.Fast": theorems.e_fast_update_time,
+    "E.Flip": theorems.e_flip_numbers,
+    "E.Crypto": theorems.e_crypto_space,
+    "E.Switch": theorems.e_framework_crossover,
+    "E.Switch.runoff": theorems.e_framework_runoff,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, in Table-then-theorem order."""
+    return list(EXPERIMENTS.keys())
+
+
+def run(experiment_id: str, scale: str | Scale = "quick") -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {list_experiments()}"
+        ) from None
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    return fn(scale)
+
+
+def run_all(scale: str | Scale = "quick") -> list[ExperimentResult]:
+    """Run every registered experiment."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    return [fn(scale) for fn in EXPERIMENTS.values()]

@@ -1,0 +1,109 @@
+"""Stream runners shared by every experiment.
+
+These feed a stream to an estimator while scoring every published output
+against the exact ground truth — the measurement protocol behind all the
+Table-1 rows.  Both multiplicative (Fp, F0, heavy hitters) and additive
+(entropy) judging are provided, plus a contender sweep helper.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.streams.frequency import FrequencyVector
+from repro.streams.model import Update
+
+TruthFn = Callable[[FrequencyVector], float]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Error/timing/space summary of one algorithm over one stream."""
+
+    worst_error: float
+    mean_error: float
+    seconds: float
+    space_bits: int
+    steps_judged: int
+
+
+def run_relative(
+    algo,
+    updates: Sequence[Update],
+    truth_fn: TruthFn,
+    skip: int = 100,
+    floor: float = 0.0,
+) -> RunStats:
+    """Relative-error scoring: err = |R_t - g| / |g| per step."""
+    truth = FrequencyVector()
+    worst = total = 0.0
+    judged = 0
+    start = time.perf_counter()
+    for t, u in enumerate(updates):
+        truth.update(u.item, u.delta)
+        out = algo.process_update(u.item, u.delta)
+        g = truth_fn(truth)
+        if t >= skip and abs(g) > floor:
+            err = abs(out - g) / abs(g)
+            worst = max(worst, err)
+            total += err
+            judged += 1
+    secs = time.perf_counter() - start
+    return RunStats(
+        worst_error=worst,
+        mean_error=total / judged if judged else 0.0,
+        seconds=secs,
+        space_bits=algo.space_bits(),
+        steps_judged=judged,
+    )
+
+
+def run_additive(
+    algo,
+    updates: Sequence[Update],
+    truth_fn: TruthFn,
+    skip: int = 100,
+) -> RunStats:
+    """Additive-error scoring: err = |R_t - g| per step (entropy)."""
+    truth = FrequencyVector()
+    worst = total = 0.0
+    judged = 0
+    start = time.perf_counter()
+    for t, u in enumerate(updates):
+        truth.update(u.item, u.delta)
+        out = algo.process_update(u.item, u.delta)
+        g = truth_fn(truth)
+        if t >= skip:
+            err = abs(out - g)
+            worst = max(worst, err)
+            total += err
+            judged += 1
+    secs = time.perf_counter() - start
+    return RunStats(
+        worst_error=worst,
+        mean_error=total / judged if judged else 0.0,
+        seconds=secs,
+        space_bits=algo.space_bits(),
+        steps_judged=judged,
+    )
+
+
+def sweep_contenders(
+    contenders: Sequence[tuple[str, object]],
+    updates: Sequence[Update],
+    truth_fn: TruthFn,
+    skip: int = 100,
+    floor: float = 0.0,
+    additive: bool = False,
+) -> dict[str, RunStats]:
+    """Run every (name, algorithm) pair over the same stream."""
+    runner = run_additive if additive else run_relative
+    out: dict[str, RunStats] = {}
+    for name, algo in contenders:
+        if additive:
+            out[name] = runner(algo, updates, truth_fn, skip=skip)
+        else:
+            out[name] = runner(algo, updates, truth_fn, skip=skip, floor=floor)
+    return out

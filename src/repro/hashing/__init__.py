@@ -1,0 +1,47 @@
+"""Hashing substrates: prime-field k-wise families, oracles, PRFs, PRPs.
+
+Everything a production sketch library would keep in its ``hash`` module:
+Carter–Wegman polynomial families over the Mersenne prime 2^61−1, batched
+multipoint evaluation (Proposition 5.3), a BLAKE2b random oracle, a keyed PRF
+and a Feistel pseudorandom permutation (the cryptographic substrate of
+Theorem 10.1).
+"""
+
+from repro.hashing.field import (
+    FIELD_BITS,
+    MERSENNE_P,
+    field_add,
+    field_inv,
+    field_mul,
+    field_pow,
+    mod_mersenne,
+    poly_eval,
+    poly_eval_many,
+)
+from repro.hashing.feistel import FeistelPermutation
+from repro.hashing.kwise import KWiseHash, KWiseSignHash, TabulationHash
+from repro.hashing.multipoint import BatchedHasher, multipoint_eval, poly_mod, poly_mul
+from repro.hashing.prf import PRF
+from repro.hashing.random_oracle import RandomOracle
+
+__all__ = [
+    "FIELD_BITS",
+    "MERSENNE_P",
+    "field_add",
+    "field_inv",
+    "field_mul",
+    "field_pow",
+    "mod_mersenne",
+    "poly_eval",
+    "poly_eval_many",
+    "FeistelPermutation",
+    "KWiseHash",
+    "KWiseSignHash",
+    "TabulationHash",
+    "BatchedHasher",
+    "multipoint_eval",
+    "poly_mod",
+    "poly_mul",
+    "PRF",
+    "RandomOracle",
+]

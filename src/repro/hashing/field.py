@@ -1,0 +1,97 @@
+"""Prime-field arithmetic over the Mersenne prime 2^61 - 1.
+
+All hash families in :mod:`repro.hashing` evaluate polynomials over a fixed
+prime field.  We use the Mersenne prime ``P = 2**61 - 1`` because reduction
+modulo a Mersenne prime needs only shifts and masks, which is the standard
+choice in production sketch implementations, and because it comfortably
+exceeds every universe size used in the experiments (``n <= 2**40``).
+
+Python integers are arbitrary precision, so the arithmetic here is exact.
+The functions are written so that a C port could use 128-bit intermediates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+#: The Mersenne prime 2^61 - 1 used as the field modulus everywhere.
+MERSENNE_P: int = (1 << 61) - 1
+
+#: Bit width of a field element.
+FIELD_BITS: int = 61
+
+
+def mod_mersenne(x: int) -> int:
+    """Reduce a non-negative integer modulo ``2**61 - 1``.
+
+    Uses the Mersenne identity ``2**61 === 1 (mod P)`` so the reduction is a
+    few shifts instead of a division.  Accepts any ``x < 2**122`` (the result
+    of multiplying two field elements).
+    """
+    x = (x & MERSENNE_P) + (x >> 61)
+    # One fold handles x < 2**122; a conditional subtraction finishes it.
+    x = (x & MERSENNE_P) + (x >> 61)
+    if x >= MERSENNE_P:
+        x -= MERSENNE_P
+    return x
+
+
+def field_add(a: int, b: int) -> int:
+    """Return ``(a + b) mod P``."""
+    s = a + b
+    if s >= MERSENNE_P:
+        s -= MERSENNE_P
+    return s
+
+
+def field_mul(a: int, b: int) -> int:
+    """Return ``(a * b) mod P``."""
+    return mod_mersenne(a * b)
+
+
+def field_pow(a: int, e: int) -> int:
+    """Return ``a**e mod P`` by square-and-multiply."""
+    return pow(a, e, MERSENNE_P)
+
+
+def field_inv(a: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo ``P``.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If ``a`` is zero modulo ``P``.
+    """
+    a %= MERSENNE_P
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(P)")
+    return pow(a, MERSENNE_P - 2, MERSENNE_P)
+
+
+def poly_eval(coefficients: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial at ``x`` over GF(P) using Horner's rule.
+
+    ``coefficients`` are given from the constant term upward, i.e.
+    ``coefficients[j]`` multiplies ``x**j``.
+    """
+    acc = 0
+    for c in reversed(coefficients):
+        acc = mod_mersenne(acc * x + c)
+    return acc
+
+
+def poly_eval_many(coefficients: Sequence[int], xs: Iterable[int]) -> list[int]:
+    """Evaluate one polynomial at many points (repeated Horner).
+
+    This is the baseline that :mod:`repro.hashing.multipoint` improves on for
+    large batches; for the small degrees used by the sketches it is already
+    the fastest option in CPython.
+    """
+    rev = list(reversed([c % MERSENNE_P for c in coefficients]))
+    out = []
+    for x in xs:
+        acc = 0
+        for c in rev:
+            acc = mod_mersenne(acc * x + c)
+        out.append(acc)
+    return out

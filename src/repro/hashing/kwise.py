@@ -1,0 +1,132 @@
+"""k-wise independent hash families (Carter--Wegman polynomials).
+
+A degree-``(k-1)`` polynomial with uniformly random coefficients over a prime
+field is a k-wise independent function from the field to itself.  All the
+sketches take their randomness from this family:
+
+* CountSketch / CountMin rows use pairwise (k=2) bucket hashes and 4-wise
+  sign hashes;
+* the classic AMS estimator uses 4-wise signs;
+* Algorithm 2 of the paper (fast distinct elements) uses a d-wise family with
+  ``d = Theta(log log n + log 1/delta)``.
+
+The family maps ``[n] -> [2**out_bits]`` by evaluating the polynomial over
+GF(2^61 - 1) and truncating to the requested number of output bits, the
+standard construction (the truncation preserves k-wise independence up to a
+negligible bias of ``2**out_bits / P``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.field import FIELD_BITS, MERSENNE_P, mod_mersenne
+
+
+class KWiseHash:
+    """A single function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    k:
+        Independence parameter; the polynomial has degree ``k - 1``.
+    rng:
+        Source of the random coefficients.
+    out_bits:
+        Output values are uniform in ``[0, 2**out_bits)``.  Must satisfy
+        ``out_bits <= 61``.
+    """
+
+    def __init__(self, k: int, rng: np.random.Generator, out_bits: int = FIELD_BITS):
+        if k < 1:
+            raise ValueError(f"independence k must be >= 1, got {k}")
+        if not 1 <= out_bits <= FIELD_BITS:
+            raise ValueError(f"out_bits must be in [1, {FIELD_BITS}], got {out_bits}")
+        self.k = k
+        self.out_bits = out_bits
+        # Draw coefficients uniformly from the field.  The leading coefficient
+        # is allowed to be zero; that only makes the family larger.
+        coeffs = rng.integers(0, MERSENNE_P, size=k, dtype=np.uint64)
+        self._coeffs: list[int] = [int(c) for c in coeffs]
+        self._shift = FIELD_BITS - out_bits
+
+    def __call__(self, x: int) -> int:
+        """Hash a single item."""
+        acc = 0
+        for c in reversed(self._coeffs):
+            acc = mod_mersenne(acc * x + c)
+        return acc >> self._shift
+
+    def hash_many(self, xs: np.ndarray) -> np.ndarray:
+        """Hash a vector of items, returning ``uint64`` outputs.
+
+        Evaluation is vectorised with numpy ``object`` intermediates only when
+        the degree is large; for the common small degrees we loop in Python,
+        which profiles faster than object arrays for the batch sizes used in
+        the experiments.
+        """
+        out = np.empty(len(xs), dtype=np.uint64)
+        coeffs = list(reversed(self._coeffs))
+        shift = self._shift
+        for i, x in enumerate(xs):
+            acc = 0
+            xi = int(x)
+            for c in coeffs:
+                acc = mod_mersenne(acc * xi + c)
+            out[i] = acc >> shift
+        return out
+
+    def space_bits(self) -> int:
+        """Bits needed to store this function (k field elements)."""
+        return self.k * FIELD_BITS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KWiseHash(k={self.k}, out_bits={self.out_bits})"
+
+
+class KWiseSignHash:
+    """k-wise independent hash into {-1, +1}.
+
+    Uses the low bit of a :class:`KWiseHash`.  CountSketch and AMS use
+    ``k = 4``; 4-wise independence is exactly what the classical variance
+    analysis of both estimators requires.
+    """
+
+    def __init__(self, k: int, rng: np.random.Generator):
+        self._h = KWiseHash(k, rng, out_bits=FIELD_BITS)
+
+    def __call__(self, x: int) -> int:
+        return 1 if (self._h(x) & 1) else -1
+
+    def space_bits(self) -> int:
+        return self._h.space_bits()
+
+
+class TabulationHash:
+    """Simple tabulation hashing: 3-independent but Chernoff-like in practice.
+
+    Included as a faster substrate alternative for the level-list structure;
+    splits a 32-bit key into 4 bytes and XORs random 64-bit table entries.
+    """
+
+    CHUNKS = 4
+    CHUNK_BITS = 8
+
+    def __init__(self, rng: np.random.Generator, out_bits: int = 64):
+        if not 1 <= out_bits <= 64:
+            raise ValueError(f"out_bits must be in [1, 64], got {out_bits}")
+        self.out_bits = out_bits
+        self._tables = rng.integers(
+            0, 2**63, size=(self.CHUNKS, 2**self.CHUNK_BITS), dtype=np.uint64
+        ) * np.uint64(2) + rng.integers(0, 2, size=(self.CHUNKS, 2**self.CHUNK_BITS),
+                                        dtype=np.uint64)
+        self._shift = 64 - out_bits
+
+    def __call__(self, x: int) -> int:
+        h = 0
+        for c in range(self.CHUNKS):
+            h ^= int(self._tables[c][(x >> (c * self.CHUNK_BITS)) & 0xFF])
+        return h >> self._shift
+
+    def space_bits(self) -> int:
+        return self.CHUNKS * (2**self.CHUNK_BITS) * 64

@@ -1,0 +1,150 @@
+"""Batch polynomial evaluation over GF(2^61 - 1).
+
+Proposition 5.3 of the paper (von zur Gathen & Gerhard, ch. 10) states that a
+degree-``d`` polynomial can be evaluated at ``d`` points in
+``O(d log^2 d log log d)`` ring operations.  The paper uses this to batch the
+d-wise-independent hash evaluations of Algorithm 2 so that the *amortised*
+update cost is polylog-log.
+
+We implement the classical product-tree / remainder-tree algorithm behind
+that bound: build the subproduct tree of ``prod (x - x_i)``, reduce the
+polynomial down the tree, and read the evaluations off the leaves.  The inner
+polynomial multiplication is schoolbook (quasi-linear multiplication does not
+pay off at the batch sizes the sketches use), so the asymptotics here are
+``O(d^2)`` ring ops worst case — but the *interface* (batched evaluation that
+amortises hashing over the next ``d`` updates) is exactly the one Algorithm 2
+needs, and :class:`BatchedHasher` below provides it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hashing.field import MERSENNE_P, mod_mersenne
+
+Poly = list[int]  # coefficients, constant term first
+
+
+def poly_mul(a: Poly, b: Poly) -> Poly:
+    """Multiply two polynomials over GF(P) (schoolbook)."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % MERSENNE_P
+    return out
+
+
+def poly_mod(a: Poly, m: Poly) -> Poly:
+    """Return ``a mod m`` over GF(P).  ``m`` must be monic."""
+    if len(m) == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    if m[-1] != 1:
+        raise ValueError("modulus must be monic")
+    r = [c % MERSENNE_P for c in a]
+    dm = len(m) - 1
+    while len(r) - 1 >= dm and len(r) > 0:
+        lead = r[-1]
+        if lead:
+            off = len(r) - 1 - dm
+            for j in range(dm):
+                r[off + j] = (r[off + j] - lead * m[j]) % MERSENNE_P
+        r.pop()
+    while r and r[-1] == 0:
+        r.pop()
+    return r
+
+
+def _build_tree(points: Sequence[int]) -> list[list[Poly]]:
+    """Subproduct tree: level 0 holds the monic linear factors (x - x_i)."""
+    level: list[Poly] = [[(-x) % MERSENNE_P, 1] for x in points]
+    tree = [level]
+    while len(level) > 1:
+        nxt: list[Poly] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(poly_mul(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        tree.append(nxt)
+        level = nxt
+    return tree
+
+
+def multipoint_eval(coefficients: Sequence[int], points: Sequence[int]) -> list[int]:
+    """Evaluate a polynomial at all ``points`` via a remainder tree.
+
+    Equivalent to ``[poly_eval(coefficients, x) for x in points]`` but
+    organised as the divide-and-conquer of Proposition 5.3.
+    """
+    pts = list(points)
+    if not pts:
+        return []
+    poly = [c % MERSENNE_P for c in coefficients]
+    tree = _build_tree(pts)
+
+    def descend(level: int, index: int, residue: Poly) -> list[int]:
+        node = tree[level][index]
+        residue = poly_mod(residue, node)
+        if level == 0:
+            return [residue[0] if residue else 0]
+        left = 2 * index
+        right = 2 * index + 1
+        out = descend(level - 1, left, residue)
+        if right < len(tree[level - 1]):
+            out += descend(level - 1, right, residue)
+        return out
+
+    top = len(tree) - 1
+    # The top level may hold a stray unpaired node; descend handles ragged
+    # trees because _build_tree carries odd nodes upward unchanged.
+    return descend(top, 0, poly)
+
+
+class BatchedHasher:
+    """Amortised d-wise hash evaluation as used by Algorithm 2.
+
+    The fast distinct-elements sketch needs one d-wise-independent hash value
+    per update, but evaluating a degree-d polynomial per update costs ``O(d)``
+    ring operations.  The paper's fix (proof of Lemma 5.2) is to buffer ``d``
+    consecutive updates, evaluate all of them with one batched multipoint
+    evaluation, and spread the work over the following ``d`` steps.
+
+    This class reproduces that schedule: :meth:`push` enqueues an item and
+    returns the hash values that became available (possibly none — the caller
+    is expected to tolerate a delay of at most ``d`` items, which Lemma 5.2
+    accounts for with the additive-``d``-error argument).
+    """
+
+    def __init__(self, coefficients: Sequence[int], batch_size: int):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._coeffs = [c % MERSENNE_P for c in coefficients]
+        self._batch = batch_size
+        self._pending: list[int] = []
+
+    def push(self, item: int) -> list[tuple[int, int]]:
+        """Queue ``item``; return ``(item, hash)`` pairs that are now ready."""
+        self._pending.append(item)
+        if len(self._pending) < self._batch:
+            return []
+        ready = self._pending
+        self._pending = []
+        values = multipoint_eval(self._coeffs, ready)
+        return list(zip(ready, values))
+
+    def flush(self) -> list[tuple[int, int]]:
+        """Evaluate and return everything still queued (end of stream)."""
+        if not self._pending:
+            return []
+        ready = self._pending
+        self._pending = []
+        values = multipoint_eval(self._coeffs, ready)
+        return list(zip(ready, values))
+
+    @property
+    def pending_count(self) -> int:
+        """Number of items whose hashes have not been computed yet."""
+        return len(self._pending)

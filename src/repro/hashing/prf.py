@@ -1,0 +1,66 @@
+"""Pseudorandom function with a short stored key.
+
+Theorem 10.1's second part replaces the random oracle with an
+exponentially-secure PRF whose key (``O(c log n)`` bits) *is* charged to the
+algorithm's space.  The paper suggests AES or SHA-256 in practice; offline we
+use keyed BLAKE2b, which has the same interface and the same heuristic
+security properties.  Against the simulated polynomial-time adversaries in
+this repository the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class PRF:
+    """Keyed pseudorandom function ``[2^64] x labels -> [2^64]``.
+
+    Parameters
+    ----------
+    key:
+        The secret key; its byte length times 8 is the space charged by
+        :meth:`space_bits`.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) < 8:
+            raise ValueError("PRF key must be at least 64 bits")
+        self._key = key
+
+    @classmethod
+    def from_seed(cls, rng: np.random.Generator, key_bits: int = 128) -> "PRF":
+        """Draw a fresh uniformly random key of ``key_bits`` bits."""
+        nbytes = (key_bits + 7) // 8
+        return cls(rng.bytes(nbytes))
+
+    def evaluate(self, x: int, tweak: bytes = b"") -> int:
+        """Return the 64-bit PRF output on input ``x`` (with optional tweak)."""
+        msg = x.to_bytes(16, "little", signed=True) + tweak
+        h = hashlib.blake2b(msg, key=self._key, digest_size=8)
+        return int.from_bytes(h.digest(), "little")
+
+    def evaluate_mod(self, x: int, modulus: int, tweak: bytes = b"") -> int:
+        """PRF output reduced to ``[0, modulus)`` with rejection sampling."""
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        bound = (1 << 64) - ((1 << 64) % modulus)
+        attempt = 0
+        while True:
+            msg = (
+                x.to_bytes(16, "little", signed=True)
+                + tweak
+                + attempt.to_bytes(4, "little")
+            )
+            word = int.from_bytes(
+                hashlib.blake2b(msg, key=self._key, digest_size=8).digest(), "little"
+            )
+            if word < bound:
+                return word % modulus
+            attempt += 1
+
+    def space_bits(self) -> int:
+        """The stored key length in bits (this is the PRF's entire state)."""
+        return len(self._key) * 8

@@ -1,0 +1,70 @@
+"""Random oracle built on BLAKE2b.
+
+The paper's random-oracle model gives the algorithm read access to an
+arbitrarily long random string that is not charged to its space bound
+(Section 2; used by Theorems 1.3/10.1 and the [23] entropy estimator).  We
+realise the oracle with a keyed BLAKE2b hash: the oracle's "random string" is
+indexed by arbitrary byte strings, and each query returns uniform bits that
+are a deterministic function of (key, query), so repeated queries agree —
+exactly the read-only-random-tape semantics the model requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class RandomOracle:
+    """Deterministic stateless oracle: query -> uniform 64-bit integers.
+
+    Parameters
+    ----------
+    seed:
+        Identifies which oracle (random tape) we are reading.  Two oracles
+        with the same seed answer identically.
+    """
+
+    def __init__(self, seed: int):
+        self._key = int(seed).to_bytes(16, "little", signed=False)
+
+    def query_bytes(self, label: bytes, nbytes: int = 8) -> bytes:
+        """Return ``nbytes`` oracle bytes for ``label`` (counter-mode expand)."""
+        out = bytearray()
+        counter = 0
+        while len(out) < nbytes:
+            h = hashlib.blake2b(
+                label + counter.to_bytes(4, "little"), key=self._key, digest_size=32
+            )
+            out.extend(h.digest())
+            counter += 1
+        return bytes(out[:nbytes])
+
+    def query_int(self, x: int, domain: int | None = None) -> int:
+        """Oracle value for integer ``x``: uniform in [0, 2^64) or [0, domain).
+
+        Rejection sampling makes the bounded variant exactly uniform.
+        """
+        label = x.to_bytes(16, "little", signed=True)
+        if domain is None:
+            return int.from_bytes(self.query_bytes(label, 8), "little")
+        if domain <= 0:
+            raise ValueError(f"domain must be positive, got {domain}")
+        # Rejection-sample 64-bit words until one lands in the largest
+        # multiple of `domain`; each attempt uses an independent oracle index.
+        bound = (1 << 64) - ((1 << 64) % domain)
+        attempt = 0
+        while True:
+            word = int.from_bytes(
+                self.query_bytes(label + attempt.to_bytes(4, "little"), 8), "little"
+            )
+            if word < bound:
+                return word % domain
+            attempt += 1
+
+    def query_unit(self, x: int) -> float:
+        """Oracle value for ``x`` mapped into [0, 1) with 53-bit precision."""
+        return (self.query_int(x) >> 11) / float(1 << 53)
+
+    def space_bits(self) -> int:
+        """Oracle storage charged to the algorithm (none, by definition)."""
+        return 0

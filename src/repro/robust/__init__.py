@@ -1,0 +1,33 @@
+"""The paper's robust algorithms, one class per theorem."""
+
+from repro.robust.bounded_deletion import RobustBoundedDeletionFp
+from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.distinct import (
+    FastRobustDistinctElements,
+    RobustDistinctElements,
+    paper_space_bound_theorem_51,
+    paper_space_bound_theorem_54,
+)
+from repro.robust.entropy import RobustEntropy
+from repro.robust.heavy_hitters import RobustHeavyHitters
+from repro.robust.moments import (
+    RobustFpHigh,
+    RobustFpPaths,
+    RobustFpSwitching,
+    RobustTurnstileFp,
+)
+
+__all__ = [
+    "RobustBoundedDeletionFp",
+    "CryptoRobustDistinctElements",
+    "FastRobustDistinctElements",
+    "RobustDistinctElements",
+    "paper_space_bound_theorem_51",
+    "paper_space_bound_theorem_54",
+    "RobustEntropy",
+    "RobustHeavyHitters",
+    "RobustFpHigh",
+    "RobustFpPaths",
+    "RobustFpSwitching",
+    "RobustTurnstileFp",
+]

@@ -1,0 +1,91 @@
+"""Adversarially robust Fp for alpha-bounded-deletion streams (Thm 8.3).
+
+Bounded-deletion streams (Definition 8.1) are the paper's Section 8
+middle ground between insertion-only and turnstile: deletions are allowed
+but the stream retains at least a 1/alpha fraction of the Fp mass it
+inserts.  Lemma 8.2 shows such streams have flip number
+``O(p alpha eps^-p log n)`` — each (1 ± eps) move of ``|f|_p`` forces the
+insertion-only companion mass ``|h|_p^p`` to grow by ``(1 + eps^p/alpha)``
+— and Theorem 8.3 plugs that bound into the computation-paths framework
+over the turnstile p-stable sketch of [27].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.computation_paths import (
+    ComputationPathsEstimator,
+    required_log2_delta0,
+)
+from repro.core.flip_number import bounded_deletion_flip_number_bound
+from repro.core.tracking import MedianTracker, median_copies
+from repro.sketches.base import Sketch
+from repro.sketches.stable import PStableSketch
+
+
+class RobustBoundedDeletionFp(Sketch):
+    """Theorem 8.3: robust (1 ± eps) Fp tracking under alpha-bounded deletion.
+
+    ``query`` returns the moment ``F_p = |f|_p^p`` (the theorem's
+    statement); pass ``track='norm'`` for the norm instead.
+    """
+
+    supports_deletions = True
+
+    def __init__(
+        self,
+        p: float,
+        n: int,
+        m: int,
+        eps: float,
+        alpha: float,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+        track: str = "moment",
+        delta0_log2_cap: float = 25.0,
+        stable_constant: float = 6.0,
+        M: int = 1 << 20,
+    ):
+        if not 1 <= p <= 2:
+            raise ValueError(f"Theorem 8.3 covers p in [1, 2], got {p}")
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        if track not in ("norm", "moment"):
+            raise ValueError(f"track must be 'norm' or 'moment', got {track!r}")
+        self.p = p
+        self.alpha = alpha
+        self.eps = eps
+        moment = track == "moment"
+        #: Lemma 8.2's flip-number bound for this (p, alpha, eps).
+        self.flip_bound = bounded_deletion_flip_number_bound(eps / 2, n, p, alpha, M)
+        self.paper_log2_delta0 = required_log2_delta0(
+            delta, m, self.flip_bound, eps, value_range=float(M) ** p * n
+        )
+        practical_log2 = min(-self.paper_log2_delta0, delta0_log2_cap)
+        delta0 = 2.0 ** (-practical_log2)
+        # Moment tracking: a norm error r is ~ p*r on the moment.
+        inner_eps = eps / 4 / (max(p, 1.0) if moment else 1.0)
+
+        def factory(child: np.random.Generator) -> PStableSketch:
+            return PStableSketch.for_accuracy(
+                p, inner_eps, 0.25, child,
+                constant=stable_constant, return_moment=moment,
+            )
+
+        copies = median_copies(delta0, base_failure=0.25, constant=0.25)
+        inner = MedianTracker(factory, copies=copies, rng=rng)
+        self._paths = ComputationPathsEstimator(inner, eps=eps / 2)
+
+    @property
+    def changes(self) -> int:
+        return self._paths.changes
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._paths.update(item, delta)
+
+    def query(self) -> float:
+        return self._paths.query()
+
+    def space_bits(self) -> int:
+        return self._paths.space_bits()

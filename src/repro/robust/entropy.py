@@ -1,0 +1,88 @@
+"""Adversarially robust Shannon entropy estimation (Theorem 7.3).
+
+Sketch switching applied to ``g = 2^H``: an additive-eps guarantee on H is
+a multiplicative ``2^(±eps)`` guarantee on g, so the Algorithm 1 machinery
+applies with the flip-number bound of Proposition 7.2 (``O~(eps^-3 log^3)``
+— each (1 ± eps) change of ``2^H`` forces the stream's L1 mass to grow by
+a (1 + Theta~(eps^2/log^2 n)) factor).
+
+We run the switching protocol *additively on H directly*
+(:class:`~repro.core.sketch_switching.AdditiveSwitchingEstimator`), which
+is the same discipline expressed in the exponent.  The base static
+estimator is the Clifford–Cosma skewed-stable sketch; with a random oracle
+this is the ``O~(eps^-2)`` estimator of [23]/[11] the theorem consumes.
+
+The paper-faithful copy count (``paper_copies``) is astronomically
+conservative for laptop streams; the default budget covers the measured
+flip counts of the experiment workloads and the estimator exposes both
+numbers.  ``on_exhausted="clamp"`` is the documented degradation mode if a
+stream out-flips the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flip_number import entropy_flip_number_bound
+from repro.core.sketch_switching import AdditiveSwitchingEstimator
+from repro.sketches.base import Sketch
+from repro.sketches.entropy import CliffordCosmaSketch
+
+
+class RobustEntropy(Sketch):
+    """Theorem 7.3: robust additive-eps entropy tracking (bits by default)."""
+
+    supports_deletions = False
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        eps: float,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+        copies: int | None = None,
+        base: float = 2.0,
+        cc_constant: float = 4.0,
+        on_exhausted: str = "clamp",
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        self.n = n
+        self.m = m
+        self.eps = eps
+        #: Proposition 7.2's bound — what Lemma 3.6 would provision.
+        self.paper_copies = entropy_flip_number_bound(eps, n, m)
+        if copies is None:
+            # H moves within [0, log2 n]; additive eps/2 steps, doubled for
+            # non-monotone oscillation, is the practical budget.
+            import math
+
+            copies = max(8, int(4 * math.log2(max(n, 2)) / eps))
+        delta0 = delta / max(copies, 1)
+
+        def factory(child: np.random.Generator) -> CliffordCosmaSketch:
+            return CliffordCosmaSketch.for_accuracy(
+                eps / 4, delta0, child, constant=cc_constant, base=base
+            )
+
+        self._switcher = AdditiveSwitchingEstimator(
+            factory, copies=copies, eps=eps, rng=rng, on_exhausted=on_exhausted
+        )
+
+    @property
+    def switches(self) -> int:
+        return self._switcher.switches
+
+    @property
+    def copies(self) -> int:
+        return self._switcher.copies
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._switcher.update(item, delta)
+
+    def query(self) -> float:
+        return self._switcher.query()
+
+    def space_bits(self) -> int:
+        return self._switcher.space_bits()

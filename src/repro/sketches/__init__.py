@@ -1,0 +1,91 @@
+"""Static sketches: the non-robust algorithms the paper robustifies.
+
+Exact deterministic baselines, the AMS/CountSketch/CountMin/Misra–Gries
+frequency sketches, KMV / fast-level-list / HyperLogLog distinct-elements
+estimators, p-stable Fp sketches, the p>2 level-set estimator, and the two
+entropy sketches.
+"""
+
+from repro.sketches.ams import AMSFullSketch, AMSSketch
+from repro.sketches.base import PointQuerySketch, Sketch, SketchFactory, spawn_rngs
+from repro.sketches.cascaded import (
+    CascadedNormSketch,
+    ExactCascadedNorm,
+    RobustCascadedNorm,
+    flatten_index,
+    unflatten_index,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.entropy import (
+    CliffordCosmaSketch,
+    RenyiEntropyEstimator,
+    sample_skewed_stable,
+)
+from repro.sketches.exact import (
+    ExactDistinctCounter,
+    ExactEntropyCounter,
+    ExactHeavyHitters,
+    ExactMomentCounter,
+    deterministic_f0_lower_bound_bits,
+    deterministic_l2hh_lower_bound_bits,
+)
+from repro.sketches.f1 import F1Counter
+from repro.sketches.fast_f0 import FastF0Sketch
+from repro.sketches.fp_high import HighMomentSketch
+from repro.sketches.hll import HyperLogLog
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.misra_gries import MisraGries
+from repro.sketches.sampling import (
+    AdaptiveFractionOracle,
+    BernoulliSampler,
+    ReservoirSampler,
+    adaptive_oversampling_factor,
+    adaptive_sample_size,
+    static_sample_size,
+)
+from repro.sketches.stable import (
+    PStableSketch,
+    sample_symmetric_stable,
+    stable_median_abs,
+)
+
+__all__ = [
+    "AMSFullSketch",
+    "AMSSketch",
+    "PointQuerySketch",
+    "Sketch",
+    "SketchFactory",
+    "spawn_rngs",
+    "CascadedNormSketch",
+    "ExactCascadedNorm",
+    "RobustCascadedNorm",
+    "flatten_index",
+    "unflatten_index",
+    "AdaptiveFractionOracle",
+    "BernoulliSampler",
+    "ReservoirSampler",
+    "adaptive_oversampling_factor",
+    "adaptive_sample_size",
+    "static_sample_size",
+    "CountMinSketch",
+    "CountSketch",
+    "CliffordCosmaSketch",
+    "RenyiEntropyEstimator",
+    "sample_skewed_stable",
+    "ExactDistinctCounter",
+    "ExactEntropyCounter",
+    "ExactHeavyHitters",
+    "ExactMomentCounter",
+    "deterministic_f0_lower_bound_bits",
+    "deterministic_l2hh_lower_bound_bits",
+    "F1Counter",
+    "FastF0Sketch",
+    "HighMomentSketch",
+    "HyperLogLog",
+    "KMVSketch",
+    "MisraGries",
+    "PStableSketch",
+    "sample_symmetric_stable",
+    "stable_median_abs",
+]

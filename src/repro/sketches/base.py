@@ -1,0 +1,84 @@
+"""Common sketch interfaces.
+
+Every estimator in the repository — static sketch, deterministic baseline,
+or robust wrapper — satisfies the same small contract so the adversarial
+game, the tracking wrappers, and the benchmark harness can treat them
+uniformly:
+
+* ``update(item, delta)`` — process one stream update;
+* ``query()`` — current response to the fixed query Q (tracking semantics:
+  callable after every update);
+* ``space_bits()`` — explicit accounting of the bits a C implementation of
+  the same state would store;
+* ``process_update(item, delta)`` — convenience combining the two, matching
+  the round structure of the adversarial game (the algorithm outputs its
+  response R_t after every update).
+
+Factories: the robustification wrappers of Section 3 need many independent
+copies of a static sketch.  A ``SketchFactory`` is any callable taking a
+``numpy.random.Generator`` and returning a fresh sketch; helper
+:func:`spawn_rngs` derives independent child generators.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+
+import numpy as np
+
+#: A callable producing a fresh, independently seeded sketch.
+SketchFactory = Callable[[np.random.Generator], "Sketch"]
+
+
+class Sketch(abc.ABC):
+    """Abstract streaming estimator with tracking semantics."""
+
+    #: Whether the sketch tolerates negative deltas (turnstile updates).
+    supports_deletions: bool = False
+
+    @abc.abstractmethod
+    def update(self, item: int, delta: int = 1) -> None:
+        """Process one stream update."""
+
+    @abc.abstractmethod
+    def query(self) -> float:
+        """Current response to the query (may be called after every update)."""
+
+    @abc.abstractmethod
+    def space_bits(self) -> int:
+        """Bits of state a native implementation of this sketch would store."""
+
+    def process_update(self, item: int, delta: int = 1) -> float:
+        """One adversarial-game round: ingest the update, publish R_t."""
+        if delta < 0 and not self.supports_deletions:
+            raise ValueError(
+                f"{type(self).__name__} is insertion-only but got delta={delta}"
+            )
+        self.update(item, delta)
+        return self.query()
+
+
+class PointQuerySketch(Sketch):
+    """Sketches that additionally answer per-coordinate frequency queries."""
+
+    @abc.abstractmethod
+    def point_query(self, item: int) -> float:
+        """Estimate of ``f_item``."""
+
+    def estimate_vector(self, items) -> dict[int, float]:
+        """Point-query a batch of items."""
+        return {i: self.point_query(i) for i in items}
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses ``SeedSequence.spawn`` so copies made by the robust wrappers share
+    no randomness — the independence assumption of Lemmas 3.6 and 3.8.
+    """
+    seed_seq = rng.bit_generator.seed_seq
+    if seed_seq is None:  # generator built without a SeedSequence
+        seeds = rng.integers(0, 2**63, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(child) for child in seed_seq.spawn(count)]

@@ -1,0 +1,72 @@
+"""CountMin sketch — an extra point-query baseline.
+
+Not used by the paper's theorems (CountSketch is), but included because its
+one-sided error makes it the cleanest *attackable* point-query sketch: the
+adaptive collision attack in :mod:`repro.adversary.attacks` inflates a
+victim's CountMin estimate without bound, a second concrete instance — in
+the spirit of Section 9 — of a classic static sketch failing adaptively.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash
+from repro.sketches.base import PointQuerySketch, spawn_rngs
+
+
+class CountMinSketch(PointQuerySketch):
+    """CountMin with ``rows`` pairwise bucket hashes over ``width`` counters.
+
+    Point query = min over rows (never an underestimate for insertion-only
+    streams); overestimate is at most ``eps * |f|_1`` with probability
+    ``1 - delta`` for ``width = e/eps`` and ``rows = ln(1/delta)``.
+    """
+
+    supports_deletions = False
+
+    def __init__(self, width: int, rows: int, rng: np.random.Generator):
+        if width < 1 or rows < 1:
+            raise ValueError("width and rows must both be >= 1")
+        self.width = width
+        self.rows = rows
+        self._hashes = [KWiseHash(2, r, out_bits=61) for r in spawn_rngs(rng, rows)]
+        self._table = np.zeros((rows, width), dtype=np.int64)
+        self._f1 = 0
+
+    @classmethod
+    def for_accuracy(
+        cls, eps: float, delta: float, rng: np.random.Generator
+    ) -> "CountMinSketch":
+        """Standard (eps, delta) sizing: width e/eps, rows ln(1/delta)."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        width = max(2, math.ceil(math.e / eps))
+        rows = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width, rows, rng)
+
+    def _bucket(self, r: int, item: int) -> int:
+        return self._hashes[r](item) % self.width
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("CountMin requires non-negative updates")
+        for r in range(self.rows):
+            self._table[r, self._bucket(r, item)] += delta
+        self._f1 += delta
+
+    def point_query(self, item: int) -> float:
+        return float(
+            min(self._table[r, self._bucket(r, item)] for r in range(self.rows))
+        )
+
+    def query(self) -> float:
+        """Returns F1 (exact) — CountMin's 'global' query surface."""
+        return float(self._f1)
+
+    def space_bits(self) -> int:
+        return self.rows * self.width * 64 + sum(
+            h.space_bits() for h in self._hashes
+        )

@@ -1,0 +1,134 @@
+"""CountSketch [10] — static L2 point queries and heavy hitters (Lemma 6.4).
+
+``rows`` independent (bucket, sign) hash pairs over a table of ``width``
+counters per row.  The point query for item i is the median over rows of
+``sign_r(i) * C[r, bucket_r(i)]``; with ``width = Theta(1/eps^2)`` and
+``rows = Theta(log(n/delta))`` every coordinate is recovered to within
+``eps * |f|_2`` with probability 1 - delta — the (eps, delta) point query
+problem of Definition 6.2, which is how Theorem 6.5 consumes it.
+
+The sketch also tracks a candidate heap of items seen in the stream so it
+can propose heavy hitters without an external candidate list.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash, KWiseSignHash
+from repro.sketches.base import PointQuerySketch, spawn_rngs
+
+
+class CountSketch(PointQuerySketch):
+    """CountSketch table with median-of-rows point queries."""
+
+    supports_deletions = True
+
+    def __init__(
+        self,
+        width: int,
+        rows: int,
+        rng: np.random.Generator,
+        track_candidates: int = 64,
+        cache_items: bool = True,
+    ):
+        if width < 1 or rows < 1:
+            raise ValueError("width and rows must both be >= 1")
+        self.width = width
+        self.rows = rows
+        child = spawn_rngs(rng, 2 * rows)
+        self._buckets = [KWiseHash(2, child[2 * r], out_bits=61) for r in range(rows)]
+        self._signs = [KWiseSignHash(4, child[2 * r + 1]) for r in range(rows)]
+        self._table = np.zeros((rows, width), dtype=np.float64)
+        self._track_candidates = track_candidates
+        self._candidates: dict[int, None] = {}
+        self._row_idx = np.arange(rows)
+        # Simulation-only memo of per-item (bucket, sign) vectors; a native
+        # implementation recomputes them, so space_bits does not charge it.
+        self._item_cache: dict[int, tuple[np.ndarray, np.ndarray]] | None = (
+            {} if cache_items else None
+        )
+
+    @classmethod
+    def for_accuracy(
+        cls, eps: float, delta: float, n: int, rng: np.random.Generator,
+        width_constant: float = 3.0, rows_constant: float = 2.0,
+    ) -> "CountSketch":
+        """Size for the (eps, delta) point query problem over universe [n].
+
+        ``width = width_constant / eps^2``, ``rows = rows_constant *
+        log2(n/delta)`` — the Lemma 6.4 parameterization
+        ``O(eps^-2 log n log(n/delta))`` bits.
+        """
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        width = max(2, math.ceil(width_constant / eps**2))
+        rows = max(1, math.ceil(rows_constant * math.log2(max(2.0, n / delta))))
+        if rows % 2 == 0:
+            rows += 1
+        return cls(width, rows, rng)
+
+    def _bucket(self, r: int, item: int) -> int:
+        return self._buckets[r](item) % self.width
+
+    def _vectors(self, item: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-item bucket and sign vectors across all rows (memoised)."""
+        if self._item_cache is not None:
+            cached = self._item_cache.get(item)
+            if cached is not None:
+                return cached
+        buckets = np.array(
+            [self._bucket(r, item) for r in range(self.rows)], dtype=np.intp
+        )
+        signs = np.array(
+            [self._signs[r](item) for r in range(self.rows)], dtype=np.float64
+        )
+        if self._item_cache is not None:
+            self._item_cache[item] = (buckets, signs)
+        return buckets, signs
+
+    def update(self, item: int, delta: int = 1) -> None:
+        buckets, signs = self._vectors(item)
+        self._table[self._row_idx, buckets] += signs * float(delta)
+        if self._track_candidates:
+            self._candidates[item] = None
+            if len(self._candidates) > 4 * self._track_candidates:
+                self._prune_candidates()
+
+    def _prune_candidates(self) -> None:
+        scored = sorted(
+            self._candidates, key=lambda i: abs(self.point_query(i)), reverse=True
+        )
+        self._candidates = {i: None for i in scored[: self._track_candidates]}
+
+    def point_query(self, item: int) -> float:
+        buckets, signs = self._vectors(item)
+        return float(np.median(signs * self._table[self._row_idx, buckets]))
+
+    def f2_estimate(self) -> float:
+        """Median over rows of the row's squared mass — an AMS-style F2.
+
+        Each CountSketch row is itself an AMS row partitioned into buckets,
+        so ``sum_b C[r,b]^2`` estimates F2; the median over rows
+        concentrates.  Used by the heavy-hitter threshold logic.
+        """
+        row_mass = (self._table * self._table).sum(axis=1)
+        return float(np.median(row_mass))
+
+    def heavy_hitters(self, threshold: float) -> set[int]:
+        """Tracked candidates whose point estimate clears ``threshold``."""
+        self._prune_candidates()
+        return {i for i in self._candidates if abs(self.point_query(i)) >= threshold}
+
+    def query(self) -> float:
+        return self.f2_estimate()
+
+    def space_bits(self) -> int:
+        table = self.rows * self.width * 64
+        hashes = sum(h.space_bits() for h in self._buckets) + sum(
+            s.space_bits() for s in self._signs
+        )
+        candidates = self._track_candidates * 64
+        return table + hashes + candidates

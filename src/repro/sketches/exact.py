@@ -1,0 +1,127 @@
+"""Exact (deterministic) baselines — the Table 1 "Deterministic" column.
+
+Each class wraps the exact :class:`~repro.streams.frequency.FrequencyVector`
+behind the :class:`~repro.sketches.base.Sketch` interface.  Their
+``space_bits`` grow with the support size, making concrete the Omega(n)
+deterministic lower bounds ([9] for Fp, [26] for L2 heavy hitters, the
+reduction of [21] for entropy) that motivate randomized — and hence
+potentially non-robust — algorithms in the first place.
+
+Being deterministic, these are trivially adversarially robust; the
+experiments use them both as referees and as the expensive-but-robust
+baseline that the paper's wrappers undercut.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sketches.base import PointQuerySketch, Sketch
+from repro.streams.frequency import FrequencyVector
+
+#: Bits charged per stored (item, count) entry: a log n identifier plus a
+#: log M counter, both rounded to a 64-bit word as a C implementation would.
+_ENTRY_BITS = 128
+
+
+class ExactDistinctCounter(Sketch):
+    """Deterministic F0: store the support set.  Space Theta(F0 * log n)."""
+
+    supports_deletions = True
+
+    def __init__(self) -> None:
+        self._f = FrequencyVector()
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._f.update(item, delta)
+
+    def query(self) -> float:
+        return float(self._f.f0())
+
+    def space_bits(self) -> int:
+        return max(64, self._f.support_size * 64)
+
+
+class ExactMomentCounter(Sketch):
+    """Deterministic Fp (any p >= 0): store the whole frequency vector."""
+
+    supports_deletions = True
+
+    def __init__(self, p: float, return_norm: bool = False) -> None:
+        if p < 0:
+            raise ValueError(f"p must be >= 0, got {p}")
+        self.p = p
+        self.return_norm = return_norm and p > 0
+        self._f = FrequencyVector()
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._f.update(item, delta)
+
+    def query(self) -> float:
+        return self._f.lp(self.p) if self.return_norm else self._f.fp(self.p)
+
+    def space_bits(self) -> int:
+        return max(64, self._f.support_size * _ENTRY_BITS)
+
+
+class ExactEntropyCounter(Sketch):
+    """Deterministic Shannon entropy from the full frequency vector."""
+
+    supports_deletions = True
+
+    def __init__(self, base: float = 2.0) -> None:
+        self.base = base
+        self._f = FrequencyVector()
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._f.update(item, delta)
+
+    def query(self) -> float:
+        return self._f.shannon_entropy(self.base)
+
+    def space_bits(self) -> int:
+        return max(64, self._f.support_size * _ENTRY_BITS)
+
+
+class ExactHeavyHitters(PointQuerySketch):
+    """Deterministic Lp heavy hitters from the full vector.
+
+    ``query()`` returns the number of items at or above the threshold
+    ``eps * |f|_p``; :meth:`heavy_hitters` returns the set itself.
+    """
+
+    supports_deletions = True
+
+    def __init__(self, eps: float, p: float = 2.0) -> None:
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        if p <= 0:
+            raise ValueError(f"p must be > 0, got {p}")
+        self.eps = eps
+        self.p = p
+        self._f = FrequencyVector()
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._f.update(item, delta)
+
+    def point_query(self, item: int) -> float:
+        return float(self._f[item])
+
+    def heavy_hitters(self) -> set[int]:
+        return self._f.heavy_hitters(self.eps * self._f.lp(self.p))
+
+    def query(self) -> float:
+        return float(len(self.heavy_hitters()))
+
+    def space_bits(self) -> int:
+        return max(64, self._f.support_size * _ENTRY_BITS)
+
+
+def deterministic_f0_lower_bound_bits(n: int) -> int:
+    """The Omega(n) bits of [9] for deterministic F0 (Table 1, row 1)."""
+    return n
+
+
+def deterministic_l2hh_lower_bound_bits(n: int) -> int:
+    """The Omega(sqrt(n)) bits of [26] for deterministic insertion-only L2 HH."""
+    return int(math.isqrt(n))

@@ -1,0 +1,36 @@
+"""The trivial deterministic F1 counter.
+
+Footnote 3 of the paper: "there is a trivial O(log n)-bit insertion only F1
+estimation algorithm: keeping a counter for sum_t Delta_t."  It is exact,
+deterministic, and therefore adversarially robust for free — which is why
+F1 is excluded from the deterministic lower bounds and why the entropy
+estimators can consume an exact F1 value.
+"""
+
+from __future__ import annotations
+
+from repro.sketches.base import Sketch
+
+
+class F1Counter(Sketch):
+    """Exact ``F1 = sum_t Delta_t`` in one counter (insertion-only).
+
+    In the turnstile model the signed sum still equals ``|f|_1`` whenever
+    the vector stays non-negative (e.g. bounded-deletion streams that never
+    drive a coordinate negative), which is how the robust entropy and
+    bounded-deletion algorithms use it.
+    """
+
+    supports_deletions = True
+
+    def __init__(self) -> None:
+        self._sum = 0
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._sum += delta
+
+    def query(self) -> float:
+        return float(self._sum)
+
+    def space_bits(self) -> int:
+        return 64

@@ -1,0 +1,82 @@
+"""HyperLogLog — an extra static F0 baseline (ablation only).
+
+Not part of the paper; included so the distinct-elements experiments can
+show the robustification wrappers are agnostic to the base sketch (any
+(eps, delta) tracker plugs in).  Standard Flajolet et al. construction:
+``2^b`` registers storing the max leading-zero rank, harmonic-mean
+estimator with the alpha_m bias constant and linear-counting small-range
+correction.
+
+Like KMV, HLL's state is duplicate-insensitive (a repeated item can never
+raise a register), so it is also a valid base for the Theorem 10.1
+cryptographic transformation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash
+from repro.sketches.base import Sketch
+
+
+class HyperLogLog(Sketch):
+    """HLL with 2^b registers over a 61-bit hash."""
+
+    supports_deletions = False
+
+    def __init__(self, b: int, rng: np.random.Generator):
+        if not 4 <= b <= 18:
+            raise ValueError(f"register exponent b must be in [4, 18], got {b}")
+        self.b = b
+        self.m_registers = 1 << b
+        self._registers = np.zeros(self.m_registers, dtype=np.uint8)
+        self._hash = KWiseHash(8, rng, out_bits=61)
+        self._alpha = self._alpha_m(self.m_registers)
+
+    @staticmethod
+    def _alpha_m(m: int) -> float:
+        if m == 16:
+            return 0.673
+        if m == 32:
+            return 0.697
+        if m == 64:
+            return 0.709
+        return 0.7213 / (1.0 + 1.079 / m)
+
+    @classmethod
+    def for_accuracy(cls, eps: float, rng: np.random.Generator) -> "HyperLogLog":
+        """Standard error 1.04/sqrt(2^b) <= eps."""
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        b = max(4, min(18, math.ceil(2 * math.log2(1.04 / eps))))
+        return cls(b, rng)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("HyperLogLog requires non-negative updates")
+        if delta == 0:
+            return
+        h = self._hash(item)
+        idx = h & (self.m_registers - 1)
+        rest = h >> self.b
+        # Rank = leading-zero count of the remaining bits + 1.
+        width = 61 - self.b
+        rank = width - rest.bit_length() + 1
+        if rank > self._registers[idx]:
+            self._registers[idx] = rank
+
+    def query(self) -> float:
+        m = self.m_registers
+        inv_sum = float(np.sum(np.exp2(-self._registers.astype(np.float64))))
+        raw = self._alpha * m * m / inv_sum
+        if raw <= 2.5 * m:
+            zeros = int(np.count_nonzero(self._registers == 0))
+            if zeros:
+                return m * math.log(m / zeros)  # linear counting
+        return raw
+
+    def space_bits(self) -> int:
+        return self.m_registers * 6 + self._hash.space_bits()

@@ -1,0 +1,100 @@
+"""KMV (k minimum values / bottom-k) distinct elements sketch.
+
+The static F0 estimator the robust wrappers build on.  We use KMV rather
+than reimplementing Blasiok's constant-optimal tracker [6] because KMV
+provides the same *interface* — a (1 ± eps) F0 estimate at every step with
+failure probability controlled by k — and, crucially for Theorem 10.1, the
+same structural property the paper's cryptographic transformation needs:
+
+    "when given an element that appeared before, [the algorithm] does not
+     change its state at all (with probability 1)."
+
+A KMV state is the set of k smallest hash values seen; re-inserting any
+previously seen item never changes it.  :meth:`state_fingerprint` exposes
+the state so tests can verify this property directly.
+
+The estimator: with v_k the k-th smallest normalised hash in [0,1),
+``F0_hat = (k - 1) / v_k``; below k distinct hashes the count is exact.
+Hashing uses a high-independence polynomial family (k-wise, default 8) so
+no random-oracle assumption is needed for the static guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHash
+from repro.sketches.base import Sketch
+
+_HASH_RANGE = float(1 << 61)
+
+
+class KMVSketch(Sketch):
+    """Bottom-k distinct elements estimator."""
+
+    supports_deletions = False
+
+    def __init__(self, k: int, rng: np.random.Generator, independence: int = 8):
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = k
+        self._hash = KWiseHash(independence, rng, out_bits=61)
+        # Sorted list of the k smallest distinct hash values seen so far.
+        self._mins: list[int] = []
+
+    @classmethod
+    def for_accuracy(
+        cls, eps: float, delta: float, rng: np.random.Generator,
+        constant: float = 4.0,
+    ) -> "KMVSketch":
+        """k = constant / eps^2 * ln(1/delta) for a (1 ± eps) estimate.
+
+        KMV's relative error is ~ 1/sqrt(k) per the standard analysis; the
+        ln(1/delta) factor buys the tail (in place of median amplification,
+        which would break the duplicate-insensitivity property).
+        """
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        k = max(2, math.ceil(constant / eps**2 * max(1.0, math.log(1.0 / delta))))
+        return cls(k, rng)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("KMV requires non-negative updates")
+        if delta == 0:
+            return
+        h = self._hash(item)
+        mins = self._mins
+        if len(mins) == self.k and h >= mins[-1]:
+            return  # not among the k smallest: state unchanged
+        # Binary search for the insertion point; skip exact duplicates.
+        lo, hi = 0, len(mins)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if mins[mid] < h:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(mins) and mins[lo] == h:
+            return  # duplicate item (or hash collision): state unchanged
+        mins.insert(lo, h)
+        if len(mins) > self.k:
+            mins.pop()
+
+    def query(self) -> float:
+        mins = self._mins
+        if len(mins) < self.k:
+            return float(len(mins))  # exact in the small regime
+        v_k = mins[-1] / _HASH_RANGE
+        if v_k <= 0.0:
+            return float(self.k)
+        return (self.k - 1) / v_k
+
+    def state_fingerprint(self) -> tuple[int, ...]:
+        """The full state, for duplicate-insensitivity tests (Thm 10.1)."""
+        return tuple(self._mins)
+
+    def space_bits(self) -> int:
+        return self.k * 64 + self._hash.space_bits()

@@ -1,0 +1,96 @@
+"""Misra–Gries summary [32] — deterministic L1 heavy hitters.
+
+The paper cites Misra–Gries as the deterministic ``O(eps^-1 log n)`` L1
+heavy-hitters algorithm, and notes that instantiating it at
+``eps = n^{-1/2}`` gives the deterministic ``O(sqrt(n) log n)``-space
+insertion-only **L2** heavy hitters baseline (Section 1.1, Heavy Hitters) —
+nearly matched by the Omega(sqrt n) lower bound of [26].  Both roles appear
+in the Table 1 heavy-hitters experiment.
+
+Deterministic, hence adversarially robust by definition.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sketches.base import PointQuerySketch
+
+
+class MisraGries(PointQuerySketch):
+    """k-counter Misra–Gries summary.
+
+    Every item's count is underestimated by at most ``F1 / (k + 1)``; with
+    ``k = ceil(2/eps)`` this yields the (eps * F1)-threshold L1 heavy
+    hitters guarantee.
+    """
+
+    supports_deletions = False
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"counter budget k must be >= 1, got {k}")
+        self.k = k
+        self._counters: dict[int, int] = {}
+        self._f1 = 0
+
+    @classmethod
+    def for_l1_accuracy(cls, eps: float) -> "MisraGries":
+        """Counters for the threshold tau = eps * F1 with slack tau/2."""
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0,1], got {eps}")
+        return cls(max(1, math.ceil(2.0 / eps)))
+
+    @classmethod
+    def for_l2_baseline(cls, n: int) -> "MisraGries":
+        """The deterministic L2-guarantee instantiation: eps = n^(-1/2).
+
+        Uses |f|_1 <= sqrt(n) |f|_2, so an (n^{-1/2} F1)-guarantee implies
+        an L2 guarantee — at Theta(sqrt n) counters.
+        """
+        return cls(max(1, 2 * math.isqrt(n)))
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("Misra-Gries requires non-negative updates")
+        self._f1 += delta
+        remaining = delta
+        if item in self._counters:
+            self._counters[item] += remaining
+            return
+        if len(self._counters) < self.k:
+            self._counters[item] = remaining
+            return
+        # Decrement-all step, batched: subtract the largest amount that
+        # keeps every counter non-negative, up to `remaining`.
+        dec = min(remaining, min(self._counters.values()))
+        if dec > 0:
+            self._counters = {
+                i: c - dec for i, c in self._counters.items() if c > dec
+            }
+        remaining -= dec
+        if remaining > 0:
+            if len(self._counters) < self.k:
+                self._counters[item] = remaining
+            # else: remaining mass is absorbed by further decrements; for
+            # unit-delta streams (the common case) this branch never loops.
+
+    def point_query(self, item: int) -> float:
+        return float(self._counters.get(item, 0))
+
+    def underestimate_bound(self) -> float:
+        """Every estimate is within ``F1/(k+1)`` below the true count."""
+        return self._f1 / (self.k + 1)
+
+    def heavy_hitters(self, threshold: float) -> set[int]:
+        """All items with estimated count above threshold - F1/(k+1)."""
+        slack = self.underestimate_bound()
+        return {
+            i for i, c in self._counters.items() if c >= threshold - slack
+        }
+
+    def query(self) -> float:
+        return float(len(self._counters))
+
+    def space_bits(self) -> int:
+        return max(64, len(self._counters) * 128)

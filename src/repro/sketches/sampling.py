@@ -1,0 +1,180 @@
+"""Sampling in adversarial streams (the Ben-Eliezer–Yogev [5] substrate).
+
+The paper's positive starting point (Section 1): "a recent work of
+Ben-Eliezer and Yogev showed that random sampling is quite robust in the
+adaptive adversarial setting, albeit with a slightly larger sample size."
+This module reproduces that phenomenon:
+
+* :class:`ReservoirSampler` / :class:`BernoulliSampler` — the classic
+  static samplers, with fraction-query surfaces;
+* :func:`adaptive_oversampling_factor` — the [5]-style blow-up: to keep a
+  *class* of queries simultaneously accurate against an adaptive adversary,
+  multiply the static sample size by ``O(log |Q| + log 1/delta)`` (the
+  union bound over the query class replaces the single-query bound —
+  cheap, which is [5]'s message);
+* :class:`AdaptiveFractionOracle` — the overfitting demonstration: an
+  adversary that sees the sample can always construct a *post-hoc* query
+  on which the sample is totally unrepresentative (estimate 0, truth ~1).
+  Robustness is only possible relative to a query class fixed in advance,
+  which is exactly how [5] states it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.sketches.base import Sketch
+
+
+class ReservoirSampler(Sketch):
+    """Uniform k-sample over the items seen so far (Vitter's Algorithm R).
+
+    ``query`` returns the current sample size; :meth:`estimate_fraction`
+    answers relative-frequency queries over the stream *items* (with
+    multiplicity: each unit update is one population element).
+    """
+
+    supports_deletions = False
+
+    def __init__(self, k: int, rng: np.random.Generator):
+        if k < 1:
+            raise ValueError(f"sample size k must be >= 1, got {k}")
+        self.k = k
+        self._rng = rng
+        self._sample: list[int] = []
+        self._seen = 0
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("sampling requires non-negative updates")
+        for _ in range(delta):
+            self._seen += 1
+            if len(self._sample) < self.k:
+                self._sample.append(item)
+            else:
+                j = int(self._rng.integers(0, self._seen))
+                if j < self.k:
+                    self._sample[j] = item
+
+    @property
+    def sample(self) -> list[int]:
+        """The current sample (what an adaptive adversary observes)."""
+        return list(self._sample)
+
+    def estimate_fraction(self, predicate: Callable[[int], bool]) -> float:
+        """Estimated fraction of stream elements satisfying ``predicate``."""
+        if not self._sample:
+            return 0.0
+        return sum(1 for x in self._sample if predicate(x)) / len(self._sample)
+
+    def query(self) -> float:
+        return float(len(self._sample))
+
+    def space_bits(self) -> int:
+        return max(64, len(self._sample) * 64)
+
+
+class BernoulliSampler(Sketch):
+    """Keep each stream element independently with probability ``rate``."""
+
+    supports_deletions = False
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0 < rate <= 1:
+            raise ValueError(f"rate must be in (0,1], got {rate}")
+        self.rate = rate
+        self._rng = rng
+        self._sample: list[int] = []
+        self._seen = 0
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if delta < 0:
+            raise ValueError("sampling requires non-negative updates")
+        for _ in range(delta):
+            self._seen += 1
+            if self._rng.random() < self.rate:
+                self._sample.append(item)
+
+    @property
+    def sample(self) -> list[int]:
+        return list(self._sample)
+
+    def estimate_fraction(self, predicate: Callable[[int], bool]) -> float:
+        if not self._sample:
+            return 0.0
+        return sum(1 for x in self._sample if predicate(x)) / len(self._sample)
+
+    def estimate_count(self, predicate: Callable[[int], bool]) -> float:
+        """Estimated number of stream elements satisfying ``predicate``."""
+        return sum(1 for x in self._sample if predicate(x)) / self.rate
+
+    def query(self) -> float:
+        return float(len(self._sample))
+
+    def space_bits(self) -> int:
+        return max(64, len(self._sample) * 64)
+
+
+def static_sample_size(eps: float, delta: float) -> int:
+    """Additive-eps fraction estimation for ONE fixed query (Hoeffding)."""
+    if not 0 < eps < 1 or not 0 < delta < 1:
+        raise ValueError("eps and delta must be in (0,1)")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * eps * eps))
+
+
+def adaptive_oversampling_factor(num_queries: int, delta: float) -> float:
+    """The [5]-style blow-up for a size-``num_queries`` query class.
+
+    An adaptive adversary can steer the stream toward whichever query
+    currently looks worst, so the guarantee must hold for *all* queries
+    simultaneously: the union bound multiplies the ``log(1/delta)`` term
+    by ``log(|Q|/delta) / log(1/delta)``.  For constant delta the sample
+    grows by a ``Theta(log |Q|)`` factor — "slightly larger", as the
+    paper says.
+    """
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0,1), got {delta}")
+    return math.log(2.0 * num_queries / delta) / math.log(2.0 / delta)
+
+
+def adaptive_sample_size(eps: float, delta: float, num_queries: int) -> int:
+    """Sample size keeping ``num_queries`` fixed queries eps-accurate whp,
+    even when the stream adapts to the published sample."""
+    return math.ceil(
+        static_sample_size(eps, delta)
+        * adaptive_oversampling_factor(num_queries, delta)
+    )
+
+
+class AdaptiveFractionOracle:
+    """The overfitting counterexample: post-hoc queries defeat any sample.
+
+    Given any published sample S of a stream with N distinct inserted
+    items, the query "is x in (stream minus S)?" has true fraction
+    ``(N - |S|) / N`` (close to 1) but sample estimate exactly 0.  This is
+    why [5] — and every robust-streaming statement — fixes the query
+    (class) *before* the stream: adaptivity over an unbounded query class
+    is information-theoretically hopeless.
+    """
+
+    @staticmethod
+    def post_hoc_query(inserted: set[int], sample: list[int]):
+        """The adversarial predicate chosen after seeing the sample."""
+        sampled = set(sample)
+        return lambda x: x in inserted and x not in sampled
+
+    @staticmethod
+    def gap(inserted: set[int], sample: list[int]) -> tuple[float, float]:
+        """(true fraction, sample estimate) for the post-hoc query."""
+        if not inserted:
+            return 0.0, 0.0
+        sampled = set(sample)
+        true_frac = len(inserted - sampled) / len(inserted)
+        est = sum(1 for x in sample if x in inserted and x not in sampled)
+        est_frac = est / len(sample) if sample else 0.0
+        return true_frac, est_frac

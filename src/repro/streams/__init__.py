@@ -1,0 +1,42 @@
+"""Stream model, exact frequency vectors, workload generators, validators."""
+
+from repro.streams.frequency import FrequencyVector
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    distinct_ramp_stream,
+    phased_support_stream,
+    planted_heavy_hitters_stream,
+    turnstile_wave_stream,
+    uniform_stream,
+    zipfian_stream,
+)
+from repro.streams.model import StreamModel, StreamParameters, Update, as_updates
+from repro.streams.validators import (
+    StreamValidationError,
+    check_bounded_deletion,
+    function_trajectory,
+    validate_bounded_deletion,
+    validate_insertion_only,
+    validate_parameters,
+)
+
+__all__ = [
+    "FrequencyVector",
+    "bounded_deletion_stream",
+    "distinct_ramp_stream",
+    "phased_support_stream",
+    "planted_heavy_hitters_stream",
+    "turnstile_wave_stream",
+    "uniform_stream",
+    "zipfian_stream",
+    "StreamModel",
+    "StreamParameters",
+    "Update",
+    "as_updates",
+    "StreamValidationError",
+    "check_bounded_deletion",
+    "function_trajectory",
+    "validate_bounded_deletion",
+    "validate_insertion_only",
+    "validate_parameters",
+]

@@ -1,0 +1,137 @@
+"""Exact frequency vectors — the ground truth the adversarial game checks.
+
+``FrequencyVector`` maintains the sparse exact vector ``f`` of a stream and
+answers every query the paper studies: ``F0`` (distinct elements), ``Fp``
+moments, ``Lp`` norms, Shannon entropy, and heavy hitters.  The adversarial
+game (:mod:`repro.adversary.game`) uses it as the referee; the deterministic
+baselines in :mod:`repro.sketches.exact` wrap it as an "algorithm" whose
+space grows as Omega(n) — the Table 1 deterministic column.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+
+class FrequencyVector:
+    """Sparse exact frequency vector with incremental moment maintenance.
+
+    Maintains ``F1 = sum_i f_i`` incrementally and everything else on
+    demand.  Deletions are allowed (turnstile); queries on an all-zero
+    vector return the paper's conventions (``F0 = 0``, ``H = 0``).
+    """
+
+    def __init__(self) -> None:
+        self._f: defaultdict[int, int] = defaultdict(int)
+        self._f1_signed = 0  # sum of deltas (equals F1 for non-negative f)
+        self._updates = 0
+
+    def update(self, item: int, delta: int = 1) -> None:
+        """Apply one stream update ``(item, delta)``."""
+        if delta == 0:
+            return
+        new = self._f[item] + delta
+        if new == 0:
+            del self._f[item]
+        else:
+            self._f[item] = new
+        self._f1_signed += delta
+        self._updates += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, item: int) -> int:
+        return self._f.get(item, 0)
+
+    @property
+    def support(self) -> set[int]:
+        """Items with nonzero frequency."""
+        return set(self._f.keys())
+
+    @property
+    def support_size(self) -> int:
+        return len(self._f)
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates
+
+    def f0(self) -> int:
+        """Number of distinct elements ``|{i : f_i != 0}|``."""
+        return len(self._f)
+
+    def f1(self) -> int:
+        """``sum_i |f_i|`` (equals the signed sum when f is non-negative)."""
+        return sum(abs(v) for v in self._f.values())
+
+    def fp(self, p: float) -> float:
+        """The moment ``F_p = sum_i |f_i|^p`` with the convention 0^0 = 0."""
+        if p < 0:
+            raise ValueError(f"p must be >= 0, got {p}")
+        if p == 0:
+            return float(len(self._f))
+        return float(sum(abs(v) ** p for v in self._f.values()))
+
+    def lp(self, p: float) -> float:
+        """The norm ``|f|_p = F_p^(1/p)`` (p > 0)."""
+        if p <= 0:
+            raise ValueError(f"norm order p must be > 0, got {p}")
+        return self.fp(p) ** (1.0 / p)
+
+    def linf(self) -> int:
+        """``|f|_inf`` — what the model bounds by M."""
+        if not self._f:
+            return 0
+        return max(abs(v) for v in self._f.values())
+
+    def shannon_entropy(self, base: float = 2.0) -> float:
+        """Empirical Shannon entropy ``H(f) = -sum p_i log p_i``.
+
+        ``p_i = |f_i| / |f|_1``; an all-zero vector has entropy 0 by
+        convention.
+        """
+        f1 = self.f1()
+        if f1 == 0:
+            return 0.0
+        h = 0.0
+        for v in self._f.values():
+            pi = abs(v) / f1
+            h -= pi * math.log(pi)
+        return h / math.log(base)
+
+    def renyi_entropy(self, alpha: float, base: float = 2.0) -> float:
+        """alpha-Renyi entropy ``H_a = log(|x|_a^a / |x|_1^a) / (1 - a)``."""
+        if alpha <= 0 or alpha == 1.0:
+            raise ValueError(f"Renyi order must be positive and != 1, got {alpha}")
+        f1 = self.f1()
+        if f1 == 0:
+            return 0.0
+        fa = self.fp(alpha)
+        return (math.log(fa) - alpha * math.log(f1)) / ((1 - alpha) * math.log(base))
+
+    def heavy_hitters(self, threshold: float) -> set[int]:
+        """Items with ``|f_i| >= threshold``."""
+        return {i for i, v in self._f.items() if abs(v) >= threshold}
+
+    def l2_heavy_hitters(self, eps: float) -> set[int]:
+        """The L2 guarantee's target set: ``|f_i| >= eps * |f|_2``."""
+        return self.heavy_hitters(eps * self.lp(2))
+
+    def copy(self) -> "FrequencyVector":
+        out = FrequencyVector()
+        out._f = defaultdict(int, self._f)
+        out._f1_signed = self._f1_signed
+        out._updates = self._updates
+        return out
+
+    def to_dict(self) -> dict[int, int]:
+        return dict(self._f)
+
+    def __len__(self) -> int:
+        return len(self._f)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FrequencyVector(support={len(self._f)}, f1={self.f1()})"

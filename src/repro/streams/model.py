@@ -1,0 +1,117 @@
+"""Data stream model: updates, stream classes, and parameter regimes.
+
+The paper (Section 2) models a stream of length ``m`` over a domain ``[n]``
+as a sequence of updates ``(a_t, Delta_t)`` with ``a_t in [n]`` and
+``Delta_t in Z``; the frequency vector is ``f_i = sum_{t: a_t = i} Delta_t``.
+Throughout it is assumed that ``|f^(t)|_inf <= M`` at all times and
+``log(mM) = Theta(log n)``.
+
+Three stream classes appear:
+
+* **insertion-only** — all ``Delta_t > 0`` (most of the paper's results);
+* **turnstile** — arbitrary signs (Theorem 4.3, restricted to bounded
+  flip-number classes);
+* **alpha-bounded deletion** — turnstile where the stream never deletes more
+  than a ``(1 - 1/alpha)`` fraction of the Fp mass it inserted (Section 8).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class Update(NamedTuple):
+    """A single stream update ``(item, delta)``."""
+
+    item: int
+    delta: int
+
+
+class StreamModel(enum.Enum):
+    """Which update signs a stream (or an algorithm) permits."""
+
+    INSERTION_ONLY = "insertion_only"
+    TURNSTILE = "turnstile"
+    BOUNDED_DELETION = "bounded_deletion"
+
+    @property
+    def allows_deletions(self) -> bool:
+        return self is not StreamModel.INSERTION_ONLY
+
+
+@dataclass(frozen=True)
+class StreamParameters:
+    """The (n, m, M) regime of Section 2.
+
+    Parameters
+    ----------
+    n:
+        Universe size; items are integers in ``[0, n)``.
+    m:
+        Stream length (number of updates).
+    M:
+        Bound on ``|f^(t)|_inf`` maintained at every prefix.
+
+    The class provides the derived quantities that the robustification
+    formulas consume: ``log2 n``, the dynamic range ``T`` of the tracked
+    functions, and the standing assumption check ``log(mM) = O(log n)``.
+    """
+
+    n: int
+    m: int
+    M: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"universe size n must be >= 2, got {self.n}")
+        if self.m < 1:
+            raise ValueError(f"stream length m must be >= 1, got {self.m}")
+        if self.M < 1:
+            raise ValueError(f"frequency bound M must be >= 1, got {self.M}")
+
+    @property
+    def log2_n(self) -> float:
+        return math.log2(self.n)
+
+    @property
+    def log2_mM(self) -> float:
+        return math.log2(self.m * self.M)
+
+    def fp_value_range(self, p: float) -> tuple[float, float]:
+        """(min nonzero, max) of ``|f|_p^p`` over conforming streams.
+
+        Used as the ``T`` of Proposition 3.4 / Lemma 3.8: for ``p > 0`` the
+        moment of a nonzero integer vector is at least 1 and at most
+        ``M^p * n``; for ``p = 0`` it is at least 1 and at most ``n``.
+        """
+        if p < 0:
+            raise ValueError(f"p must be >= 0, got {p}")
+        if p == 0:
+            return 1.0, float(self.n)
+        return 1.0, float(self.M) ** p * self.n
+
+    def validate_item(self, item: int) -> None:
+        if not 0 <= item < self.n:
+            raise ValueError(f"item {item} outside universe [0, {self.n})")
+
+
+def as_updates(items_or_updates) -> list[Update]:
+    """Normalise a stream given as items, pairs, or Updates to ``[Update]``.
+
+    The insertion-only model is "often presented with the simplified
+    definition" of a plain item sequence (Section 2); this helper accepts
+    that form (each item becomes ``(item, +1)``) as well as explicit pairs.
+    """
+    out: list[Update] = []
+    for u in items_or_updates:
+        if isinstance(u, Update):
+            out.append(u)
+        elif isinstance(u, tuple):
+            item, delta = u
+            out.append(Update(int(item), int(delta)))
+        else:
+            out.append(Update(int(u), 1))
+    return out

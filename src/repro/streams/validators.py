@@ -1,0 +1,88 @@
+"""Stream validators — check model conformance before an experiment runs.
+
+The theorems are promises about streams in a given class (insertion-only,
+|f|_inf <= M, alpha-bounded deletion, lambda-bounded flip number).  These
+validators verify a concrete stream is actually in the class, so experiment
+results can't be silently invalidated by a generator bug.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.streams.frequency import FrequencyVector
+from repro.streams.model import StreamParameters, Update
+
+
+class StreamValidationError(ValueError):
+    """A stream violated the model class it was claimed to be in."""
+
+
+def validate_insertion_only(updates: Iterable[Update]) -> None:
+    """Raise unless every delta is strictly positive (Section 2)."""
+    for t, u in enumerate(updates):
+        if u.delta <= 0:
+            raise StreamValidationError(
+                f"update {t} has delta={u.delta}; insertion-only requires > 0"
+            )
+
+
+def validate_parameters(updates: Iterable[Update], params: StreamParameters) -> None:
+    """Check items in [0, n), |f^(t)|_inf <= M at every prefix, length <= m."""
+    f = FrequencyVector()
+    count = 0
+    for t, u in enumerate(updates):
+        params.validate_item(u.item)
+        f.update(u.item, u.delta)
+        if abs(f[u.item]) > params.M:
+            raise StreamValidationError(
+                f"|f_{u.item}| = {abs(f[u.item])} > M = {params.M} at step {t}"
+            )
+        count += 1
+    if count > params.m:
+        raise StreamValidationError(f"stream length {count} exceeds m = {params.m}")
+
+
+def check_bounded_deletion(
+    updates: Sequence[Update], alpha: float, p: float = 1.0
+) -> bool:
+    """Does the stream satisfy Definition 8.1 at every prefix?
+
+    ``F_p(f^(t)) >= F_p(h^(t)) / alpha`` where h is the absolute-value
+    stream.  The all-zero prefix trivially satisfies it.
+    """
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha}")
+    f = FrequencyVector()
+    h = FrequencyVector()
+    for u in updates:
+        f.update(u.item, u.delta)
+        h.update(u.item, abs(u.delta))
+        hp = h.fp(p)
+        if hp > 0 and f.fp(p) * alpha < hp * (1 - 1e-12):
+            return False
+    return True
+
+
+def validate_bounded_deletion(
+    updates: Sequence[Update], alpha: float, p: float = 1.0
+) -> None:
+    """Raise unless the stream is Fp alpha-bounded-deletion."""
+    if not check_bounded_deletion(updates, alpha, p):
+        raise StreamValidationError(
+            f"stream violates the F_{p} {alpha}-bounded-deletion property"
+        )
+
+
+def function_trajectory(updates: Iterable[Update], fn) -> list[float]:
+    """Evaluate ``fn(f^(t))`` after every prefix; fn takes a FrequencyVector.
+
+    Used by the flip-number experiments: combine with
+    :func:`repro.core.flip_number.measured_flip_number`.
+    """
+    f = FrequencyVector()
+    out: list[float] = []
+    for u in updates:
+        f.update(u.item, u.delta)
+        out.append(float(fn(f)))
+    return out

@@ -1,0 +1,91 @@
+"""Tests for Algorithm 3 / Theorem 9.1: the attack on the AMS sketch."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.ams_attack import AMSAttackAdversary, run_ams_attack
+from repro.sketches.ams import AMSFullSketch
+
+
+class TestAMSAttackAdversary:
+    def test_first_update_is_heavy(self):
+        adv = AMSAttackAdversary(t=64, rng=np.random.default_rng(0), constant=8.0)
+        first = adv.next_update(0, None)
+        assert first.item == 0
+        assert first.delta == 64  # 8 * sqrt(64)
+
+    def test_probe_then_decide(self):
+        adv = AMSAttackAdversary(t=16, rng=np.random.default_rng(1))
+        adv.next_update(0, None)
+        probe = adv.next_update(1, 1024.0)
+        assert probe.delta == 1 and probe.item == 1
+        # Estimate moved by less than 1 -> the item is inserted again.
+        second = adv.next_update(2, 1024.5)
+        assert second == probe._replace(delta=1)
+        assert second.item == 1
+
+    def test_large_move_skips_to_next_item(self):
+        adv = AMSAttackAdversary(t=16, rng=np.random.default_rng(2))
+        adv.next_update(0, None)
+        adv.next_update(1, 1024.0)
+        nxt = adv.next_update(2, 1030.0)  # moved by 6 > 1: keep single
+        assert nxt.item == 2
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            AMSAttackAdversary(t=0, rng=np.random.default_rng(0))
+
+
+class TestTheorem91:
+    def test_attack_fools_plain_ams(self):
+        """Theorem 9.1: AMS fooled within O(t) updates with probability 9/10."""
+        fooled = 0
+        budgets = []
+        trials = 8
+        t = 64
+        for seed in range(trials):
+            sketch = AMSFullSketch(t=t, n=4096, rng=np.random.default_rng(seed))
+            ok, used, _ = run_ams_attack(
+                sketch, np.random.default_rng(1000 + seed), max_updates=40 * t
+            )
+            fooled += ok
+            if ok:
+                budgets.append(used)
+        assert fooled >= trials - 1  # ~9/10 success probability
+        # O(t) updates: the observed constant is ~10-15.
+        assert max(budgets) <= 30 * t
+
+    def test_attack_drives_estimate_below_truth(self):
+        t = 32
+        sketch = AMSFullSketch(t=t, n=2048, rng=np.random.default_rng(42))
+        ok, _, transcript = run_ams_attack(
+            sketch, np.random.default_rng(43), max_updates=40 * t
+        )
+        assert ok
+        final_est, final_truth = transcript[-1]
+        assert final_est < final_truth / 2
+
+    def test_oblivious_stream_does_not_fool_ams(self):
+        """Control: the same sketch is fine on a non-adaptive stream."""
+        t = 64
+        sketch = AMSFullSketch(t=t, n=4096, rng=np.random.default_rng(7))
+        rng = np.random.default_rng(8)
+        from repro.streams.frequency import FrequencyVector
+
+        truth = FrequencyVector()
+        worst = 0.0
+        for i in range(1000):
+            item = int(rng.integers(0, 4096))
+            truth.update(item, 1)
+            est = sketch.process_update(item, 1)
+            if i > 50:
+                worst = max(worst, abs(est - truth.fp(2)) / truth.fp(2))
+        assert worst < 0.5  # never fooled to a factor-2 error
+
+    def test_requires_t_for_wrappers(self):
+        class _NoT:
+            def process_update(self, item, delta):
+                return 0.0
+
+        with pytest.raises(ValueError):
+            run_ams_attack(_NoT(), np.random.default_rng(0), max_updates=10)

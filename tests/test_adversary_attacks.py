@@ -1,0 +1,62 @@
+"""Tests for the extension attacks (CountMin inflation, estimate probing)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.attacks import (
+    CountMinInflationAttack,
+    EstimateProbingAdversary,
+    VictimPointQueryGame,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.exact import ExactHeavyHitters
+
+
+class TestCountMinInflation:
+    def test_inflates_victim_estimate(self):
+        """Adaptive collisions blow up the victim's CountMin estimate."""
+        cm = CountMinSketch(width=32, rows=3, rng=np.random.default_rng(0))
+        adv = CountMinInflationAttack(
+            victim=0, n=10_000, rng=np.random.default_rng(1), hammer=64
+        )
+        game = VictimPointQueryGame(victim=0, threshold_factor=5.0)
+        fooled_at = game.run(cm, adv, max_rounds=6000)
+        assert fooled_at is not None
+
+    def test_exact_counter_immune(self):
+        """Control: the attack cannot move an exact (deterministic) counter."""
+        exact = ExactHeavyHitters(eps=0.5)
+        adv = CountMinInflationAttack(
+            victim=0, n=10_000, rng=np.random.default_rng(2), hammer=16
+        )
+        game = VictimPointQueryGame(victim=0, threshold_factor=2.0)
+        assert game.run(exact, adv, max_rounds=2000) is None
+
+    def test_invalid_hammer(self):
+        with pytest.raises(ValueError):
+            CountMinInflationAttack(0, 10, np.random.default_rng(0), hammer=0)
+
+
+class TestEstimateProbing:
+    def test_produces_valid_stream(self):
+        adv = EstimateProbingAdversary(1000, np.random.default_rng(3))
+        last = None
+        items = []
+        for t in range(500):
+            u = adv.next_update(t, last)
+            assert 0 <= u.item < 1000 and u.delta == 1
+            items.append(u.item)
+            last = float(len(set(items)))  # play a perfect estimator
+        assert len(set(items)) > 100  # it does explore
+
+    def test_reuses_invisible_items(self):
+        adv = EstimateProbingAdversary(1000, np.random.default_rng(4), burst=4)
+        seen = []
+        last = None
+        for t in range(400):
+            u = adv.next_update(t, last)
+            seen.append(u.item)
+            # Pretend the estimator never moves: every item looks invisible.
+            last = 42.0
+        # With a frozen estimate the adversary must have repeated items.
+        assert len(set(seen)) < len(seen)

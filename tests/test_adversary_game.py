@@ -1,0 +1,124 @@
+"""Tests for the two-player game loop and the baseline adversaries."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import RandomAdversary, StaticAdversary
+from repro.adversary.game import (
+    AdversarialGame,
+    additive_error_judge,
+    relative_error_judge,
+)
+from repro.sketches.exact import ExactDistinctCounter
+from repro.sketches.kmv import KMVSketch
+from repro.streams.model import Update
+
+
+class TestJudges:
+    def test_relative_judge(self):
+        judge = relative_error_judge(0.1)
+        assert not judge(100.0, 100.0)
+        assert not judge(109.0, 100.0)
+        assert judge(111.0, 100.0)
+
+    def test_relative_judge_zero_truth(self):
+        judge = relative_error_judge(0.1)
+        assert not judge(0.0, 0.0)
+        assert judge(1.0, 0.0)
+
+    def test_additive_judge(self):
+        judge = additive_error_judge(0.5)
+        assert not judge(3.2, 3.0)
+        assert judge(3.6, 3.0)
+
+
+class TestStaticAdversary:
+    def test_replays_updates(self):
+        ups = [Update(1, 1), Update(2, 1)]
+        adv = StaticAdversary(ups)
+        assert adv.next_update(0, None) == ups[0]
+        assert adv.next_update(1, 5.0) == ups[1]
+        assert adv.next_update(2, 5.0) is None
+
+
+class TestRandomAdversary:
+    def test_respects_budget(self):
+        adv = RandomAdversary(10, 5, np.random.default_rng(0))
+        updates = [adv.next_update(t, None) for t in range(6)]
+        assert updates[-1] is None
+        assert all(u.delta == 1 for u in updates[:5])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RandomAdversary(0, 5, np.random.default_rng(0))
+
+
+class TestAdversarialGame:
+    def test_exact_algorithm_never_fails(self):
+        game = AdversarialGame(lambda f: f.f0(), relative_error_judge(0.01))
+        result = game.run(
+            ExactDistinctCounter(),
+            RandomAdversary(100, 200, np.random.default_rng(1)),
+            max_rounds=200,
+        )
+        assert not result.failed
+        assert result.steps == 200
+        assert result.max_relative_error == 0.0
+
+    def test_transcript_contents(self):
+        game = AdversarialGame(lambda f: f.f0(), relative_error_judge(0.5))
+        adv = StaticAdversary([Update(0, 1), Update(1, 1), Update(0, 1)])
+        result = game.run(ExactDistinctCounter(), adv, max_rounds=10)
+        assert result.steps == 3
+        assert result.truths == [1.0, 2.0, 1.0 + 1.0]
+        assert result.updates[0] == Update(0, 1)
+
+    def test_detects_failure_step(self):
+        class _Liar(ExactDistinctCounter):
+            def query(self):
+                true = super().query()
+                return true * (10.0 if true >= 3 else 1.0)
+
+        game = AdversarialGame(lambda f: f.f0(), relative_error_judge(0.5))
+        adv = StaticAdversary([Update(i, 1) for i in range(5)])
+        result = game.run(_Liar(), adv, max_rounds=10)
+        assert result.failed
+        assert result.first_failure_step == 2  # third distinct item
+
+    def test_stop_at_failure(self):
+        class _AlwaysWrong(ExactDistinctCounter):
+            def query(self):
+                return super().query() * 100.0
+
+        game = AdversarialGame(lambda f: f.f0(), relative_error_judge(0.1))
+        adv = StaticAdversary([Update(i, 1) for i in range(10)])
+        result = game.run(_AlwaysWrong(), adv, max_rounds=10, stop_at_failure=True)
+        assert result.failed
+        assert result.steps == 1
+
+    def test_grace_steps(self):
+        class _BadStart(ExactDistinctCounter):
+            def query(self):
+                true = super().query()
+                return 0.0 if true <= 2 else true
+
+        game = AdversarialGame(
+            lambda f: f.f0(), relative_error_judge(0.1), grace_steps=2
+        )
+        adv = StaticAdversary([Update(i, 1) for i in range(5)])
+        assert not game.run(_BadStart(), adv, max_rounds=10).failed
+
+    def test_kmv_survives_oblivious_stream(self):
+        game = AdversarialGame(lambda f: f.f0(), relative_error_judge(0.5))
+        result = game.run(
+            KMVSketch(256, np.random.default_rng(2)),
+            RandomAdversary(500, 1000, np.random.default_rng(3)),
+            max_rounds=1000,
+        )
+        assert not result.failed
+
+    def test_max_additive_error(self):
+        game = AdversarialGame(lambda f: f.f0(), additive_error_judge(10.0))
+        adv = StaticAdversary([Update(i, 1) for i in range(4)])
+        result = game.run(ExactDistinctCounter(), adv, max_rounds=4)
+        assert result.max_additive_error == 0.0

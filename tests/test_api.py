@@ -1,0 +1,72 @@
+"""Tests for the high-level facade."""
+
+import pytest
+
+from repro.api import PROBLEMS, robust_estimator
+from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.distinct import RobustDistinctElements
+from repro.robust.heavy_hitters import RobustHeavyHitters
+from repro.robust.moments import RobustFpHigh, RobustFpSwitching
+
+
+class TestRobustEstimatorFactory:
+    def test_every_problem_constructs(self):
+        for problem in PROBLEMS:
+            algo = robust_estimator(
+                problem, n=256, m=200, eps=0.4, seed=1,
+                p=3.0 if problem == "fp-high" else 1.0,
+                **({"copies": 4} if problem in (
+                    "distinct", "fp", "heavy-hitters", "entropy") else {}),
+            )
+            out = algo.process_update(3, 1)
+            assert isinstance(out, float)
+            assert algo.space_bits() > 0
+
+    def test_problem_to_class_mapping(self):
+        assert isinstance(
+            robust_estimator("distinct", n=64, m=10, eps=0.5, copies=2),
+            RobustDistinctElements,
+        )
+        assert isinstance(
+            robust_estimator("distinct-crypto", n=64, m=10, eps=0.5),
+            CryptoRobustDistinctElements,
+        )
+        assert isinstance(
+            robust_estimator("fp", n=64, m=10, eps=0.5, p=2.0, copies=2),
+            RobustFpSwitching,
+        )
+        assert isinstance(
+            robust_estimator("fp-high", n=64, m=10, eps=0.5, p=3.0),
+            RobustFpHigh,
+        )
+        assert isinstance(
+            robust_estimator("heavy-hitters", n=64, m=10, eps=0.5, copies=2),
+            RobustHeavyHitters,
+        )
+
+    def test_seed_reproducibility(self):
+        a = robust_estimator("distinct", n=256, m=500, eps=0.4, seed=7,
+                             copies=4)
+        b = robust_estimator("distinct", n=256, m=500, eps=0.4, seed=7,
+                             copies=4)
+        for i in range(300):
+            assert a.process_update(i, 1) == b.process_update(i, 1)
+
+    def test_p_routing_errors(self):
+        with pytest.raises(ValueError):
+            robust_estimator("fp", n=16, m=10, eps=0.5, p=3.0)
+        with pytest.raises(ValueError):
+            robust_estimator("fp-high", n=16, m=10, eps=0.5, p=2.0)
+
+    def test_unknown_problem(self):
+        with pytest.raises(ValueError):
+            robust_estimator("quantiles", n=16, m=10, eps=0.5)
+
+    def test_tracks_distinct_end_to_end(self):
+        algo = robust_estimator("distinct", n=1024, m=1000, eps=0.3, seed=3)
+        worst = 0.0
+        for i in range(1000):
+            out = algo.process_update(i, 1)
+            if i > 100:
+                worst = max(worst, abs(out - (i + 1)) / (i + 1))
+        assert worst <= 0.3

@@ -1,0 +1,118 @@
+"""Tests for the computation-paths framework (Lemma 3.8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.computation_paths import (
+    ComputationPathsEstimator,
+    paths_log2_count,
+    required_delta0,
+    required_log2_delta0,
+)
+from repro.sketches.base import Sketch
+from repro.sketches.kmv import KMVSketch
+
+
+class _ExactCounter(Sketch):
+    supports_deletions = True
+
+    def __init__(self):
+        self._c = 0.0
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._c += delta
+
+    def query(self) -> float:
+        return self._c
+
+    def space_bits(self) -> int:
+        return 64
+
+
+class TestPathCounting:
+    def test_count_grows_with_flips(self):
+        assert paths_log2_count(1000, 20, 0.1, 1e6) > paths_log2_count(
+            1000, 5, 0.1, 1e6
+        )
+
+    def test_count_grows_with_m(self):
+        assert paths_log2_count(10_000, 10, 0.1, 1e6) > paths_log2_count(
+            100, 10, 0.1, 1e6
+        )
+
+    def test_flip_number_clamped_to_m(self):
+        # flip_number > m must not produce a negative binomial.
+        val = paths_log2_count(10, 100, 0.1, 1e6)
+        assert math.isfinite(val) and val > 0
+
+    def test_theorem_54_magnitude(self):
+        """For F0 with eps=0.1 the exponent is ~ (1/eps) log^2 n — huge."""
+        n, m, eps = 1 << 16, 1 << 16, 0.1
+        lam = math.ceil(math.log(n) / math.log1p(eps / 2))
+        log2_d0 = required_log2_delta0(0.05, m, lam, eps, float(n))
+        assert log2_d0 < -1000  # astronomically small delta_0
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            paths_log2_count(0, 1, 0.1, 10.0)
+
+
+class TestRequiredDelta0:
+    def test_log_and_float_agree_in_moderate_regime(self):
+        log2_d0 = required_log2_delta0(0.1, 50, 3, 0.5, 100.0)
+        d0 = required_delta0(0.1, 50, 3, 0.5, 100.0)
+        if log2_d0 > -900:
+            assert d0 == pytest.approx(2.0**log2_d0, rel=1e-9)
+
+    def test_underflow_clamped(self):
+        d0 = required_delta0(0.05, 1 << 16, 500, 0.1, 1e6)
+        assert d0 == 1e-300
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            required_log2_delta0(0.0, 10, 1, 0.1, 10.0)
+
+
+class TestComputationPathsEstimator:
+    def test_tracks_exact_counter(self):
+        est = ComputationPathsEstimator(_ExactCounter(), eps=0.2)
+        for t in range(1, 500):
+            out = est.process_update(0, 1)
+            assert abs(out - t) <= 0.2 * t + 1e-9
+
+    def test_output_is_rounded_and_sticky(self):
+        est = ComputationPathsEstimator(_ExactCounter(), eps=0.3)
+        outputs = [est.process_update(0, 1) for _ in range(300)]
+        changes = 1 + sum(1 for a, b in zip(outputs, outputs[1:]) if a != b)
+        assert changes <= math.log(300) / math.log1p(0.3) + 3
+        assert est.changes <= changes
+
+    def test_query_before_updates(self):
+        est = ComputationPathsEstimator(_ExactCounter(), eps=0.5)
+        assert est.query() == 0.0
+
+    def test_wraps_real_sketch(self):
+        inner = KMVSketch(128, np.random.default_rng(0))
+        est = ComputationPathsEstimator(inner, eps=0.3)
+        worst = 0.0
+        for i in range(3000):
+            out = est.process_update(i, 1)
+            if i > 100:
+                worst = max(worst, abs(out - (i + 1)) / (i + 1))
+        assert worst <= 0.35
+
+    def test_supports_deletions_inherited(self):
+        assert ComputationPathsEstimator(_ExactCounter(), eps=0.1).supports_deletions
+        assert not ComputationPathsEstimator(
+            KMVSketch(4, np.random.default_rng(1)), eps=0.1
+        ).supports_deletions
+
+    def test_space_adds_constant(self):
+        est = ComputationPathsEstimator(_ExactCounter(), eps=0.1)
+        assert est.space_bits() == 64 + 128
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            ComputationPathsEstimator(_ExactCounter(), eps=0.0)

@@ -1,0 +1,178 @@
+"""Tests for flip-number measurement and the analytic bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flip_number import (
+    bounded_deletion_flip_number_bound,
+    cascaded_norm_flip_number_bound,
+    entropy_flip_number_bound,
+    flip_number_dp,
+    fp_flip_number_bound,
+    greedy_flip_lower_bound,
+    lp_norm_flip_number_bound,
+    measured_flip_number,
+    monotone_flip_number_bound,
+)
+
+value_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+eps_values = st.floats(min_value=0.05, max_value=1.5)
+
+
+class TestMeasuredFlipNumber:
+    def test_constant_sequence(self):
+        assert measured_flip_number([5.0] * 20, 0.1) == 1
+
+    def test_doubling_sequence(self):
+        values = [2.0**i for i in range(10)]
+        # With eps=0.5 a doubling lands exactly on the closed band edge
+        # ((1-eps)*2x = x), so only every *other* element flips: 5 of 10.
+        assert measured_flip_number(values, 0.5) == 5
+
+    def test_tripling_sequence(self):
+        values = [3.0**i for i in range(10)]
+        # Tripling clearly exits the 50% band every step.
+        assert measured_flip_number(values, 0.5) == 10
+
+    def test_within_band_no_flip(self):
+        assert measured_flip_number([100, 104, 98, 101], 0.1) == 1
+
+    def test_oscillation_counts_both_directions(self):
+        values = [1.0, 10.0, 1.0, 10.0]
+        assert measured_flip_number(values, 0.5) == 4
+
+    def test_greedy_suboptimal_case(self):
+        """The case where greedy undercounts: chain 1 -> 3.1 -> 1.9."""
+        values = [1.0, 2.2, 3.1, 1.9]
+        eps = 0.5
+        assert greedy_flip_lower_bound(values, eps) == 2
+        assert measured_flip_number(values, eps) == 3
+
+    def test_empty(self):
+        assert measured_flip_number([], 0.1) == 0
+        assert flip_number_dp([], 0.1) == 0
+
+    @given(value_lists, eps_values)
+    @settings(max_examples=200, deadline=None)
+    def test_fenwick_matches_dp(self, values, eps):
+        """The O(m log m) algorithm agrees with the O(m^2) oracle."""
+        assert measured_flip_number(values, eps) == flip_number_dp(values, eps)
+
+    @given(value_lists, eps_values)
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_is_lower_bound(self, values, eps):
+        assert greedy_flip_lower_bound(values, eps) <= measured_flip_number(
+            values, eps
+        )
+
+    @given(value_lists)
+    def test_monotone_in_eps(self, values):
+        """Definition 3.2 remark: lambda_eps <= lambda_eps' for eps' < eps."""
+        assert measured_flip_number(values, 0.5) <= measured_flip_number(
+            values, 0.1
+        )
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            measured_flip_number([1.0], 0.0)
+
+
+class TestAnalyticBounds:
+    def test_monotone_bound_dominates_measured(self):
+        # F0 of a fresh-item stream: 1, 2, ..., N (monotone, range [1, N]).
+        values = [float(i) for i in range(1, 201)]
+        for eps in (0.1, 0.3, 0.7):
+            measured = measured_flip_number(values, eps)
+            bound = monotone_flip_number_bound(eps, 1.0, 200.0)
+            assert measured <= bound
+
+    def test_fp_bound_scales_inversely_with_eps(self):
+        assert fp_flip_number_bound(0.05, 1 << 16, 2) > fp_flip_number_bound(
+            0.2, 1 << 16, 2
+        )
+
+    def test_fp_bound_grows_with_p_above_two(self):
+        assert fp_flip_number_bound(0.1, 1 << 16, 4) > fp_flip_number_bound(
+            0.1, 1 << 16, 2
+        )
+
+    def test_fp_zero_uses_n_range(self):
+        b0 = fp_flip_number_bound(0.1, 1 << 16, 0)
+        b2 = fp_flip_number_bound(0.1, 1 << 16, 2)
+        assert b0 < b2
+
+    def test_lp_norm_bound_vs_moment_bound(self):
+        # The norm changes (1+eps) iff the moment changes (1+eps)^p:
+        # the norm has a smaller dynamic range, hence a smaller bound.
+        assert lp_norm_flip_number_bound(0.1, 1 << 16, 2) <= fp_flip_number_bound(
+            0.1, 1 << 16, 2
+        )
+
+    def test_measured_fp_trajectory_within_bound(self):
+        from repro.streams.generators import zipfian_stream
+        from repro.streams.validators import function_trajectory
+
+        ups = zipfian_stream(256, 2000, np.random.default_rng(0))
+        traj = function_trajectory(ups, lambda f: f.fp(2))
+        eps = 0.25
+        measured = measured_flip_number(traj, eps)
+        assert measured <= fp_flip_number_bound(eps, 256, 2, M=2000)
+
+    def test_entropy_bound_shape(self):
+        """Prop 7.2: the bound grows like eps^-3 polylog."""
+        b1 = entropy_flip_number_bound(0.2, 1 << 12, 1 << 12)
+        b2 = entropy_flip_number_bound(0.1, 1 << 12, 1 << 12)
+        # Halving eps should cost at least 4x (the eps^2 tau plus log 1/nu).
+        assert b2 > 3.5 * b1
+
+    def test_measured_entropy_flips_within_bound(self):
+        from repro.streams.generators import phased_support_stream
+        from repro.streams.validators import function_trajectory
+
+        ups = phased_support_stream(256, 1500, np.random.default_rng(1))
+        traj = function_trajectory(ups, lambda f: 2 ** f.shannon_entropy())
+        eps = 0.3
+        assert measured_flip_number(traj, eps) <= entropy_flip_number_bound(
+            eps, 256, 1500, M=1500
+        )
+
+    def test_bounded_deletion_bound(self):
+        b_small = bounded_deletion_flip_number_bound(0.2, 1 << 12, 1, alpha=2)
+        b_large = bounded_deletion_flip_number_bound(0.2, 1 << 12, 1, alpha=16)
+        assert b_large > b_small  # more deletions, more flips allowed
+
+    def test_measured_bounded_deletion_within_bound(self):
+        from repro.streams.generators import bounded_deletion_stream
+        from repro.streams.validators import function_trajectory
+
+        alpha, eps = 4.0, 0.3
+        ups = bounded_deletion_stream(128, 1200, np.random.default_rng(2),
+                                      alpha=alpha)
+        traj = function_trajectory(ups, lambda f: f.lp(1))
+        assert measured_flip_number(traj, eps) <= (
+            bounded_deletion_flip_number_bound(eps, 128, 1, alpha, M=1200)
+        )
+
+    def test_cascaded_bound_positive(self):
+        assert cascaded_norm_flip_number_bound(0.1, 64, 8, 2, 1) > 0
+
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (monotone_flip_number_bound, (0.1, 0.0, 1.0)),
+            (fp_flip_number_bound, (0.1, 100, -1)),
+            (lp_norm_flip_number_bound, (0.1, 100, 0)),
+            (bounded_deletion_flip_number_bound, (0.1, 100, 0.5, 2)),
+            (bounded_deletion_flip_number_bound, (0.1, 100, 1, 0.5)),
+            (cascaded_norm_flip_number_bound, (0.1, 100, 8, 0, 1)),
+        ],
+    )
+    def test_invalid_args(self, fn, args):
+        with pytest.raises(ValueError):
+            fn(*args)

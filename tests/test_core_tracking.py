@@ -1,0 +1,108 @@
+"""Tests for the strong-tracking wrappers (union bound, median amplification)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import MedianTracker, median_copies, union_bound_delta
+from repro.sketches.base import Sketch
+from repro.sketches.kmv import KMVSketch
+
+
+class _NoisySketch(Sketch):
+    """Test double: exact counter plus a fixed multiplicative bias.
+
+    A fraction of instances are 'bad' (large bias); the median over copies
+    must suppress them.
+    """
+
+    supports_deletions = True
+
+    def __init__(self, rng: np.random.Generator, bad_rate: float = 0.4):
+        self._count = 0
+        self._bias = 3.0 if rng.random() < bad_rate else 1.0 + rng.normal(0, 0.02)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._count += delta
+
+    def query(self) -> float:
+        return self._count * self._bias
+
+    def space_bits(self) -> int:
+        return 64
+
+
+class TestUnionBoundDelta:
+    def test_divides_by_m(self):
+        assert union_bound_delta(0.1, 100) == pytest.approx(0.001)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            union_bound_delta(0.0, 10)
+        with pytest.raises(ValueError):
+            union_bound_delta(0.1, 0)
+
+
+class TestMedianCopies:
+    def test_more_copies_for_smaller_delta(self):
+        assert median_copies(1e-6) > median_copies(1e-2)
+
+    def test_always_odd(self):
+        for delta in (0.3, 0.01, 1e-5):
+            assert median_copies(delta) % 2 == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            median_copies(0.0)
+        with pytest.raises(ValueError):
+            median_copies(0.1, base_failure=0.6)
+
+
+class TestMedianTracker:
+    def test_suppresses_bad_copies(self):
+        tracker = MedianTracker(
+            lambda r: _NoisySketch(r), copies=15, rng=np.random.default_rng(0)
+        )
+        for _ in range(100):
+            tracker.update(0, 1)
+        assert tracker.query() == pytest.approx(100.0, rel=0.1)
+
+    def test_single_copy_passthrough(self):
+        tracker = MedianTracker(
+            lambda r: KMVSketch(16, r), copies=1, rng=np.random.default_rng(1)
+        )
+        for i in range(10):
+            tracker.update(i)
+        assert tracker.query() == 10.0
+
+    def test_supports_deletions_inherited(self):
+        turnstile = MedianTracker(
+            lambda r: _NoisySketch(r), copies=3, rng=np.random.default_rng(2)
+        )
+        assert turnstile.supports_deletions
+        insertion_only = MedianTracker(
+            lambda r: KMVSketch(4, r), copies=3, rng=np.random.default_rng(3)
+        )
+        assert not insertion_only.supports_deletions
+
+    def test_space_sums_copies(self):
+        tracker = MedianTracker(
+            lambda r: _NoisySketch(r), copies=7, rng=np.random.default_rng(4)
+        )
+        assert tracker.space_bits() == 7 * 64
+
+    def test_copies_independent(self):
+        tracker = MedianTracker(
+            lambda r: KMVSketch(8, r), copies=5, rng=np.random.default_rng(5)
+        )
+        fingerprints = set()
+        for s in tracker._sketches:
+            for i in range(50):
+                s.update(i)
+            fingerprints.add(s.state_fingerprint())
+        # Independent hash functions -> different bottom-k states.
+        assert len(fingerprints) == 5
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            MedianTracker(lambda r: _NoisySketch(r), copies=0,
+                          rng=np.random.default_rng(0))

@@ -1,0 +1,143 @@
+"""Tests for the experiment harness (records, config, runner, registry, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import FULL, QUICK, Scale, get_scale
+from repro.experiments.records import ExperimentResult, space_kib
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run
+from repro.experiments.runner import (
+    run_additive,
+    run_relative,
+    sweep_contenders,
+)
+from repro.sketches.exact import ExactDistinctCounter
+from repro.streams.model import Update
+
+
+class TestRecords:
+    def test_add_row_validates_width(self):
+        r = ExperimentResult("X", "t", ["a", "b"])
+        r.add_row(1, 2)
+        with pytest.raises(ValueError):
+            r.add_row(1, 2, 3)
+
+    def test_render_contains_everything(self):
+        r = ExperimentResult("X.1", "my title", ["col1", "col2"])
+        r.add_row("abc", 0.123456)
+        r.add_note("a note")
+        text = r.render()
+        assert "X.1" in text and "my title" in text
+        assert "abc" in text and "0.123" in text
+        assert "a note" in text
+
+    def test_float_formatting(self):
+        r = ExperimentResult("X", "t", ["v"])
+        r.add_row(0.5)
+        assert "0.500" in r.render()
+
+    def test_space_kib(self):
+        assert space_kib(8 * 1024) == "1.0 KiB"
+
+
+class TestConfig:
+    def test_presets(self):
+        assert QUICK.m < FULL.m
+        assert get_scale("quick") is QUICK
+        assert get_scale("full") is FULL
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_custom_scale(self):
+        s = Scale(name="tiny", n=64, m=100, eps=0.5, trials=1)
+        assert s.n == 64
+
+
+class TestRunner:
+    def test_relative_on_exact_counter(self):
+        updates = [Update(i, 1) for i in range(200)]
+        stats = run_relative(ExactDistinctCounter(), updates,
+                             lambda f: f.f0(), skip=10)
+        assert stats.worst_error == 0.0
+        assert stats.steps_judged == 190
+
+    def test_floor_excludes_small_truths(self):
+        updates = [Update(i, 1) for i in range(50)]
+        stats = run_relative(ExactDistinctCounter(), updates,
+                             lambda f: f.f0(), skip=0, floor=40.0)
+        assert stats.steps_judged == 10  # only truths 41..50
+
+    def test_additive_on_exact_counter(self):
+        updates = [Update(i, 1) for i in range(100)]
+        stats = run_additive(ExactDistinctCounter(), updates,
+                             lambda f: f.f0(), skip=5)
+        assert stats.worst_error == 0.0
+
+    def test_sweep(self):
+        updates = [Update(i, 1) for i in range(50)]
+        out = sweep_contenders(
+            [("a", ExactDistinctCounter()), ("b", ExactDistinctCounter())],
+            updates, lambda f: f.f0(), skip=5,
+        )
+        assert set(out) == {"a", "b"}
+
+
+class TestRegistry:
+    def test_lists_design_md_index(self):
+        ids = list_experiments()
+        # The DESIGN.md per-experiment index, Table rows first.
+        for required in ("T1.F0", "T1.Fp", "T1.HH", "T1.H", "T1.Turnstile",
+                         "T1.BD", "E.AMS", "E.Flip", "E.Crypto", "E.Switch"):
+            assert required in ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run("T9.Nope")
+
+    def test_crypto_experiment_runs_quick(self):
+        result = run("E.Crypto", "quick")
+        assert result.experiment_id == "E.Crypto"
+        static = result.metrics["static KMV (non-robust)/bits"]
+        crypto = result.metrics["crypto robust (T10.1)/bits"]
+        assert crypto <= static + 256
+
+    def test_switch_crossover_shape(self):
+        result = run("E.Switch", "quick")
+        # Paths budget nearly flat in delta; switching grows.
+        sw_small = result.metrics["1e-4/switching"]
+        sw_tiny = result.metrics["1e-64/switching"]
+        p_small = result.metrics["1e-4/paths"]
+        p_tiny = result.metrics["1e-64/paths"]
+        assert (p_tiny - p_small) < (sw_tiny - sw_small)
+
+    def test_flip_experiment_bounds_hold(self):
+        result = run("E.Flip", "quick")
+        for key, measured in result.metrics.items():
+            if key.endswith("/measured"):
+                bound = result.metrics[key.replace("/measured", "/bound")]
+                assert measured <= bound, key
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "T1.F0" in out and "E.AMS" in out
+
+    def test_run_command_writes_output(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "E.Switch", "--out", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.txt"))
+        assert len(files) == 1
+        assert "crossover" in files[0].read_text()
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(ValueError):
+            main(["run", "bogus"])

@@ -1,0 +1,125 @@
+"""Tests for the random oracle, PRF, and Feistel PRP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.feistel import FeistelPermutation
+from repro.hashing.prf import PRF
+from repro.hashing.random_oracle import RandomOracle
+
+
+class TestRandomOracle:
+    def test_deterministic(self):
+        o1, o2 = RandomOracle(42), RandomOracle(42)
+        for x in (-5, 0, 1, 2**40):
+            assert o1.query_int(x) == o2.query_int(x)
+
+    def test_different_seeds_differ(self):
+        assert RandomOracle(1).query_int(7) != RandomOracle(2).query_int(7)
+
+    def test_bounded_domain(self):
+        o = RandomOracle(3)
+        for x in range(200):
+            assert 0 <= o.query_int(x, domain=17) < 17
+
+    def test_bounded_roughly_uniform(self):
+        o = RandomOracle(4)
+        counts = np.bincount(
+            [o.query_int(x, domain=8) for x in range(4000)], minlength=8
+        )
+        assert counts.min() > 350 and counts.max() < 650
+
+    def test_unit_interval(self):
+        o = RandomOracle(5)
+        us = [o.query_unit(x) for x in range(1000)]
+        assert all(0.0 <= u < 1.0 for u in us)
+        assert 0.4 < float(np.mean(us)) < 0.6
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            RandomOracle(0).query_int(1, domain=0)
+
+    def test_query_bytes_expansion(self):
+        o = RandomOracle(6)
+        blob = o.query_bytes(b"x", nbytes=100)
+        assert len(blob) == 100
+        # Prefix property: shorter reads agree with longer ones.
+        assert o.query_bytes(b"x", nbytes=10) == blob[:10]
+
+    def test_free_space(self):
+        assert RandomOracle(0).space_bits() == 0
+
+
+class TestPRF:
+    def test_deterministic_per_key(self):
+        p1 = PRF(b"0123456789abcdef")
+        p2 = PRF(b"0123456789abcdef")
+        assert p1.evaluate(99) == p2.evaluate(99)
+
+    def test_key_separation(self):
+        assert PRF(b"0123456789abcdef").evaluate(5) != PRF(
+            b"fedcba9876543210"
+        ).evaluate(5)
+
+    def test_tweak_separation(self):
+        p = PRF(b"0123456789abcdef")
+        assert p.evaluate(5, tweak=b"a") != p.evaluate(5, tweak=b"b")
+
+    def test_mod_range(self):
+        p = PRF(b"0123456789abcdef")
+        assert all(0 <= p.evaluate_mod(x, 13) < 13 for x in range(100))
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            PRF(b"short")
+
+    def test_space_is_key_length(self):
+        assert PRF(b"0123456789abcdef").space_bits() == 128
+
+    def test_from_seed(self):
+        p = PRF.from_seed(np.random.default_rng(0), key_bits=128)
+        assert p.space_bits() == 128
+
+
+class TestFeistelPermutation:
+    @given(st.integers(min_value=2, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_is_a_permutation(self, n):
+        perm = FeistelPermutation.from_seed(n, np.random.default_rng(n))
+        images = [perm.forward(x) for x in range(n)]
+        assert sorted(images) == list(range(n))
+
+    def test_inverse(self):
+        n = 1000
+        perm = FeistelPermutation.from_seed(n, np.random.default_rng(1))
+        for x in range(0, n, 37):
+            assert perm.inverse(perm.forward(x)) == x
+
+    def test_out_of_domain_rejected(self):
+        perm = FeistelPermutation.from_seed(100, np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            perm.forward(100)
+        with pytest.raises(ValueError):
+            perm.inverse(-1)
+
+    def test_looks_shuffled(self):
+        n = 4096
+        perm = FeistelPermutation.from_seed(n, np.random.default_rng(3))
+        images = [perm.forward(x) for x in range(64)]
+        # Consecutive inputs should not map to consecutive outputs.
+        diffs = [abs(images[i + 1] - images[i]) for i in range(63)]
+        assert float(np.median(diffs)) > 64
+
+    def test_too_few_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(16, PRF(b"0123456789abcdef"), rounds=2)
+
+    def test_tiny_domain_rejected(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(1, PRF(b"0123456789abcdef"))
+
+    def test_space_is_key(self):
+        perm = FeistelPermutation.from_seed(50, np.random.default_rng(4))
+        assert perm.space_bits() == 128

@@ -1,0 +1,79 @@
+"""Unit and property tests for the Mersenne-prime field arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.field import (
+    MERSENNE_P,
+    field_add,
+    field_inv,
+    field_mul,
+    field_pow,
+    mod_mersenne,
+    poly_eval,
+    poly_eval_many,
+)
+
+elements = st.integers(min_value=0, max_value=MERSENNE_P - 1)
+
+
+class TestModMersenne:
+    def test_small_values_unchanged(self):
+        for x in (0, 1, 17, MERSENNE_P - 1):
+            assert mod_mersenne(x) == x
+
+    def test_wraps_at_p(self):
+        assert mod_mersenne(MERSENNE_P) == 0
+        assert mod_mersenne(MERSENNE_P + 5) == 5
+
+    @given(st.integers(min_value=0, max_value=(1 << 122) - 1))
+    def test_matches_builtin_mod(self, x):
+        assert mod_mersenne(x) == x % MERSENNE_P
+
+    def test_product_of_max_elements(self):
+        x = (MERSENNE_P - 1) * (MERSENNE_P - 1)
+        assert mod_mersenne(x) == x % MERSENNE_P
+
+
+class TestFieldOps:
+    @given(elements, elements)
+    def test_add_matches_mod(self, a, b):
+        assert field_add(a, b) == (a + b) % MERSENNE_P
+
+    @given(elements, elements)
+    def test_mul_matches_mod(self, a, b):
+        assert field_mul(a, b) == (a * b) % MERSENNE_P
+
+    @given(elements.filter(lambda a: a != 0))
+    def test_inverse(self, a):
+        assert field_mul(a, field_inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            field_inv(0)
+
+    @given(elements, st.integers(min_value=0, max_value=100))
+    def test_pow_matches_builtin(self, a, e):
+        assert field_pow(a, e) == pow(a, e, MERSENNE_P)
+
+
+class TestPolyEval:
+    def test_constant(self):
+        assert poly_eval([7], 123) == 7
+
+    def test_linear(self):
+        # 3 + 5x at x = 10
+        assert poly_eval([3, 5], 10) == 53
+
+    @given(
+        st.lists(elements, min_size=1, max_size=6),
+        st.lists(elements, min_size=1, max_size=5),
+    )
+    def test_many_matches_single(self, coeffs, xs):
+        assert poly_eval_many(coeffs, xs) == [poly_eval(coeffs, x) for x in xs]
+
+    @given(st.lists(elements, min_size=1, max_size=6), elements)
+    def test_horner_matches_naive(self, coeffs, x):
+        naive = sum(c * pow(x, j, MERSENNE_P) for j, c in enumerate(coeffs))
+        assert poly_eval(coeffs, x) == naive % MERSENNE_P

@@ -1,0 +1,113 @@
+"""Tests for batched/multipoint polynomial evaluation (Proposition 5.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.field import MERSENNE_P, poly_eval
+from repro.hashing.multipoint import (
+    BatchedHasher,
+    multipoint_eval,
+    poly_mod,
+    poly_mul,
+)
+
+small = st.integers(min_value=0, max_value=10**6)
+
+
+class TestPolyMul:
+    def test_simple(self):
+        # (1 + x) * (2 + x) = 2 + 3x + x^2
+        assert poly_mul([1, 1], [2, 1]) == [2, 3, 1]
+
+    def test_empty(self):
+        assert poly_mul([], [1, 2]) == []
+
+    @given(
+        st.lists(small, min_size=1, max_size=5),
+        st.lists(small, min_size=1, max_size=5),
+        small,
+    )
+    def test_evaluation_homomorphism(self, a, b, x):
+        lhs = poly_eval(poly_mul(a, b), x)
+        rhs = (poly_eval(a, x) * poly_eval(b, x)) % MERSENNE_P
+        assert lhs == rhs
+
+
+class TestPolyMod:
+    def test_requires_monic(self):
+        with pytest.raises(ValueError):
+            poly_mod([1, 2, 3], [1, 2])  # modulus not monic
+
+    def test_zero_modulus(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod([1], [])
+
+    @given(st.lists(small, min_size=1, max_size=6), small)
+    def test_mod_linear_is_evaluation(self, coeffs, r):
+        # a(x) mod (x - r) == a(r)   (remainder theorem)
+        residue = poly_mod(coeffs, [(-r) % MERSENNE_P, 1])
+        value = residue[0] if residue else 0
+        assert value == poly_eval(coeffs, r)
+
+
+class TestMultipointEval:
+    @given(
+        st.lists(small, min_size=1, max_size=7),
+        st.lists(small, min_size=1, max_size=9),
+    )
+    def test_matches_direct_evaluation(self, coeffs, points):
+        assert multipoint_eval(coeffs, points) == [
+            poly_eval(coeffs, x) for x in points
+        ]
+
+    def test_empty_points(self):
+        assert multipoint_eval([1, 2, 3], []) == []
+
+    def test_single_point(self):
+        assert multipoint_eval([5, 1], [10]) == [15]
+
+    def test_odd_point_counts(self):
+        # Exercises the ragged product tree (carried nodes).
+        coeffs = [3, 1, 4, 1, 5]
+        for count in (1, 3, 5, 7, 11):
+            pts = list(range(count))
+            assert multipoint_eval(coeffs, pts) == [
+                poly_eval(coeffs, x) for x in pts
+            ]
+
+
+class TestBatchedHasher:
+    def test_batches_released_in_order(self):
+        coeffs = [7, 3, 1]
+        bh = BatchedHasher(coeffs, batch_size=3)
+        out = []
+        for x in range(7):
+            out.extend(bh.push(x))
+        out.extend(bh.flush())
+        assert [item for item, _ in out] == list(range(7))
+        assert [v for _, v in out] == [poly_eval(coeffs, x) for x in range(7)]
+
+    def test_pending_count(self):
+        bh = BatchedHasher([1, 1], batch_size=4)
+        bh.push(1)
+        bh.push(2)
+        assert bh.pending_count == 2
+        bh.push(3)
+        bh.push(4)
+        assert bh.pending_count == 0
+
+    def test_delay_bounded_by_batch(self):
+        bh = BatchedHasher([1, 2, 3], batch_size=5)
+        for x in range(4):
+            assert bh.push(x) == []
+        ready = bh.push(4)
+        assert len(ready) == 5
+
+    def test_flush_empty(self):
+        bh = BatchedHasher([1], batch_size=2)
+        assert bh.flush() == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchedHasher([1], batch_size=0)

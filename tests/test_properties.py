@@ -1,0 +1,141 @@
+"""Cross-cutting property-based tests (hypothesis) on the core invariants.
+
+Each property here is one the paper's proofs lean on; they are tested
+against arbitrary streams/sequences rather than the curated workloads of
+the unit tests.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flip_number import measured_flip_number
+from repro.core.rounding import RoundedSequence, round_to_power
+from repro.sketches.kmv import KMVSketch
+from repro.streams.frequency import FrequencyVector
+
+streams = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(1, 4)), min_size=1, max_size=120
+)
+positive_seqs = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+    min_size=1, max_size=50,
+)
+
+
+class TestRoundingContracts:
+    """Lemma 3.3's preconditions, as executable properties."""
+
+    @given(positive_seqs, st.floats(min_value=0.05, max_value=0.8))
+    def test_rounded_changes_bounded_by_flip_number(self, values, eps):
+        """The number of published-value changes of an eps-rounding is at
+        most the (eps/10)-flip number of the underlying sequence + 1 —
+        the Lemma 3.3 statement with z = y (exact inner estimates)."""
+        rs = RoundedSequence(eps)
+        for v in values:
+            rs.push(v)
+        lam = measured_flip_number(values, eps / 10)
+        assert rs.changes <= lam + 1
+
+    @given(st.floats(min_value=1e-6, max_value=1e9),
+           st.floats(min_value=0.05, max_value=0.9))
+    def test_rounding_idempotent(self, x, eps):
+        once = round_to_power(x, eps)
+        assert round_to_power(once, eps) == pytest.approx(once)
+
+    @given(st.floats(min_value=1e-6, max_value=1e9),
+           st.floats(min_value=1.0, max_value=10.0),
+           st.floats(min_value=0.05, max_value=0.9))
+    def test_rounding_monotone(self, x, factor, eps):
+        """[x]_eps is monotone in x (needed for the switching analysis)."""
+        assert round_to_power(x * factor, eps) >= round_to_power(x, eps) - 1e-12
+
+
+class TestFlipNumberProperties:
+    @given(positive_seqs)
+    def test_flip_number_at_least_one(self, values):
+        assert measured_flip_number(values, 0.3) >= 1
+
+    @given(positive_seqs, st.floats(min_value=0.05, max_value=1.0))
+    def test_flip_number_subsequence_monotone(self, values, eps):
+        """Dropping elements can only shorten the best chain."""
+        full = measured_flip_number(values, eps)
+        half = measured_flip_number(values[::2], eps)
+        assert half <= full
+
+    @given(positive_seqs, st.floats(min_value=0.05, max_value=1.0),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_flip_number_scale_invariant(self, values, eps, scale):
+        """The flip predicate is multiplicative: scaling the sequence
+        leaves the flip number unchanged."""
+        scaled = [v * scale for v in values]
+        assert measured_flip_number(scaled, eps) == measured_flip_number(
+            values, eps
+        )
+
+
+class TestFrequencyVectorProperties:
+    @given(streams)
+    def test_f1_equals_sum_of_deltas_insertion_only(self, ups):
+        f = FrequencyVector()
+        for item, delta in ups:
+            f.update(item, delta)
+        assert f.f1() == sum(d for _, d in ups)
+
+    @given(streams)
+    def test_permutation_invariance(self, ups):
+        """All queries depend only on the multiset of updates."""
+        f1, f2 = FrequencyVector(), FrequencyVector()
+        for item, delta in ups:
+            f1.update(item, delta)
+        for item, delta in reversed(ups):
+            f2.update(item, delta)
+        assert f1.to_dict() == f2.to_dict()
+        assert f1.shannon_entropy() == pytest.approx(f2.shannon_entropy())
+
+    @given(streams)
+    def test_moment_ordering(self, ups):
+        """F_p is non-increasing in p on probability-normalised scales:
+        here we check the raw-norm chain |f|_1 >= |f|_2 >= |f|_3."""
+        f = FrequencyVector()
+        for item, delta in ups:
+            f.update(item, delta)
+        assert f.lp(1) + 1e-9 >= f.lp(2) >= f.lp(3) - 1e-9
+
+    @given(streams)
+    def test_entropy_invariant_under_relabeling(self, ups):
+        f1, f2 = FrequencyVector(), FrequencyVector()
+        for item, delta in ups:
+            f1.update(item, delta)
+            f2.update(item + 1000, delta)  # shifted labels
+        assert f1.shannon_entropy() == pytest.approx(f2.shannon_entropy())
+
+
+class TestSketchDeterminism:
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=80),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_kmv_is_a_deterministic_function_of_seed_and_stream(
+        self, items, seed
+    ):
+        a = KMVSketch(8, np.random.default_rng(seed))
+        b = KMVSketch(8, np.random.default_rng(seed))
+        for x in items:
+            a.update(x)
+            b.update(x)
+        assert a.query() == b.query()
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=80))
+    @settings(max_examples=25, deadline=None)
+    def test_kmv_estimate_never_exceeds_possible_range(self, items):
+        k = KMVSketch(8, np.random.default_rng(0))
+        for x in items:
+            k.update(x)
+        distinct = len(set(items))
+        if distinct < 8:
+            assert k.query() == distinct
+        else:
+            assert k.query() > 0

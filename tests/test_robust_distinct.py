@@ -1,0 +1,145 @@
+"""Tests for the robust distinct-elements algorithms (Theorems 5.1 / 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.attacks import EstimateProbingAdversary
+from repro.adversary.game import AdversarialGame, relative_error_judge
+from repro.robust.distinct import (
+    FastRobustDistinctElements,
+    RobustDistinctElements,
+    paper_space_bound_theorem_51,
+    paper_space_bound_theorem_54,
+)
+from repro.streams.frequency import FrequencyVector
+
+
+def _run_fresh_items(algo, m, eps, skip=100):
+    truth = FrequencyVector()
+    worst = 0.0
+    for i in range(m):
+        truth.update(i, 1)
+        out = algo.process_update(i, 1)
+        if i >= skip:
+            worst = max(worst, abs(out - truth.f0()) / truth.f0())
+    return worst
+
+
+class TestRobustDistinctSwitching:
+    def test_tracks_fresh_item_stream(self):
+        algo = RobustDistinctElements(
+            n=1 << 14, m=4000, eps=0.25, rng=np.random.default_rng(0)
+        )
+        assert _run_fresh_items(algo, 4000, 0.25) <= 0.25
+
+    def test_tracks_mixed_stream(self):
+        algo = RobustDistinctElements(
+            n=2048, m=3000, eps=0.3, rng=np.random.default_rng(1)
+        )
+        rng = np.random.default_rng(2)
+        truth = FrequencyVector()
+        worst = 0.0
+        for t in range(3000):
+            item = int(rng.integers(0, 2048))
+            truth.update(item, 1)
+            out = algo.process_update(item, 1)
+            if t >= 100:
+                worst = max(worst, abs(out - truth.f0()) / truth.f0())
+        assert worst <= 0.3
+
+    def test_survives_adaptive_probing(self):
+        """The probing adversary cannot break the switching wrapper."""
+        algo = RobustDistinctElements(
+            n=4096, m=3000, eps=0.3, rng=np.random.default_rng(3)
+        )
+        game = AdversarialGame(
+            lambda f: f.f0(), relative_error_judge(0.3), grace_steps=50
+        )
+        result = game.run(
+            algo,
+            EstimateProbingAdversary(4096, np.random.default_rng(4)),
+            max_rounds=3000,
+        )
+        assert not result.failed
+
+    def test_switch_count_within_flip_budget(self):
+        algo = RobustDistinctElements(
+            n=1 << 14, m=3000, eps=0.25, rng=np.random.default_rng(5)
+        )
+        _run_fresh_items(algo, 3000, 0.25)
+        import math
+
+        # Switches <= log_{1+eps/2}(F0 range) + slack.
+        budget = math.log(3000) / math.log1p(0.125) + 4
+        assert algo.switches <= budget
+
+    def test_non_restart_mode(self):
+        algo = RobustDistinctElements(
+            n=1024, m=1500, eps=0.4, rng=np.random.default_rng(6), restart=False
+        )
+        assert _run_fresh_items(algo, 1024, 0.4) <= 0.4
+        assert algo.copies > algo.switches  # plain mode never wraps
+
+    def test_paper_copies_reported(self):
+        algo = RobustDistinctElements(
+            n=1 << 16, m=100, eps=0.2, rng=np.random.default_rng(7), copies=4
+        )
+        # eps/20 flip number for n=2^16 is in the thousands.
+        assert algo.paper_copies > 1000
+        assert algo.copies == 4
+
+    def test_space_accounting_scales_with_copies(self):
+        small = RobustDistinctElements(
+            n=1024, m=100, eps=0.3, rng=np.random.default_rng(8), copies=4
+        )
+        large = RobustDistinctElements(
+            n=1024, m=100, eps=0.3, rng=np.random.default_rng(8), copies=8
+        )
+        assert large.space_bits() > 1.8 * small.space_bits()
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            RobustDistinctElements(n=16, m=10, eps=0.0,
+                                   rng=np.random.default_rng(0))
+
+
+class TestFastRobustDistinct:
+    def test_tracks_fresh_item_stream(self):
+        algo = FastRobustDistinctElements(
+            n=1 << 14, m=5000, eps=0.25, rng=np.random.default_rng(9)
+        )
+        assert _run_fresh_items(algo, 5000, 0.25) <= 0.3
+
+    def test_paper_delta0_is_astronomical(self):
+        algo = FastRobustDistinctElements(
+            n=1 << 14, m=5000, eps=0.2, rng=np.random.default_rng(10)
+        )
+        assert algo.paper_log2_delta0 < -500
+
+    def test_output_changes_bounded(self):
+        algo = FastRobustDistinctElements(
+            n=1 << 12, m=3000, eps=0.3, rng=np.random.default_rng(11)
+        )
+        _run_fresh_items(algo, 3000, 0.3)
+        import math
+
+        assert algo.changes <= math.log(3000) / math.log1p(0.15) + 3
+
+    def test_batched_mode(self):
+        algo = FastRobustDistinctElements(
+            n=1 << 10, m=800, eps=0.3, rng=np.random.default_rng(12), batch=True
+        )
+        assert _run_fresh_items(algo, 800, 0.3, skip=60) <= 0.35
+
+
+class TestPaperBounds:
+    def test_theorem51_bound_monotone_in_eps(self):
+        assert paper_space_bound_theorem_51(1 << 16, 0.05, 0.01) > (
+            paper_space_bound_theorem_51(1 << 16, 0.2, 0.01)
+        )
+
+    def test_theorem54_bound_shape(self):
+        b = paper_space_bound_theorem_54(1 << 16, 0.1)
+        import math
+
+        assert b == pytest.approx(math.log(1 << 16) ** 3 / 0.1**3)

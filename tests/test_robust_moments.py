@@ -1,0 +1,153 @@
+"""Tests for robust Fp estimation (Theorems 4.1-4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.ams_attack import run_ams_attack
+from repro.robust.moments import (
+    RobustFpHigh,
+    RobustFpPaths,
+    RobustFpSwitching,
+    RobustTurnstileFp,
+)
+from repro.streams.frequency import FrequencyVector
+from repro.streams.generators import turnstile_wave_stream, zipfian_stream
+
+
+def _worst_error(algo, updates, truth_fn, skip=100, floor=0.0):
+    truth = FrequencyVector()
+    worst = 0.0
+    for t, u in enumerate(updates):
+        truth.update(u.item, u.delta)
+        out = algo.process_update(u.item, u.delta)
+        g = truth_fn(truth)
+        if t >= skip and g > floor:
+            worst = max(worst, abs(out - g) / g)
+    return worst
+
+
+class TestRobustFpSwitching:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_tracks_norm_on_zipfian(self, p):
+        ups = zipfian_stream(512, 2500, np.random.default_rng(0))
+        algo = RobustFpSwitching(
+            p=p, n=512, m=2500, eps=0.3, rng=np.random.default_rng(1),
+            copies=16,
+        )
+        assert _worst_error(algo, ups, lambda f: f.lp(p)) <= 0.3
+
+    def test_moment_mode(self):
+        ups = zipfian_stream(256, 2000, np.random.default_rng(2))
+        algo = RobustFpSwitching(
+            p=2.0, n=256, m=2000, eps=0.4, rng=np.random.default_rng(3),
+            track="moment", copies=24, stable_constant=3.0,
+        )
+        assert _worst_error(algo, ups, lambda f: f.fp(2)) <= 0.4
+
+    def test_survives_ams_attack(self):
+        """The headline contrast: plain AMS collapses, the robust F2
+        tracker stays within its error band under the same adversary."""
+        algo = RobustFpSwitching(
+            p=2.0, n=4096, m=3000, eps=0.4, rng=np.random.default_rng(4),
+            track="moment", copies=16, stable_constant=3.0,
+        )
+        fooled, _, transcript = run_ams_attack(
+            algo, np.random.default_rng(5), max_updates=1000, t=64
+        )
+        assert not fooled  # never pushed below truth/2
+        worst = max(abs(e - g) / g for e, g in transcript if g > 0)
+        assert worst <= 0.4
+
+    def test_fractional_p(self):
+        # p=0.5 stable medians concentrate more slowly (flatter density at
+        # the median), so the empirical band is a bit wider than for p>=1.
+        ups = zipfian_stream(256, 1500, np.random.default_rng(6))
+        algo = RobustFpSwitching(
+            p=0.5, n=256, m=1500, eps=0.4, rng=np.random.default_rng(7),
+            copies=16, stable_constant=10.0,
+        )
+        assert _worst_error(algo, ups, lambda f: f.lp(0.5)) <= 0.4
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RobustFpSwitching(p=3.0, n=16, m=10, eps=0.1, rng=rng)
+        with pytest.raises(ValueError):
+            RobustFpSwitching(p=1.0, n=16, m=10, eps=0.1, rng=rng,
+                              track="nonsense")
+
+
+class TestRobustFpPaths:
+    def test_tracks_norm(self):
+        ups = zipfian_stream(256, 2000, np.random.default_rng(8))
+        algo = RobustFpPaths(
+            p=1.5, n=256, m=2000, eps=0.3, rng=np.random.default_rng(9)
+        )
+        assert _worst_error(algo, ups, lambda f: f.lp(1.5)) <= 0.3
+
+    def test_paper_delta0_reported(self):
+        algo = RobustFpPaths(
+            p=1.0, n=1 << 14, m=1 << 14, eps=0.1, rng=np.random.default_rng(10)
+        )
+        assert algo.paper_log2_delta0 < -100
+
+    def test_changes_bounded(self):
+        ups = zipfian_stream(256, 1500, np.random.default_rng(11))
+        algo = RobustFpPaths(
+            p=1.0, n=256, m=1500, eps=0.4, rng=np.random.default_rng(12)
+        )
+        _worst_error(algo, ups, lambda f: f.lp(1))
+        import math
+
+        assert algo.changes <= math.log(1500) / math.log1p(0.2) + 3
+
+
+class TestRobustTurnstileFp:
+    def test_tracks_wave_stream(self):
+        """Theorem 4.3 on its promised class: bounded-flip turnstile."""
+        ups = turnstile_wave_stream(256, 2000, np.random.default_rng(13),
+                                    waves=3)
+        algo = RobustTurnstileFp(
+            p=2.0, n=256, m=2000, eps=0.4, lam=64,
+            rng=np.random.default_rng(14),
+        )
+        # Judge only when the moment is well above the sketch noise floor.
+        worst = _worst_error(algo, ups, lambda f: f.fp(2), skip=50, floor=25.0)
+        assert worst <= 0.45
+
+    def test_deletions_supported(self):
+        algo = RobustTurnstileFp(
+            p=1.0, n=64, m=100, eps=0.4, lam=8, rng=np.random.default_rng(15)
+        )
+        algo.process_update(3, 10)
+        algo.process_update(3, -10)
+        algo.process_update(5, 7)
+        assert algo.query() == pytest.approx(7.0, rel=0.5)
+
+    def test_paper_delta_target(self):
+        algo = RobustTurnstileFp(
+            p=1.0, n=1 << 10, m=100, eps=0.3, lam=50,
+            rng=np.random.default_rng(16),
+        )
+        assert algo.paper_log2_delta0 == pytest.approx(-50 * 10)
+
+    def test_invalid_lam(self):
+        with pytest.raises(ValueError):
+            RobustTurnstileFp(p=1.0, n=16, m=10, eps=0.1, lam=0,
+                              rng=np.random.default_rng(0))
+
+
+class TestRobustFpHigh:
+    def test_tracks_f3_on_skewed_stream(self):
+        ups = zipfian_stream(512, 3000, np.random.default_rng(17), s=1.6)
+        algo = RobustFpHigh(
+            p=3.0, n=512, m=3000, eps=0.3, rng=np.random.default_rng(18)
+        )
+        # Constant-factor regime for the simplified level-set recovery.
+        worst = _worst_error(algo, ups, lambda f: f.fp(3), skip=300)
+        assert worst <= 0.6
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            RobustFpHigh(p=2.0, n=16, m=10, eps=0.1,
+                         rng=np.random.default_rng(0))

@@ -1,0 +1,194 @@
+"""Tests for robust heavy hitters, entropy, bounded deletion, crypto F0."""
+
+import numpy as np
+import pytest
+
+from repro.robust.bounded_deletion import RobustBoundedDeletionFp
+from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.entropy import RobustEntropy
+from repro.robust.heavy_hitters import RobustHeavyHitters
+from repro.streams.frequency import FrequencyVector
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    planted_heavy_hitters_stream,
+)
+
+
+class TestRobustHeavyHitters:
+    @pytest.fixture(scope="class")
+    def planted_run(self):
+        rng = np.random.default_rng(0)
+        hh = RobustHeavyHitters(n=2048, m=3000, eps=0.25, rng=rng, copies=10)
+        ups = planted_heavy_hitters_stream(
+            2048, 3000, np.random.default_rng(1), heavy_items=6, heavy_mass=0.55
+        )
+        truth = FrequencyVector()
+        for u in ups:
+            truth.update(u.item, u.delta)
+            hh.update(u.item, u.delta)
+        return hh, truth
+
+    def test_finds_all_planted_heavies(self, planted_run):
+        hh, truth = planted_run
+        assert truth.l2_heavy_hitters(hh.eps) <= hh.heavy_hitters()
+
+    def test_no_far_below_threshold_items(self, planted_run):
+        hh, truth = planted_run
+        floor = (hh.eps / 4) * truth.lp(2)
+        assert all(truth[i] >= floor for i in hh.heavy_hitters())
+
+    def test_point_queries_accurate_for_heavies(self, planted_run):
+        hh, truth = planted_run
+        bound = 2 * hh.eps * truth.lp(2)
+        for i in truth.l2_heavy_hitters(hh.eps):
+            assert abs(hh.point_query(i) - truth[i]) <= bound
+
+    def test_l2_estimate_tracks_norm(self, planted_run):
+        hh, truth = planted_run
+        assert hh.l2_estimate() == pytest.approx(truth.lp(2), rel=0.3)
+
+    def test_epochs_bounded(self, planted_run):
+        hh, _ = planted_run
+        import math
+
+        assert hh.epochs <= math.log(3000) / math.log1p(0.125 / 2) + 8
+
+    def test_untracked_point_query_is_zero(self):
+        hh = RobustHeavyHitters(n=64, m=10, eps=0.5,
+                                rng=np.random.default_rng(2), copies=4)
+        assert hh.point_query(42) == 0.0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            RobustHeavyHitters(n=16, m=10, eps=0.0,
+                               rng=np.random.default_rng(0))
+
+
+class TestRobustEntropy:
+    def test_tracks_uniformising_stream(self):
+        algo = RobustEntropy(n=1024, m=2500, eps=0.4,
+                             rng=np.random.default_rng(3), copies=24)
+        truth = FrequencyVector()
+        worst = 0.0
+        for i in range(2500):
+            item = i % 128
+            truth.update(item, 1)
+            out = algo.process_update(item, 1)
+            if i >= 100:
+                worst = max(worst, abs(out - truth.shannon_entropy()))
+        assert worst <= 0.4
+
+    def test_tracks_skewed_stream(self):
+        algo = RobustEntropy(n=512, m=2000, eps=0.5,
+                             rng=np.random.default_rng(4), copies=24)
+        rng = np.random.default_rng(5)
+        truth = FrequencyVector()
+        worst = 0.0
+        for i in range(2000):
+            item = 0 if rng.random() < 0.7 else int(rng.integers(1, 512))
+            truth.update(item, 1)
+            out = algo.process_update(item, 1)
+            if i >= 200:
+                worst = max(worst, abs(out - truth.shannon_entropy()))
+        assert worst <= 0.5
+
+    def test_paper_copies_reported(self):
+        algo = RobustEntropy(n=1 << 12, m=1 << 12, eps=0.2,
+                             rng=np.random.default_rng(6), copies=8)
+        assert algo.paper_copies > algo.copies
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            RobustEntropy(n=16, m=10, eps=0.0, rng=np.random.default_rng(0))
+
+
+class TestRobustBoundedDeletion:
+    @pytest.mark.parametrize("alpha", [2.0, 8.0])
+    def test_tracks_f1_under_deletions(self, alpha):
+        ups = bounded_deletion_stream(
+            128, 1200, np.random.default_rng(int(alpha)), alpha=alpha, p=1.0
+        )
+        algo = RobustBoundedDeletionFp(
+            p=1.0, n=128, m=1200, eps=0.35, alpha=alpha,
+            rng=np.random.default_rng(7),
+        )
+        truth = FrequencyVector()
+        worst = 0.0
+        for t, u in enumerate(ups):
+            truth.update(u.item, u.delta)
+            out = algo.process_update(u.item, u.delta)
+            g = truth.fp(1)
+            if t >= 100 and g > 20:
+                worst = max(worst, abs(out - g) / g)
+        assert worst <= 0.4
+
+    def test_flip_bound_grows_with_alpha(self):
+        a2 = RobustBoundedDeletionFp(p=1.0, n=256, m=100, eps=0.3, alpha=2.0,
+                                     rng=np.random.default_rng(8))
+        a16 = RobustBoundedDeletionFp(p=1.0, n=256, m=100, eps=0.3, alpha=16.0,
+                                      rng=np.random.default_rng(9))
+        assert a16.flip_bound > a2.flip_bound
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RobustBoundedDeletionFp(p=0.5, n=16, m=10, eps=0.1, alpha=2, rng=rng)
+        with pytest.raises(ValueError):
+            RobustBoundedDeletionFp(p=1.0, n=16, m=10, eps=0.1, alpha=0.5,
+                                    rng=rng)
+
+
+class TestCryptoDistinct:
+    def test_tracks_fresh_items(self):
+        algo = CryptoRobustDistinctElements(n=1 << 14, eps=0.15,
+                                            rng=np.random.default_rng(10))
+        truth = FrequencyVector()
+        worst = 0.0
+        for i in range(4000):
+            truth.update(i, 1)
+            out = algo.process_update(i, 1)
+            if i >= 100:
+                worst = max(worst, abs(out - truth.f0()) / truth.f0())
+        assert worst <= 0.2
+
+    def test_duplicates_leak_nothing(self):
+        """The Theorem 10.1 state property survives the PRP preprocessing."""
+        algo = CryptoRobustDistinctElements(n=1 << 10, eps=0.3,
+                                            rng=np.random.default_rng(11))
+        for i in range(200):
+            algo.update(i)
+        before = algo.state_fingerprint()
+        for i in range(200):
+            algo.update(i)
+        assert algo.state_fingerprint() == before
+
+    def test_space_overhead_is_just_the_key(self):
+        charged = CryptoRobustDistinctElements(
+            n=1 << 10, eps=0.3, rng=np.random.default_rng(12),
+            oracle_mode=False,
+        )
+        oracle = CryptoRobustDistinctElements(
+            n=1 << 10, eps=0.3, rng=np.random.default_rng(12),
+            oracle_mode=True,
+        )
+        assert charged.space_bits() - oracle.space_bits() == 128
+
+    def test_hll_base(self):
+        algo = CryptoRobustDistinctElements(
+            n=1 << 12, eps=0.1, rng=np.random.default_rng(13), base="hll"
+        )
+        for i in range(3000):
+            algo.update(i)
+        assert algo.query() == pytest.approx(3000, rel=0.25)
+
+    def test_rejects_deletions(self):
+        algo = CryptoRobustDistinctElements(n=64, eps=0.5,
+                                            rng=np.random.default_rng(14))
+        with pytest.raises(ValueError):
+            algo.update(1, -1)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            CryptoRobustDistinctElements(n=64, eps=0.5,
+                                         rng=np.random.default_rng(0),
+                                         base="bloom")

@@ -1,0 +1,104 @@
+"""Tests for the AMS F2 sketches (full-independence and 4-wise variants)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.ams import AMSFullSketch, AMSSketch
+from repro.streams.frequency import FrequencyVector
+
+
+class TestAMSFullSketch:
+    def test_unit_vector_estimate(self):
+        # |S e_i|^2 = 1 exactly (each column has norm 1 by construction).
+        s = AMSFullSketch(t=32, n=100, rng=np.random.default_rng(0))
+        s.update(5, 1)
+        assert s.query() == pytest.approx(1.0)
+
+    def test_linear_updates(self):
+        s = AMSFullSketch(t=16, n=50, rng=np.random.default_rng(1))
+        s.update(3, 2)
+        s.update(3, -2)
+        assert s.query() == pytest.approx(0.0, abs=1e-12)
+
+    def test_static_accuracy(self):
+        errors = []
+        for seed in range(12):
+            s = AMSFullSketch(t=256, n=200, rng=np.random.default_rng(seed))
+            truth = FrequencyVector()
+            rng = np.random.default_rng(1000 + seed)
+            for _ in range(500):
+                item = int(rng.integers(0, 200))
+                s.update(item, 1)
+                truth.update(item, 1)
+            errors.append(abs(s.query() - truth.fp(2)) / truth.fp(2))
+        # t = 256 rows: typical relative error ~ sqrt(2/t) ~ 9%.
+        assert float(np.median(errors)) < 0.2
+
+    def test_column_norm(self):
+        s = AMSFullSketch(t=64, n=30, rng=np.random.default_rng(2))
+        col = s.column(7)
+        assert np.dot(col, col) == pytest.approx(1.0)
+
+    def test_out_of_range_item(self):
+        s = AMSFullSketch(t=4, n=10, rng=np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            s.update(10, 1)
+
+    def test_space_charges_counters_only(self):
+        s = AMSFullSketch(t=64, n=10_000, rng=np.random.default_rng(4))
+        assert s.space_bits() == 64 * 64
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AMSFullSketch(t=0, n=5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            AMSFullSketch(t=5, n=0, rng=np.random.default_rng(0))
+
+
+class TestAMSSketch:
+    def test_static_accuracy(self):
+        sketch = AMSSketch.for_accuracy(0.2, 0.05, np.random.default_rng(5))
+        truth = FrequencyVector()
+        rng = np.random.default_rng(6)
+        for _ in range(2000):
+            item = int(rng.integers(0, 100))
+            sketch.update(item, 1)
+            truth.update(item, 1)
+        est = sketch.query()
+        assert est == pytest.approx(truth.fp(2), rel=0.25)
+
+    def test_turnstile(self):
+        sketch = AMSSketch(rows_per_group=64, groups=5, rng=np.random.default_rng(7))
+        sketch.update(1, 10)
+        sketch.update(2, 5)
+        sketch.update(1, -10)
+        assert sketch.query() == pytest.approx(25.0, rel=0.5)
+
+    def test_query_l2(self):
+        sketch = AMSSketch(rows_per_group=128, groups=5, rng=np.random.default_rng(8))
+        sketch.update(0, 6)
+        sketch.update(1, 8)
+        assert sketch.query_l2() == pytest.approx(10.0, rel=0.3)
+
+    def test_for_accuracy_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            AMSSketch.for_accuracy(0.0, 0.1, rng)
+        with pytest.raises(ValueError):
+            AMSSketch.for_accuracy(0.1, 1.5, rng)
+
+    def test_groups_odd(self):
+        sketch = AMSSketch.for_accuracy(0.3, 0.5, np.random.default_rng(9))
+        assert sketch.groups % 2 == 1
+
+    def test_sign_cache_consistency(self):
+        sketch = AMSSketch(rows_per_group=8, groups=3, rng=np.random.default_rng(10))
+        sketch.update(42, 1)
+        y_after_one = sketch._y.copy()
+        sketch.update(42, 1)
+        # Second insertion must add exactly the same column again.
+        assert np.allclose(sketch._y, 2 * y_after_one)
+
+    def test_space_accounting(self):
+        sketch = AMSSketch(rows_per_group=4, groups=3, rng=np.random.default_rng(11))
+        assert sketch.space_bits() >= 12 * 64

@@ -1,0 +1,123 @@
+"""Tests for cascaded norms (exact, static sketch, robust wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flip_number import (
+    cascaded_norm_flip_number_bound,
+    measured_flip_number,
+)
+from repro.sketches.cascaded import (
+    CascadedNormSketch,
+    ExactCascadedNorm,
+    RobustCascadedNorm,
+    flatten_index,
+    unflatten_index,
+)
+
+
+class TestIndexing:
+    def test_roundtrip(self):
+        for row, col in [(0, 0), (3, 7), (100, 15)]:
+            item = flatten_index(row, col, 16)
+            assert unflatten_index(item, 16) == (row, col)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            flatten_index(0, 16, 16)
+        with pytest.raises(ValueError):
+            flatten_index(-1, 0, 16)
+
+
+class TestExactCascadedNorm:
+    def test_single_row_is_lk_norm(self):
+        exact = ExactCascadedNorm(p=1.0, k=2.0, num_cols=8)
+        exact.update(flatten_index(0, 0, 8), 3)
+        exact.update(flatten_index(0, 1, 8), 4)
+        assert exact.query() == pytest.approx(5.0)
+
+    def test_p2_k2_is_frobenius(self):
+        exact = ExactCascadedNorm(p=2.0, k=2.0, num_cols=4)
+        entries = {(0, 0): 1, (0, 1): 2, (1, 2): 2}
+        for (r, c), v in entries.items():
+            exact.update(flatten_index(r, c, 4), v)
+        frob = (1 + 4 + 4) ** 0.5
+        assert exact.query() == pytest.approx(frob)
+
+    def test_monotone_under_insertions(self):
+        exact = ExactCascadedNorm(p=1.5, k=1.0, num_cols=8)
+        rng = np.random.default_rng(0)
+        prev = 0.0
+        for _ in range(200):
+            exact.update(int(rng.integers(0, 64)), 1)
+            cur = exact.query()
+            assert cur >= prev - 1e-9
+            prev = cur
+
+    def test_invalid_orders(self):
+        with pytest.raises(ValueError):
+            ExactCascadedNorm(p=0, k=1, num_cols=4)
+        with pytest.raises(ValueError):
+            ExactCascadedNorm(p=1, k=1, num_cols=0)
+
+
+class TestCascadedNormSketch:
+    def test_tracks_exact(self):
+        exact = ExactCascadedNorm(p=1.0, k=2.0, num_cols=32)
+        sketch = CascadedNormSketch(p=1.0, k=2.0, num_cols=32,
+                                    rows_per_sketch=400,
+                                    rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        for _ in range(2000):
+            item = int(rng.integers(0, 8 * 32))
+            exact.update(item)
+            sketch.update(item)
+        assert sketch.query() == pytest.approx(exact.query(), rel=0.15)
+
+    def test_turnstile(self):
+        sketch = CascadedNormSketch(p=2.0, k=2.0, num_cols=8,
+                                    rows_per_sketch=300,
+                                    rng=np.random.default_rng(3))
+        sketch.update(flatten_index(0, 0, 8), 10)
+        sketch.update(flatten_index(0, 0, 8), -10)
+        sketch.update(flatten_index(1, 3, 8), 6)
+        assert sketch.query() == pytest.approx(6.0, rel=0.25)
+
+    def test_invalid_inner_order(self):
+        with pytest.raises(ValueError):
+            CascadedNormSketch(p=1.0, k=3.0, num_cols=4, rows_per_sketch=8,
+                               rng=np.random.default_rng(0))
+
+
+class TestRobustCascadedNorm:
+    def test_tracks_matrix_stream(self):
+        num_rows, num_cols = 16, 16
+        robust = RobustCascadedNorm(
+            p=1.0, k=2.0, num_rows=num_rows, num_cols=num_cols,
+            m=1500, eps=0.35, rng=np.random.default_rng(4), copies=12,
+            rows_per_sketch=200,
+        )
+        exact = ExactCascadedNorm(p=1.0, k=2.0, num_cols=num_cols)
+        rng = np.random.default_rng(5)
+        worst = 0.0
+        for t in range(1500):
+            row = int(rng.integers(0, num_rows))
+            col = int(rng.integers(0, num_cols))
+            robust.update_entry(row, col, 1)
+            exact.update(flatten_index(row, col, num_cols), 1)
+            if t >= 150:
+                truth = exact.query()
+                worst = max(worst, abs(robust.query() - truth) / truth)
+        assert worst <= 0.35
+
+    def test_flip_number_bound_covers_trajectory(self):
+        exact = ExactCascadedNorm(p=1.0, k=2.0, num_cols=8)
+        rng = np.random.default_rng(6)
+        traj = []
+        for _ in range(800):
+            exact.update(int(rng.integers(0, 64)), 1)
+            traj.append(exact.query())
+        eps = 0.3
+        measured = measured_flip_number(traj, eps)
+        bound = cascaded_norm_flip_number_bound(eps, 8, 8, 1.0, 2.0, M=800)
+        assert measured <= bound

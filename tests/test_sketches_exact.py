@@ -1,0 +1,104 @@
+"""Tests for the deterministic exact baselines (Table 1 deterministic column)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.exact import (
+    ExactDistinctCounter,
+    ExactEntropyCounter,
+    ExactHeavyHitters,
+    ExactMomentCounter,
+    deterministic_f0_lower_bound_bits,
+    deterministic_l2hh_lower_bound_bits,
+)
+
+
+class TestExactDistinct:
+    def test_counts_distinct(self):
+        c = ExactDistinctCounter()
+        for i in [1, 2, 2, 3, 1]:
+            c.update(i)
+        assert c.query() == 3.0
+
+    def test_deletion(self):
+        c = ExactDistinctCounter()
+        c.update(1, 2)
+        c.update(1, -2)
+        assert c.query() == 0.0
+
+    def test_space_grows_with_support(self):
+        c = ExactDistinctCounter()
+        before = c.space_bits()
+        for i in range(100):
+            c.update(i)
+        assert c.space_bits() >= before + 99 * 64
+
+
+class TestExactMoment:
+    @pytest.mark.parametrize("p", [0, 1, 2, 3])
+    def test_matches_direct_computation(self, p):
+        c = ExactMomentCounter(p)
+        freqs = {0: 3, 1: 1, 2: 2}
+        for item, count in freqs.items():
+            c.update(item, count)
+        expected = sum(v**p for v in freqs.values()) if p > 0 else len(freqs)
+        assert c.query() == pytest.approx(expected)
+
+    def test_norm_mode(self):
+        c = ExactMomentCounter(2, return_norm=True)
+        c.update(0, 3)
+        c.update(1, 4)
+        assert c.query() == pytest.approx(5.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            ExactMomentCounter(-1)
+
+
+class TestExactEntropy:
+    def test_uniform(self):
+        c = ExactEntropyCounter()
+        for i in range(4):
+            c.update(i)
+        assert c.query() == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert ExactEntropyCounter().query() == 0.0
+
+
+class TestExactHeavyHitters:
+    def test_recovers_planted(self):
+        hh = ExactHeavyHitters(eps=0.5, p=2)
+        hh.update(0, 100)
+        for i in range(1, 20):
+            hh.update(i, 1)
+        assert 0 in hh.heavy_hitters()
+        assert hh.point_query(0) == 100.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ExactHeavyHitters(eps=0.0)
+        with pytest.raises(ValueError):
+            ExactHeavyHitters(eps=0.5, p=0)
+
+    def test_query_counts_set(self):
+        hh = ExactHeavyHitters(eps=0.9, p=2)
+        hh.update(0, 10)
+        assert hh.query() == 1.0
+
+
+class TestLowerBounds:
+    def test_f0_bound_is_linear(self):
+        assert deterministic_f0_lower_bound_bits(1 << 16) == 1 << 16
+
+    def test_l2hh_bound_is_sqrt(self):
+        assert deterministic_l2hh_lower_bound_bits(1 << 16) == 1 << 8
+
+
+class TestInsertionOnlyGuard:
+    def test_process_update_rejects_deletion_on_insertion_only(self):
+        from repro.sketches.kmv import KMVSketch
+
+        sketch = KMVSketch(4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sketch.process_update(1, -1)

@@ -1,0 +1,149 @@
+"""Tests for CountSketch, CountMin, and Misra-Gries point-query sketches."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.misra_gries import MisraGries
+from repro.streams.frequency import FrequencyVector
+
+
+def _feed(sketch, stream):
+    truth = FrequencyVector()
+    for item, delta in stream:
+        sketch.update(item, delta)
+        truth.update(item, delta)
+    return truth
+
+
+class TestCountSketch:
+    def test_point_query_accuracy(self):
+        cs = CountSketch.for_accuracy(0.2, 0.01, n=1000, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        stream = [(0, 1)] * 200 + [(int(rng.integers(1, 1000)), 1) for _ in range(800)]
+        truth = _feed(cs, stream)
+        bound = 0.2 * truth.lp(2)
+        assert abs(cs.point_query(0) - truth[0]) <= bound
+
+    def test_turnstile(self):
+        cs = CountSketch(width=64, rows=5, rng=np.random.default_rng(2))
+        cs.update(7, 10)
+        cs.update(7, -4)
+        assert cs.point_query(7) == pytest.approx(6.0, abs=3.0)
+
+    def test_f2_estimate(self):
+        cs = CountSketch(width=256, rows=7, rng=np.random.default_rng(3))
+        truth = _feed(cs, [(i % 50, 1) for i in range(2000)])
+        assert cs.f2_estimate() == pytest.approx(truth.fp(2), rel=0.3)
+
+    def test_heavy_hitters_recovery(self):
+        cs = CountSketch.for_accuracy(0.1, 0.01, n=500, rng=np.random.default_rng(4))
+        rng = np.random.default_rng(5)
+        stream = [(0, 1)] * 300 + [(1, 1)] * 250 + [
+            (int(rng.integers(2, 500)), 1) for _ in range(450)
+        ]
+        truth = _feed(cs, stream)
+        found = cs.heavy_hitters(0.3 * truth.lp(2))
+        assert {0, 1} <= found
+
+    def test_candidate_pruning_bounds_memory(self):
+        cs = CountSketch(width=32, rows=3, rng=np.random.default_rng(6),
+                         track_candidates=8)
+        for i in range(1000):
+            cs.update(i, 1)
+        assert len(cs._candidates) <= 32
+
+    def test_item_cache_correctness(self):
+        cached = CountSketch(width=64, rows=5, rng=np.random.default_rng(7),
+                             cache_items=True)
+        uncached = CountSketch(width=64, rows=5, rng=np.random.default_rng(7),
+                               cache_items=False)
+        for i in [3, 3, 5, 3, 9]:
+            cached.update(i, 1)
+            uncached.update(i, 1)
+        for i in [3, 5, 9, 11]:
+            assert cached.point_query(i) == uncached.point_query(i)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0, rows=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            CountSketch.for_accuracy(1.5, 0.1, 10, np.random.default_rng(0))
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cm = CountMinSketch(width=64, rows=4, rng=np.random.default_rng(8))
+        truth = _feed(cm, [(i % 30, 1) for i in range(600)])
+        for i in range(30):
+            assert cm.point_query(i) >= truth[i]
+
+    def test_overestimate_bounded(self):
+        cm = CountMinSketch.for_accuracy(0.05, 0.01, np.random.default_rng(9))
+        truth = _feed(cm, [(i % 100, 1) for i in range(2000)])
+        for i in range(0, 100, 7):
+            assert cm.point_query(i) <= truth[i] + 0.1 * truth.f1()
+
+    def test_rejects_deletions(self):
+        cm = CountMinSketch(width=8, rows=2, rng=np.random.default_rng(10))
+        with pytest.raises(ValueError):
+            cm.update(1, -1)
+
+    def test_query_is_f1(self):
+        cm = CountMinSketch(width=8, rows=2, rng=np.random.default_rng(11))
+        cm.update(1, 5)
+        cm.update(2, 3)
+        assert cm.query() == 8.0
+
+
+class TestMisraGries:
+    def test_exact_below_capacity(self):
+        mg = MisraGries(k=10)
+        for item, count in [(0, 5), (1, 3), (2, 2)]:
+            for _ in range(count):
+                mg.update(item)
+        assert mg.point_query(0) == 5.0
+        assert mg.point_query(1) == 3.0
+
+    def test_underestimate_bound(self):
+        mg = MisraGries(k=9)
+        rng = np.random.default_rng(12)
+        truth = FrequencyVector()
+        for _ in range(2000):
+            item = int(rng.integers(0, 100))
+            mg.update(item)
+            truth.update(item)
+        slack = mg.underestimate_bound()
+        for i in range(100):
+            est = mg.point_query(i)
+            assert est <= truth[i]
+            assert est >= truth[i] - slack - 1e-9
+
+    def test_heavy_hitters_l1(self):
+        mg = MisraGries.for_l1_accuracy(0.1)
+        truth = FrequencyVector()
+        stream = [0] * 400 + [1] * 300 + list(range(2, 302))
+        for item in stream:
+            mg.update(item)
+            truth.update(item)
+        found = mg.heavy_hitters(0.1 * truth.f1())
+        assert {0, 1} <= found
+
+    def test_l2_baseline_counter_count(self):
+        mg = MisraGries.for_l2_baseline(10_000)
+        assert mg.k == 200  # 2 * sqrt(n)
+
+    def test_space_bounded_by_k(self):
+        mg = MisraGries(k=5)
+        for i in range(1000):
+            mg.update(i)
+        assert len(mg._counters) <= 5
+
+    def test_rejects_deletions(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=2).update(1, -1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MisraGries(k=0)

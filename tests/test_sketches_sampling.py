@@ -1,0 +1,145 @@
+"""Tests for the sampling substrate and the [5]-style adaptivity facts."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.sampling import (
+    AdaptiveFractionOracle,
+    BernoulliSampler,
+    ReservoirSampler,
+    adaptive_oversampling_factor,
+    adaptive_sample_size,
+    static_sample_size,
+)
+
+
+class TestReservoirSampler:
+    def test_sample_size_capped_at_k(self):
+        r = ReservoirSampler(10, np.random.default_rng(0))
+        for i in range(1000):
+            r.update(i)
+        assert len(r.sample) == 10
+
+    def test_small_stream_kept_entirely(self):
+        r = ReservoirSampler(100, np.random.default_rng(1))
+        for i in range(30):
+            r.update(i)
+        assert sorted(r.sample) == list(range(30))
+
+    def test_uniformity(self):
+        # Each of 200 items should appear in the 50-sample w.p. 1/4.
+        hits = np.zeros(200)
+        for seed in range(60):
+            r = ReservoirSampler(50, np.random.default_rng(seed))
+            for i in range(200):
+                r.update(i)
+            for x in r.sample:
+                hits[x] += 1
+        freq = hits / 60
+        assert abs(float(freq.mean()) - 0.25) < 0.02
+        # No position bias: early items not favoured over late ones.
+        assert abs(float(freq[:100].mean() - freq[100:].mean())) < 0.08
+
+    def test_fraction_estimate(self):
+        r = ReservoirSampler(500, np.random.default_rng(2))
+        for i in range(5000):
+            r.update(i % 10)
+        est = r.estimate_fraction(lambda x: x < 3)
+        assert est == pytest.approx(0.3, abs=0.08)
+
+    def test_multiplicity_respected(self):
+        r = ReservoirSampler(200, np.random.default_rng(3))
+        r.update(0, 900)
+        r.update(1, 100)
+        est = r.estimate_fraction(lambda x: x == 0)
+        assert est == pytest.approx(0.9, abs=0.08)
+
+    def test_rejects_deletions(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(4, np.random.default_rng(0)).update(1, -1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0, np.random.default_rng(0))
+
+
+class TestBernoulliSampler:
+    def test_rate_controls_sample_size(self):
+        b = BernoulliSampler(0.1, np.random.default_rng(4))
+        for i in range(5000):
+            b.update(i)
+        assert len(b.sample) == pytest.approx(500, rel=0.25)
+
+    def test_count_estimate(self):
+        b = BernoulliSampler(0.2, np.random.default_rng(5))
+        for i in range(5000):
+            b.update(i % 100)
+        est = b.estimate_count(lambda x: x < 50)
+        assert est == pytest.approx(2500, rel=0.2)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BernoulliSampler(0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            BernoulliSampler(1.5, np.random.default_rng(0))
+
+
+class TestSampleSizing:
+    def test_static_size_grows_with_precision(self):
+        assert static_sample_size(0.01, 0.05) > static_sample_size(0.1, 0.05)
+
+    def test_oversampling_factor_logarithmic(self):
+        f10 = adaptive_oversampling_factor(10, 0.05)
+        f1000 = adaptive_oversampling_factor(1000, 0.05)
+        assert 1.0 < f10 < f1000
+        # log growth: 100x more queries adds ~ log(100) / log(2/delta).
+        assert f1000 / f10 < 3.0
+
+    def test_adaptive_size_integer_and_larger(self):
+        static = static_sample_size(0.1, 0.05)
+        adaptive = adaptive_sample_size(0.1, 0.05, num_queries=1000)
+        assert adaptive > static
+        assert isinstance(adaptive, int)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            static_sample_size(0.0, 0.1)
+        with pytest.raises(ValueError):
+            adaptive_oversampling_factor(0, 0.1)
+
+
+class TestAdaptivityPhenomena:
+    def test_post_hoc_query_defeats_any_sample(self):
+        """The overfitting gap: estimate 0 vs truth ~ 1 - k/N."""
+        r = ReservoirSampler(50, np.random.default_rng(6))
+        inserted = set()
+        for i in range(2000):
+            r.update(i)
+            inserted.add(i)
+        true_frac, est_frac = AdaptiveFractionOracle.gap(inserted, r.sample)
+        assert est_frac == 0.0
+        assert true_frac > 0.9
+
+    def test_fixed_query_class_survives_adaptive_stream(self):
+        """With [5]-style oversampling, a pre-registered query class stays
+        accurate even when the stream adapts to the published sample."""
+        rng = np.random.default_rng(7)
+        queries = [
+            (lambda lo: (lambda x: x % 16 == lo))(lo) for lo in range(16)
+        ]
+        k = adaptive_sample_size(0.1, 0.05, num_queries=len(queries))
+        sampler = ReservoirSampler(k, np.random.default_rng(8))
+        counts = np.zeros(16)
+        total = 0
+        for t in range(6000):
+            # Adversary: inserts into the residue class the *sample*
+            # currently under-represents most (maximal steering).
+            fractions = [sampler.estimate_fraction(q) for q in queries]
+            target = int(np.argmin(fractions))
+            item = target + 16 * int(rng.integers(0, 100))
+            sampler.update(item)
+            counts[item % 16] += 1
+            total += 1
+        for lo, q in enumerate(queries):
+            true_frac = counts[lo] / total
+            assert abs(sampler.estimate_fraction(q) - true_frac) <= 0.1

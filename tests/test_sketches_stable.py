@@ -1,0 +1,116 @@
+"""Tests for the p-stable Fp sketches, including the CMS sampler itself."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches.stable import (
+    PStableSketch,
+    sample_symmetric_stable,
+    stable_median_abs,
+)
+from repro.streams.frequency import FrequencyVector
+
+
+class TestCMSSampler:
+    def test_p1_is_cauchy(self):
+        # Median |Cauchy| = tan(pi/4) = 1.
+        x = sample_symmetric_stable(1.0, np.random.default_rng(0), 200_000)
+        assert float(np.median(np.abs(x))) == pytest.approx(1.0, rel=0.02)
+
+    def test_p2_is_gaussian_variance_2(self):
+        x = sample_symmetric_stable(2.0, np.random.default_rng(1), 200_000)
+        assert float(np.var(x)) == pytest.approx(2.0, rel=0.05)
+
+    def test_symmetry(self):
+        for p in (0.5, 1.3, 2.0):
+            x = sample_symmetric_stable(p, np.random.default_rng(2), 100_000)
+            # Median of a symmetric law is 0.
+            assert abs(float(np.median(x))) < 0.05
+
+    def test_stability_property(self):
+        # X1 + X2 ~ 2^(1/p) X for p-stable laws: compare median |.|.
+        p = 1.5
+        rng = np.random.default_rng(3)
+        x1 = sample_symmetric_stable(p, rng, 150_000)
+        x2 = sample_symmetric_stable(p, rng, 150_000)
+        lhs = float(np.median(np.abs(x1 + x2)))
+        rhs = 2 ** (1 / p) * float(np.median(np.abs(x1)))
+        assert lhs == pytest.approx(rhs, rel=0.05)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            sample_symmetric_stable(0.0, np.random.default_rng(0), 10)
+        with pytest.raises(ValueError):
+            sample_symmetric_stable(2.5, np.random.default_rng(0), 10)
+
+
+class TestStableMedian:
+    def test_known_anchors(self):
+        assert stable_median_abs(1.0) == 1.0
+        # p=2: sqrt(2) * Phi^{-1}(3/4) ~ 0.95387.
+        assert stable_median_abs(2.0) == pytest.approx(0.9539, rel=0.01)
+
+    def test_cached(self):
+        assert stable_median_abs(1.5) is stable_median_abs(1.5) or (
+            stable_median_abs(1.5) == stable_median_abs(1.5)
+        )
+
+
+class TestPStableSketch:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5, 2.0])
+    def test_norm_accuracy(self, p):
+        sketch = PStableSketch(p, k=600, seed=17)
+        truth = FrequencyVector()
+        rng = np.random.default_rng(4)
+        for _ in range(1500):
+            item = int(rng.integers(0, 100))
+            sketch.update(item)
+            truth.update(item)
+        assert sketch.query() == pytest.approx(truth.lp(p), rel=0.15)
+
+    def test_moment_mode(self):
+        sketch = PStableSketch(2.0, k=600, seed=18, return_moment=True)
+        truth = FrequencyVector()
+        for i in range(200):
+            sketch.update(i % 20)
+            truth.update(i % 20)
+        assert sketch.query() == pytest.approx(truth.fp(2), rel=0.3)
+
+    def test_turnstile_deletions(self):
+        sketch = PStableSketch(1.0, k=400, seed=19)
+        sketch.update(0, 100)
+        sketch.update(1, 50)
+        sketch.update(0, -100)
+        assert sketch.query() == pytest.approx(50.0, rel=0.2)
+
+    def test_deterministic_columns(self):
+        s1 = PStableSketch(1.5, k=32, seed=7)
+        s2 = PStableSketch(1.5, k=32, seed=7)
+        for i in (3, 99, 12345):
+            assert np.array_equal(s1._column(i), s2._column(i))
+
+    def test_cache_equivalence(self):
+        cached = PStableSketch(1.0, k=64, seed=8, cache_columns=True)
+        uncached = PStableSketch(1.0, k=64, seed=8, cache_columns=False)
+        for i in [1, 1, 2, 3, 1]:
+            cached.update(i)
+            uncached.update(i)
+        assert cached.query() == pytest.approx(uncached.query(), rel=1e-12)
+
+    def test_for_accuracy_sizing(self):
+        s = PStableSketch.for_accuracy(1.0, 0.1, 0.05, np.random.default_rng(5))
+        assert s.k >= 1 / 0.1**2
+
+    def test_space_charges_counters_and_seed(self):
+        s = PStableSketch(1.0, k=100, seed=1)
+        assert s.space_bits() == 100 * 64 + 128
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PStableSketch(0.0, k=4, seed=0)
+        with pytest.raises(ValueError):
+            PStableSketch(2.5, k=4, seed=0)
+        with pytest.raises(ValueError):
+            PStableSketch(1.0, k=0, seed=0)

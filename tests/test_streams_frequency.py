@@ -1,0 +1,141 @@
+"""Tests for the exact frequency vector (the adversarial game's referee)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.frequency import FrequencyVector
+
+updates = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(-3, 5).filter(lambda d: d != 0)),
+    max_size=60,
+)
+
+
+def build(us):
+    f = FrequencyVector()
+    for item, delta in us:
+        f.update(item, delta)
+    return f
+
+
+class TestBasicQueries:
+    def test_empty(self):
+        f = FrequencyVector()
+        assert f.f0() == 0
+        assert f.f1() == 0
+        assert f.fp(2) == 0
+        assert f.shannon_entropy() == 0.0
+        assert f.linf() == 0
+
+    def test_simple_counts(self):
+        f = build([(1, 1), (1, 1), (2, 1)])
+        assert f.f0() == 2
+        assert f.f1() == 3
+        assert f.fp(2) == 4 + 1
+        assert f[1] == 2 and f[2] == 1 and f[3] == 0
+
+    def test_deletion_to_zero_removes_support(self):
+        f = build([(5, 2), (5, -2)])
+        assert f.f0() == 0
+        assert 5 not in f.support
+
+    def test_zero_delta_ignored(self):
+        f = FrequencyVector()
+        f.update(1, 0)
+        assert f.updates_processed == 0
+
+    def test_negative_coordinates_counted_by_abs(self):
+        f = build([(1, -3)])
+        assert f.f1() == 3
+        assert f.fp(2) == 9
+        assert f.linf() == 3
+
+
+class TestMoments:
+    @given(updates)
+    def test_f0_is_support_size(self, us):
+        f = build(us)
+        assert f.f0() == len(f.support)
+
+    @given(updates)
+    def test_fp_zero_matches_f0(self, us):
+        f = build(us)
+        assert f.fp(0) == f.f0()
+
+    @given(updates)
+    def test_lp_power_consistency(self, us):
+        f = build(us)
+        assert math.isclose(f.lp(2) ** 2, f.fp(2), rel_tol=1e-9)
+
+    @given(updates)
+    def test_monotonicity_of_norms(self, us):
+        # |f|_1 >= |f|_2 >= |f|_inf for any vector.
+        f = build(us)
+        assert f.f1() + 1e-9 >= f.lp(2) >= f.linf() - 1e-9
+
+    def test_invalid_p(self):
+        f = FrequencyVector()
+        with pytest.raises(ValueError):
+            f.fp(-1)
+        with pytest.raises(ValueError):
+            f.lp(0)
+
+
+class TestEntropy:
+    def test_uniform_distribution(self):
+        f = build([(i, 1) for i in range(8)])
+        assert math.isclose(f.shannon_entropy(base=2), 3.0, abs_tol=1e-9)
+
+    def test_degenerate_distribution(self):
+        f = build([(0, 100)])
+        assert f.shannon_entropy() == 0.0
+
+    @given(updates)
+    def test_entropy_bounds(self, us):
+        f = build(us)
+        h = f.shannon_entropy(base=2)
+        assert -1e-9 <= h <= math.log2(max(f.f0(), 1)) + 1e-9
+
+    def test_renyi_close_to_shannon_near_one(self):
+        f = build([(0, 10), (1, 5), (2, 1)])
+        h = f.shannon_entropy(base=2)
+        h_renyi = f.renyi_entropy(alpha=1.0001, base=2)
+        assert abs(h - h_renyi) < 0.01
+
+    def test_renyi_invalid_alpha(self):
+        f = build([(0, 1)])
+        with pytest.raises(ValueError):
+            f.renyi_entropy(1.0)
+        with pytest.raises(ValueError):
+            f.renyi_entropy(0.0)
+
+
+class TestHeavyHitters:
+    def test_threshold_selection(self):
+        f = build([(0, 10), (1, 5), (2, 1)])
+        assert f.heavy_hitters(6) == {0}
+        assert f.heavy_hitters(5) == {0, 1}
+
+    def test_l2_guarantee_set(self):
+        f = build([(0, 100)] + [(i, 1) for i in range(1, 50)])
+        hh = f.l2_heavy_hitters(0.5)
+        assert 0 in hh
+        assert 1 not in hh
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        f = build([(0, 1)])
+        g = f.copy()
+        g.update(1, 1)
+        assert f.f0() == 1 and g.f0() == 2
+
+    @given(updates)
+    def test_copy_equal_queries(self, us):
+        f = build(us)
+        g = f.copy()
+        assert f.to_dict() == g.to_dict()
+        assert f.f1() == g.f1()

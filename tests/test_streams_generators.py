@@ -1,0 +1,146 @@
+"""Tests for workload generators and stream validators."""
+
+import numpy as np
+import pytest
+
+from repro.streams.frequency import FrequencyVector
+from repro.streams.generators import (
+    bounded_deletion_stream,
+    distinct_ramp_stream,
+    phased_support_stream,
+    planted_heavy_hitters_stream,
+    turnstile_wave_stream,
+    uniform_stream,
+    zipfian_stream,
+)
+from repro.streams.model import StreamParameters
+from repro.streams.validators import (
+    StreamValidationError,
+    check_bounded_deletion,
+    function_trajectory,
+    validate_bounded_deletion,
+    validate_insertion_only,
+    validate_parameters,
+)
+
+
+class TestGenerators:
+    def test_uniform_length_and_domain(self):
+        ups = uniform_stream(100, 500, np.random.default_rng(0))
+        assert len(ups) == 500
+        assert all(0 <= u.item < 100 and u.delta == 1 for u in ups)
+
+    def test_zipfian_skew(self):
+        ups = zipfian_stream(1000, 5000, np.random.default_rng(1), s=1.5)
+        f = FrequencyVector()
+        for u in ups:
+            f.update(u.item, u.delta)
+        # Item 0 should dominate under heavy skew.
+        assert f[0] > f.f1() / 20
+
+    def test_zipfian_invalid_s(self):
+        with pytest.raises(ValueError):
+            zipfian_stream(10, 10, np.random.default_rng(0), s=0)
+
+    def test_distinct_ramp(self):
+        ups = distinct_ramp_stream(1000, 100)
+        f = FrequencyVector()
+        for i, u in enumerate(ups):
+            f.update(u.item, u.delta)
+            assert f.f0() == i + 1
+
+    def test_planted_heavy_hitters(self):
+        ups = planted_heavy_hitters_stream(
+            1000, 4000, np.random.default_rng(2), heavy_items=4, heavy_mass=0.6
+        )
+        f = FrequencyVector()
+        for u in ups:
+            f.update(u.item, u.delta)
+        heavy_mass = sum(f[i] for i in range(4))
+        assert heavy_mass > 0.4 * f.f1()
+
+    def test_planted_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            planted_heavy_hitters_stream(10, 10, rng, heavy_mass=1.5)
+        with pytest.raises(ValueError):
+            planted_heavy_hitters_stream(10, 10, rng, heavy_items=10)
+
+    def test_phased_support(self):
+        ups = phased_support_stream(400, 800, np.random.default_rng(3), phases=4)
+        validate_insertion_only(ups)
+        assert len(ups) == 800
+
+    def test_bounded_deletion_satisfies_definition(self):
+        for alpha in (2.0, 4.0, 16.0):
+            ups = bounded_deletion_stream(
+                64, 600, np.random.default_rng(int(alpha)), alpha=alpha, p=1.0
+            )
+            assert check_bounded_deletion(ups, alpha, p=1.0)
+
+    def test_bounded_deletion_contains_deletions(self):
+        ups = bounded_deletion_stream(64, 600, np.random.default_rng(5), alpha=4.0)
+        assert any(u.delta < 0 for u in ups)
+
+    def test_bounded_deletion_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            bounded_deletion_stream(10, 10, np.random.default_rng(0), alpha=0.5)
+
+    def test_turnstile_wave_flips(self):
+        ups = turnstile_wave_stream(256, 2000, np.random.default_rng(6), waves=4)
+        traj = function_trajectory(ups, lambda f: f.fp(1))
+        # The F1 mass must rise and fall repeatedly.
+        peak = max(traj)
+        assert traj[-1] < peak
+        assert any(u.delta < 0 for u in ups)
+
+    def test_turnstile_no_negative_coordinates(self):
+        ups = turnstile_wave_stream(256, 1200, np.random.default_rng(7), waves=3)
+        f = FrequencyVector()
+        for u in ups:
+            f.update(u.item, u.delta)
+            assert all(v > 0 for v in f.to_dict().values())
+
+
+class TestValidators:
+    def test_insertion_only_accepts(self):
+        validate_insertion_only(uniform_stream(10, 50, np.random.default_rng(0)))
+
+    def test_insertion_only_rejects(self):
+        ups = bounded_deletion_stream(16, 200, np.random.default_rng(1), alpha=2.0)
+        with pytest.raises(StreamValidationError):
+            validate_insertion_only(ups)
+
+    def test_validate_parameters_domain(self):
+        params = StreamParameters(n=8, m=100)
+        bad = [type(u)(item=9, delta=1) for u in uniform_stream(8, 1, np.random.default_rng(0))]
+        with pytest.raises(ValueError):
+            validate_parameters(bad, params)
+
+    def test_validate_parameters_m_bound(self):
+        params = StreamParameters(n=8, m=3)
+        ups = uniform_stream(8, 5, np.random.default_rng(0))
+        with pytest.raises(StreamValidationError):
+            validate_parameters(ups, params)
+
+    def test_validate_parameters_infinity_bound(self):
+        params = StreamParameters(n=8, m=100, M=2)
+        ups = [(0, 1)] * 3
+        from repro.streams.model import as_updates
+
+        with pytest.raises(StreamValidationError):
+            validate_parameters(as_updates(ups), params)
+
+    def test_bounded_deletion_validator_rejects(self):
+        from repro.streams.model import Update
+
+        ups = [Update(0, 1), Update(0, -1), Update(1, 1), Update(1, -1)]
+        # After full deletion F1(f)=0 < F1(h)/alpha.
+        assert not check_bounded_deletion(ups, alpha=2.0, p=1.0)
+        with pytest.raises(StreamValidationError):
+            validate_bounded_deletion(ups, alpha=2.0)
+
+    def test_function_trajectory(self):
+        ups = distinct_ramp_stream(100, 10)
+        traj = function_trajectory(ups, lambda f: f.f0())
+        assert traj == [float(i + 1) for i in range(10)]

@@ -1,0 +1,77 @@
+"""Tests for the stream model, parameters, and update normalisation."""
+
+import math
+
+import pytest
+
+from repro.streams.model import StreamModel, StreamParameters, Update, as_updates
+
+
+class TestUpdate:
+    def test_fields(self):
+        u = Update(3, -2)
+        assert u.item == 3 and u.delta == -2
+
+    def test_tuple_compat(self):
+        item, delta = Update(1, 2)
+        assert (item, delta) == (1, 2)
+
+
+class TestStreamModel:
+    def test_deletion_flags(self):
+        assert not StreamModel.INSERTION_ONLY.allows_deletions
+        assert StreamModel.TURNSTILE.allows_deletions
+        assert StreamModel.BOUNDED_DELETION.allows_deletions
+
+
+class TestStreamParameters:
+    def test_valid(self):
+        p = StreamParameters(n=1024, m=10_000, M=100)
+        assert p.log2_n == 10
+        assert p.log2_mM == math.log2(10_000 * 100)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 1, "m": 10},
+            {"n": 10, "m": 0},
+            {"n": 10, "m": 10, "M": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamParameters(**kwargs)
+
+    def test_fp_value_range(self):
+        p = StreamParameters(n=100, m=1000, M=10)
+        assert p.fp_value_range(0) == (1.0, 100.0)
+        lo, hi = p.fp_value_range(2)
+        assert lo == 1.0 and hi == 100 * 100.0
+
+    def test_fp_value_range_negative_p(self):
+        with pytest.raises(ValueError):
+            StreamParameters(n=10, m=10).fp_value_range(-1)
+
+    def test_validate_item(self):
+        p = StreamParameters(n=10, m=10)
+        p.validate_item(0)
+        p.validate_item(9)
+        with pytest.raises(ValueError):
+            p.validate_item(10)
+        with pytest.raises(ValueError):
+            p.validate_item(-1)
+
+
+class TestAsUpdates:
+    def test_items(self):
+        assert as_updates([1, 2, 3]) == [Update(1, 1), Update(2, 1), Update(3, 1)]
+
+    def test_pairs(self):
+        assert as_updates([(1, 5), (2, -3)]) == [Update(1, 5), Update(2, -3)]
+
+    def test_updates_pass_through(self):
+        ups = [Update(0, 1)]
+        assert as_updates(ups) == ups
+
+    def test_mixed(self):
+        assert as_updates([7, (8, 2)]) == [Update(7, 1), Update(8, 2)]
