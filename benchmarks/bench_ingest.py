@@ -1,0 +1,130 @@
+"""INGEST — batched vs per-item ingestion throughput (the tentpole metric).
+
+Replays the same 1M-update oblivious uniform stream through the hot
+sketches twice: once per item (the historical path) and once through the
+vectorized ``update_batch`` pipeline in 64Ki chunks.  Asserts the batched
+path is at least 10x faster for CountMin and AMS and that both paths land
+in the same state (exactly for the integer CountMin table, up to float
+summation order for AMS), then reports a robust sketch-switching wrapper
+for context.
+
+Emits ``out/ingest_throughput.{txt,json}``; ``run_all.py`` folds the JSON
+into ``BENCH_ingest.json`` at the repo root so the throughput trajectory
+is tracked across PRs.
+"""
+
+import time
+
+import numpy as np
+
+from repro.robust.distinct import RobustDistinctElements
+from repro.sketches.ams import AMSSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.streams.frequency import FrequencyVector
+from repro.streams.model import StreamChunk
+from tables import emit, emit_json, format_row
+
+N = 1 << 14
+M = 1_000_000
+CHUNK = 65536
+ROBUST_PER_ITEM_PREFIX = 100_000
+WIDTHS = (26, 14, 14, 10, 12)
+MIN_SPEEDUP = 10.0
+
+
+def _per_item_rate(sketch, items, limit=None) -> float:
+    work = items if limit is None else items[:limit]
+    start = time.perf_counter()
+    for item in work.tolist():
+        sketch.update(item)
+    return len(work) / (time.perf_counter() - start)
+
+
+def _batched_rate(sketch, items, chunk=CHUNK) -> float:
+    start = time.perf_counter()
+    for lo in range(0, len(items), chunk):
+        sketch.update_batch(items[lo:lo + chunk])
+    return len(items) / (time.perf_counter() - start)
+
+
+def test_ingest_throughput(benchmark):
+    rng = np.random.default_rng(2024)
+    items = rng.integers(0, N, size=M)
+    truth = FrequencyVector()
+    truth.update_batch(items)
+
+    contenders = {
+        "countmin": lambda seed: CountMinSketch(2048, 5,
+                                                np.random.default_rng(seed)),
+        "ams": lambda seed: AMSSketch(32, 5, np.random.default_rng(seed)),
+    }
+    truths = {"countmin": float(truth.f1()), "ams": truth.fp(2.0)}
+
+    rows = [format_row(
+        ("sketch", "per-item/s", "batched/s", "speedup", "rel err"), WIDTHS
+    )]
+    payload = {"n": N, "m": M, "chunk": CHUNK, "results": {}}
+
+    def run_all():
+        for name, make in contenders.items():
+            seq, bat = make(7), make(7)
+            per_item = _per_item_rate(seq, items)
+            batched = _batched_rate(bat, items)
+            if name == "countmin":
+                assert np.array_equal(seq._table, bat._table)
+            else:
+                assert np.allclose(seq._y, bat._y)
+            err = abs(bat.query() - truths[name]) / truths[name]
+            speedup = batched / per_item
+            payload["results"][name] = {
+                "per_item_items_per_sec": round(per_item),
+                "batched_items_per_sec": round(batched),
+                "speedup": round(speedup, 1),
+                "final_relative_error": round(err, 4),
+            }
+            rows.append(format_row(
+                (name, f"{per_item:,.0f}", f"{batched:,.0f}",
+                 f"{speedup:.1f}x", f"{err:.3f}"), WIDTHS,
+            ))
+            assert speedup >= MIN_SPEEDUP, (
+                f"{name}: batched path only {speedup:.1f}x over per-item "
+                f"(required >= {MIN_SPEEDUP}x)"
+            )
+
+        # Robust sketch switching for context (per-item rate measured on a
+        # prefix: the lambda-copies-per-update loop is exactly what the
+        # batched pipeline exists to amortize).
+        robust_seq = RobustDistinctElements(
+            n=N, m=M, eps=0.25, rng=np.random.default_rng(11)
+        )
+        robust_bat = RobustDistinctElements(
+            n=N, m=M, eps=0.25, rng=np.random.default_rng(11)
+        )
+        start = time.perf_counter()
+        for item in items[:ROBUST_PER_ITEM_PREFIX].tolist():
+            robust_seq.process_update(item)
+        per_item = ROBUST_PER_ITEM_PREFIX / (time.perf_counter() - start)
+        start = time.perf_counter()
+        for lo in range(0, M, CHUNK):
+            robust_bat.update_batch(StreamChunk.insertions(items[lo:lo + CHUNK]))
+        batched = M / (time.perf_counter() - start)
+        err = abs(robust_bat.query() - truth.f0()) / truth.f0()
+        payload["results"]["robust_distinct_switching"] = {
+            "per_item_items_per_sec": round(per_item),
+            "batched_items_per_sec": round(batched),
+            "speedup": round(batched / per_item, 1),
+            "final_relative_error": round(err, 4),
+        }
+        rows.append(format_row(
+            ("robust switching (T5.1)", f"{per_item:,.0f}", f"{batched:,.0f}",
+             f"{batched / per_item:.1f}x", f"{err:.3f}"), WIDTHS,
+        ))
+        return payload
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(f"n={N}, m={M:,} uniform oblivious stream, chunk={CHUNK}; "
+                f"per-item robust rate measured on a "
+                f"{ROBUST_PER_ITEM_PREFIX:,}-update prefix")
+    emit("ingest_throughput", rows)
+    emit_json("ingest_throughput", payload)

@@ -1,0 +1,107 @@
+"""Run every benchmark and fold the results into ``BENCH_ingest.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full suite
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # ingest only
+
+Each ``bench_*.py`` file is executed as its own pytest session (they are
+independent experiments with their own assertions).  Afterwards the
+machine-readable payloads the benchmarks drop in ``benchmarks/out/*.json``
+— most importantly the batched-vs-per-item ingestion throughput from
+``bench_ingest.py`` — are merged, together with per-file pass/fail and
+wall-clock, into ``BENCH_ingest.json`` at the repository root so the
+performance trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+OUT_DIR = BENCH_DIR / "out"
+REPORT_PATH = REPO_ROOT / "BENCH_ingest.json"
+
+#: The headline benchmark; --quick runs only this one.
+QUICK = ("bench_ingest.py",)
+
+
+def run_bench_file(path: pathlib.Path) -> dict:
+    """Run one benchmark file under pytest; return its summary record."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", path.name],
+        cwd=BENCH_DIR,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    seconds = time.perf_counter() - start
+    tail = proc.stdout.strip().splitlines()
+    return {
+        "passed": proc.returncode == 0,
+        "seconds": round(seconds, 1),
+        "summary": tail[-1] if tail else "",
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the ingestion throughput benchmark",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        files = [BENCH_DIR / name for name in QUICK]
+    else:
+        files = sorted(BENCH_DIR.glob("bench_*.py"))
+
+    report: dict = {
+        "generated_by": "benchmarks/run_all.py",
+        "python": sys.version.split()[0],
+        "files": {},
+        "throughput": {},
+    }
+    failures = 0
+    for path in files:
+        print(f"== {path.name}", flush=True)
+        record = run_bench_file(path)
+        report["files"][path.name] = record
+        if not record["passed"]:
+            failures += 1
+            print(f"   FAILED ({record['summary']})")
+        else:
+            print(f"   ok in {record['seconds']}s")
+
+    # Merge machine-readable payloads (throughput + accuracy) emitted by
+    # the benchmarks themselves.
+    if OUT_DIR.is_dir():
+        for json_path in sorted(OUT_DIR.glob("*.json")):
+            try:
+                report["throughput"][json_path.stem] = json.loads(
+                    json_path.read_text()
+                )
+            except json.JSONDecodeError:
+                report["throughput"][json_path.stem] = {"error": "unreadable"}
+
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {REPORT_PATH}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,14 +4,22 @@ Every benchmark regenerates one Table-1 row or theorem-level experiment and
 emits a plain-text table to ``benchmarks/out/<experiment>.txt`` (and to
 stdout, visible with ``pytest -s``).  EXPERIMENTS.md records the captured
 outputs next to the paper's claims.
+
+Stream replay delegates to :mod:`repro.experiments.runner`, the single
+measurement protocol: pass ``chunk_size`` to run an *oblivious* stream
+through the vectorized ``update_batch`` pipeline (judged at chunk
+boundaries, items/sec recorded); leave it ``None`` for the historical
+per-item replay.  Adversarial-game benchmarks always stay per item.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-import time
 
-from repro.streams.frequency import FrequencyVector
+from repro.experiments.runner import RunStats
+from repro.experiments.runner import run_additive as _run_additive
+from repro.experiments.runner import run_relative as _run_relative
 
 OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
 
@@ -26,54 +34,53 @@ def emit(experiment: str, lines: list[str]) -> str:
     return text
 
 
+def emit_json(experiment: str, payload: dict) -> None:
+    """Write a machine-readable result next to the text report.
+
+    ``benchmarks/run_all.py`` collects these into ``BENCH_ingest.json``
+    so the perf trajectory is tracked across PRs.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{experiment}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 def format_row(cols, widths) -> str:
     return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths))
 
 
-def run_stream(algo, updates, truth_fn, skip: int = 100, floor: float = 0.0):
+def run_stream_stats(
+    algo, updates, truth_fn, skip: int = 100, floor: float = 0.0,
+    chunk_size: int | None = None,
+) -> RunStats:
+    """Full :class:`RunStats` for a relative-error replay."""
+    return _run_relative(
+        algo, updates, truth_fn, skip=skip, floor=floor, chunk_size=chunk_size
+    )
+
+
+def run_stream(algo, updates, truth_fn, skip: int = 100, floor: float = 0.0,
+               chunk_size: int | None = None):
     """Feed a stream; return (worst rel err, mean rel err, secs, space_bits).
 
-    Errors are judged against the exact ground truth after every update,
-    starting at ``skip`` and only when the truth exceeds ``floor``.
+    Errors are judged against the exact ground truth (after every update,
+    or at chunk boundaries when ``chunk_size`` is set), starting at
+    ``skip`` and only when the truth exceeds ``floor``.
     """
-    truth = FrequencyVector()
-    worst = 0.0
-    total = 0.0
-    judged = 0
-    start = time.perf_counter()
-    for t, u in enumerate(updates):
-        truth.update(u.item, u.delta)
-        out = algo.process_update(u.item, u.delta)
-        g = truth_fn(truth)
-        if t >= skip and abs(g) > floor:
-            err = abs(out - g) / abs(g)
-            worst = max(worst, err)
-            total += err
-            judged += 1
-    elapsed = time.perf_counter() - start
-    mean = total / judged if judged else 0.0
-    return worst, mean, elapsed, algo.space_bits()
+    stats = run_stream_stats(
+        algo, updates, truth_fn, skip=skip, floor=floor, chunk_size=chunk_size
+    )
+    return stats.worst_error, stats.mean_error, stats.seconds, stats.space_bits
 
 
-def run_additive(algo, updates, truth_fn, skip: int = 100):
+def run_additive(algo, updates, truth_fn, skip: int = 100,
+                 chunk_size: int | None = None):
     """Like :func:`run_stream` but with additive error (entropy)."""
-    truth = FrequencyVector()
-    worst = 0.0
-    total = 0.0
-    judged = 0
-    start = time.perf_counter()
-    for t, u in enumerate(updates):
-        truth.update(u.item, u.delta)
-        out = algo.process_update(u.item, u.delta)
-        g = truth_fn(truth)
-        if t >= skip:
-            err = abs(out - g)
-            worst = max(worst, err)
-            total += err
-            judged += 1
-    elapsed = time.perf_counter() - start
-    mean = total / judged if judged else 0.0
-    return worst, mean, elapsed, algo.space_bits()
+    stats = _run_additive(
+        algo, updates, truth_fn, skip=skip, chunk_size=chunk_size
+    )
+    return stats.worst_error, stats.mean_error, stats.seconds, stats.space_bits
 
 
 def kib(bits: int | float) -> str:

@@ -33,7 +33,7 @@ Quickstart::
 """
 
 from repro import adversary, core, hashing, robust, sketches, streams
-from repro.api import PROBLEMS, robust_estimator
+from repro.api import PROBLEMS, IngestReport, ingest, robust_estimator
 
 __version__ = "1.0.0"
 
@@ -45,6 +45,8 @@ __all__ = [
     "sketches",
     "streams",
     "PROBLEMS",
+    "IngestReport",
+    "ingest",
     "robust_estimator",
     "__version__",
 ]

@@ -19,10 +19,16 @@ problem               algorithm                      paper
 ====================  =============================  ==================
 
 Every estimator satisfies the :class:`repro.sketches.base.Sketch`
-contract (``process_update`` / ``query`` / ``space_bits``).
+contract (``process_update`` / ``query`` / ``space_bits``), including the
+batched ``update_batch`` surface; :func:`ingest` is the convenience
+front-end that replays any stream representation through the vectorized
+pipeline and reports throughput.
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -40,6 +46,7 @@ from repro.robust.moments import (
     RobustFpSwitching,
 )
 from repro.sketches.base import Sketch
+from repro.streams.model import chunk_updates
 
 PROBLEMS = (
     "distinct",
@@ -125,4 +132,50 @@ def robust_estimator(
                                        **kwargs)
     raise ValueError(
         f"unknown problem {problem!r}; choose from {PROBLEMS}"
+    )
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What :func:`ingest` observed while replaying a stream."""
+
+    updates: int
+    chunks: int
+    seconds: float
+    items_per_sec: float
+    final_estimate: float
+
+
+def ingest(
+    estimator: Sketch,
+    stream,
+    chunk_size: int = 65536,
+) -> IngestReport:
+    """Replay an **oblivious** stream through the batched pipeline.
+
+    ``stream`` may be a plain item sequence, ``(item, delta)`` pairs,
+    ``Update`` tuples, a ``StreamChunk``, or an iterable of chunks (the
+    array-native generators in :mod:`repro.streams.generators`).  Updates
+    are sliced into ``chunk_size``-sized chunks and fed through
+    ``update_batch``, which every estimator supports (vectorized for the
+    hot sketches, loop fallback otherwise).
+
+    This is the high-throughput replay surface only: adaptive adversaries
+    must go through :class:`repro.adversary.game.AdversarialGame`, which
+    keeps per-update round granularity by design.
+    """
+    count = 0
+    chunks = 0
+    start = time.perf_counter()
+    for chunk in chunk_updates(stream, chunk_size):
+        estimator.update_batch(chunk.items, chunk.deltas)
+        count += len(chunk)
+        chunks += 1
+    secs = time.perf_counter() - start
+    return IngestReport(
+        updates=count,
+        chunks=chunks,
+        seconds=secs,
+        items_per_sec=count / secs if secs > 0 else 0.0,
+        final_estimate=estimator.query(),
     )

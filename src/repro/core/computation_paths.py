@@ -96,6 +96,19 @@ class ComputationPathsEstimator(Sketch):
         self._inner.update(item, delta)
         self._rounder.push(self._inner.query())
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Batched ingestion: one rounder push per chunk.
+
+        The inner sketch consumes the whole chunk vectorized; the
+        epsilon-rounded output sequence is sampled at chunk boundaries,
+        which can only *coarsen* the published sequence (``changes`` never
+        exceeds the per-item count — the union-bound argument is over the
+        rounded sequence, so fewer observed values never hurts it).  Used
+        for oblivious replay; the adversarial game runs per item.
+        """
+        self._inner.update_batch(items, deltas)
+        self._rounder.push(self._inner.query())
+
     def query(self) -> float:
         current = self._rounder.current
         return 0.0 if current is None else current

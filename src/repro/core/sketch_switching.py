@@ -24,16 +24,57 @@ Two modes:
 
 Both modes expose ``switches`` and ``space_bits`` so the experiments can
 verify the switch count against the flip-number bound and account space.
+
+Batched ingestion (``update_chunk`` / ``update_batch``): all copies are
+fed a whole chunk through their vectorized ``update_batch`` and the
+publish band is checked once at the chunk boundary.  If the boundary
+estimate is still inside the band, nothing is published — which is
+exactly what the per-item protocol would have concluded whenever the
+tracked quantity is monotone (the band edges only move toward the
+published value, so a crossing cannot appear and then un-appear inside a
+chunk).  If the boundary estimate has left the band, the state is
+restored from a snapshot taken before the batch feed and the chunk is
+*bisected*: each half goes back through the same batched discipline, and
+only leaf-sized runs (``REPLAY_LEAF`` updates) around the actual crossing
+are replayed per item — so every mid-chunk switch, publication, burn, and
+ring restart happens exactly as in the per-item protocol, at
+``O(log chunk)`` extra batch feeds instead of a full per-item replay.
+Published outputs and switch counts are bit-for-bit identical whenever
+the inner sketches' ``update_batch`` reproduces the per-item state
+exactly — true for the exact-state sketches (KMV, HLL, CountMin, F1,
+the exact baselines); float-accumulating sketches (AMS, p-stable,
+CountSketch) match only up to floating-point summation order, so a
+boundary query within an ulp of the band edge can in principle resolve
+differently than the per-item path.  The equivalence test in
+``tests/test_batched_ingestion.py`` pins the exact-state case.  For
+non-monotone trackers a transient band exit that fully reverts within
+one chunk is coalesced away; the adversarial game therefore always runs
+per item (adaptivity needs round granularity), and batching is reserved
+for oblivious replay.
 """
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
 from repro.core.rounding import round_to_power
-from repro.sketches.base import Sketch, SketchFactory, spawn_rngs
+from repro.sketches.base import Sketch, SketchFactory, as_batch_arrays, spawn_rngs
+
+
+def _unpack_chunk(items, deltas):
+    """Accept a StreamChunk-like object or aligned arrays."""
+    if deltas is None and hasattr(items, "items") and hasattr(items, "deltas"):
+        return items.items, items.deltas
+    return items, deltas
+
+
+#: Below this many updates a crossing run is replayed per item instead of
+#: bisected further; keeps recursion depth and snapshot count small while
+#: bounding the per-item work triggered by one switch.
+REPLAY_LEAF = 64
 
 
 class SketchExhaustedError(RuntimeError):
@@ -130,6 +171,59 @@ class SketchSwitchingEstimator(Sketch):
         self.switches += 1
         self._advance()
 
+    def update_chunk(self, items, deltas=None) -> None:
+        """Batched ingestion of one chunk (see the module docstring).
+
+        Feeds every copy via its vectorized ``update_batch`` and checks
+        the publish band once, at the chunk boundary.  A chunk whose
+        boundary estimate crossed the band is replayed per item from a
+        pre-feed snapshot, reproducing the per-item switch sequence
+        exactly (including ring restarts and their RNG draws).
+        """
+        items, deltas = _unpack_chunk(items, deltas)
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if len(items) <= REPLAY_LEAF:
+            for item, delta in zip(items.tolist(), deltas.tolist()):
+                self.update(item, delta)
+            return
+        snapshot = self._snapshot()
+        for s in self._sketches:
+            s.update_batch(items, deltas)
+        active = self._sketches[self._rho % len(self._sketches)]
+        if self._within_band(active.query()):
+            return
+        # The band was crossed somewhere inside this chunk: restore the
+        # pre-chunk state and bisect, so only the leaf-sized run around
+        # the crossing is replayed per item and switches land exactly
+        # where the per-item protocol puts them.
+        self._restore(snapshot)
+        mid = len(items) // 2
+        self.update_chunk(items[:mid], deltas[:mid])
+        self.update_chunk(items[mid:], deltas[mid:])
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Sketch-contract alias for :meth:`update_chunk`."""
+        self.update_chunk(items, deltas)
+
+    def _snapshot(self):
+        return (
+            [s.snapshot() for s in self._sketches],
+            self._rho,
+            self._published,
+            self.switches,
+            copy.deepcopy(self._fresh_rng),
+        )
+
+    def _restore(self, snapshot) -> None:
+        sketches, rho, published, switches, fresh_rng = snapshot
+        self._sketches = sketches
+        self._rho = rho
+        self._published = published
+        self.switches = switches
+        self._fresh_rng = fresh_rng
+
     def _within_band(self, y: float) -> bool:
         """Is the published value inside (1 ± eps/2) of the active estimate?"""
         lo, hi = sorted(((1 - self.eps / 2) * y, (1 + self.eps / 2) * y))
@@ -138,8 +232,11 @@ class SketchSwitchingEstimator(Sketch):
     def _advance(self) -> None:
         if self.restart:
             burned = self._rho % len(self._sketches)
+            # Derive the replacement's RNG the same way spawn_rngs seeds
+            # the initial copies, keeping the independence argument
+            # (Lemma 3.6) uniform across original and restarted instances.
             self._sketches[burned] = self._factory(
-                np.random.default_rng(int(self._fresh_rng.integers(0, 2**62)))
+                spawn_rngs(self._fresh_rng, 1)[0]
             )
             self._rho += 1
             return
@@ -215,6 +312,44 @@ class AdditiveSwitchingEstimator(Sketch):
                 )
         else:
             self._rho += 1
+
+    def update_chunk(self, items, deltas=None) -> None:
+        """Batched ingestion with the additive band checked per chunk.
+
+        Same discipline as :meth:`SketchSwitchingEstimator.update_chunk`:
+        batch-feed all copies, check ``|published - estimate| <= eps/2``
+        at the boundary, and replay the crossing chunk per item from a
+        snapshot.  Entropy is not monotone, so a transient band exit that
+        fully reverts within a chunk is coalesced; oblivious replay
+        accepts this (the adversarial game stays per item).
+        """
+        items, deltas = _unpack_chunk(items, deltas)
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if len(items) <= REPLAY_LEAF:
+            for item, delta in zip(items.tolist(), deltas.tolist()):
+                self.update(item, delta)
+            return
+        snapshot = (
+            [s.snapshot() for s in self._sketches],
+            self._rho,
+            self._published,
+            self.switches,
+        )
+        for s in self._sketches:
+            s.update_batch(items, deltas)
+        y = self._sketches[min(self._rho, len(self._sketches) - 1)].query()
+        if abs(self._published - y) <= self.eps / 2:
+            return
+        self._sketches, self._rho, self._published, self.switches = snapshot
+        mid = len(items) // 2
+        self.update_chunk(items[:mid], deltas[:mid])
+        self.update_chunk(items[mid:], deltas[mid:])
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Sketch-contract alias for :meth:`update_chunk`."""
+        self.update_chunk(items, deltas)
 
     def query(self) -> float:
         return self._published

@@ -79,6 +79,11 @@ class MedianTracker(Sketch):
         for s in self._sketches:
             s.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Feed the chunk to every copy via its vectorized path."""
+        for s in self._sketches:
+            s.update_batch(items, deltas)
+
     def query(self) -> float:
         return float(np.median([s.query() for s in self._sketches]))
 

@@ -14,11 +14,23 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 #: The Mersenne prime 2^61 - 1 used as the field modulus everywhere.
 MERSENNE_P: int = (1 << 61) - 1
 
 #: Bit width of a field element.
 FIELD_BITS: int = 61
+
+# uint64 constants for the vectorized kernels (plain Python ints promote
+# unpredictably across numpy versions; pinned scalars do not).
+_P64 = np.uint64(MERSENNE_P)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_MASK29 = np.uint64((1 << 29) - 1)
+_S3 = np.uint64(3)
+_S29 = np.uint64(29)
+_S32 = np.uint64(32)
+_S61 = np.uint64(61)
 
 
 def mod_mersenne(x: int) -> int:
@@ -95,3 +107,70 @@ def poly_eval_many(coefficients: Sequence[int], xs: Iterable[int]) -> list[int]:
             acc = mod_mersenne(acc * x + c)
         out.append(acc)
     return out
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels (the batched-ingestion hot path)
+# ----------------------------------------------------------------------
+
+def mod_mersenne_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mod_mersenne` for ``uint64`` arrays with ``x < 2**64``."""
+    x = (x & _P64) + (x >> _S61)
+    x = (x & _P64) + (x >> _S61)
+    return np.where(x >= _P64, x - _P64, x)
+
+
+def field_mul_vec(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized ``(a * b) mod P`` for ``uint64`` arrays of field elements.
+
+    A 61x61-bit product does not fit in 64 bits, so the operands are split
+    into 32-bit halves and each partial product is folded with the Mersenne
+    identities ``2**64 === 8`` and ``2**61 === 1 (mod P)``.  Every
+    intermediate stays strictly below ``2**64``, so uint64 arithmetic is
+    exact (no wraparound before the final reduction).
+    """
+    a_hi = a >> _S32
+    a_lo = a & _MASK32
+    b_hi = b >> _S32
+    b_lo = b & _MASK32
+    acc = a_hi * b_hi
+    acc <<= _S3  # (a_hi*b_hi) * 2^64 === * 8
+    m = a_hi * b_lo  # < 2^61
+    acc += m >> _S29  # m * 2^32 folded as (m >> 29) + (m & mask29) << 32
+    m &= _MASK29
+    m <<= _S32
+    acc += m
+    np.multiply(a_lo, b_hi, out=a_hi)  # reuse the a_hi buffer; < 2^61
+    acc += a_hi >> _S29
+    a_hi &= _MASK29
+    a_hi <<= _S32
+    acc += a_hi
+    a_lo *= b_lo  # < 2^64
+    acc += a_lo >> _S61
+    a_lo &= _P64
+    acc += a_lo
+    # acc < 5 * 2^61 < 2^64: two folds plus a conditional subtraction.
+    acc = (acc & _P64) + (acc >> _S61)
+    acc = (acc & _P64) + (acc >> _S61)
+    acc -= np.where(acc >= _P64, _P64, np.uint64(0))
+    return acc
+
+
+def poly_eval_vec(coefficients: Sequence[int], xs: np.ndarray) -> np.ndarray:
+    """Evaluate one polynomial at a ``uint64`` array of points over GF(P).
+
+    Horner's rule with :func:`field_mul_vec`; coefficients are given from
+    the constant term upward, exactly as in :func:`poly_eval`.  Matches
+    :func:`poly_eval` bit-for-bit on every input in ``[0, P)``.
+    """
+    xs = np.ascontiguousarray(xs, dtype=np.uint64)
+    rev = [c % MERSENNE_P for c in reversed(coefficients)]
+    # Horner's first round multiplies the (zero) accumulator, so start the
+    # accumulator at the leading coefficient directly.
+    acc = np.full(xs.shape, np.uint64(rev[0]), dtype=np.uint64)
+    for c in rev[1:]:
+        acc = field_mul_vec(acc, xs)
+        acc += np.uint64(c)  # < 2^62: one fold suffices
+        acc = (acc & _P64) + (acc >> _S61)
+        acc -= np.where(acc >= _P64, _P64, np.uint64(0))
+    return acc

@@ -84,6 +84,10 @@ class RobustBoundedDeletionFp(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._paths.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked ingestion; outputs round at chunk boundaries."""
+        self._paths.update_batch(items, deltas)
+
     def query(self) -> float:
         return self._paths.query()
 

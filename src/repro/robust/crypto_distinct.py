@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.hashing.feistel import FeistelPermutation
 from repro.hashing.prf import PRF
-from repro.sketches.base import Sketch, spawn_rngs
+from repro.sketches.base import Sketch, as_batch_arrays, spawn_rngs
 from repro.sketches.hll import HyperLogLog
 from repro.sketches.kmv import KMVSketch
 
@@ -66,6 +66,9 @@ class CryptoRobustDistinctElements(Sketch):
         self.oracle_mode = oracle_mode
         perm_rng, base_rng = spawn_rngs(rng, 2)
         self._perm = FeistelPermutation(n, PRF.from_seed(perm_rng, key_bits))
+        # Simulation-only memo of the permutation (a native implementation
+        # recomputes the PRP per item); not charged to space_bits.
+        self._perm_cache: dict[int, int] = {}
         if base == "kmv":
             self._base: Sketch = KMVSketch.for_accuracy(eps, delta, base_rng)
         else:
@@ -77,6 +80,32 @@ class CryptoRobustDistinctElements(Sketch):
         if delta == 0:
             return
         self._base.update(self._perm.forward(item), delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Permute the chunk, then batch-feed the duplicate-insensitive base.
+
+        The Feistel network evaluates per item (it is the cryptographic
+        boundary, not the hot loop); memoising repeated items keeps the
+        amortized cost at one PRP evaluation per distinct item, and the
+        base sketch's vectorized path takes it from there.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if np.any(deltas < 0):
+            raise ValueError("distinct elements requires non-negative updates")
+        keep = deltas > 0
+        items, deltas = items[keep], deltas[keep]
+        if len(items) == 0:
+            return
+        cache = self._perm_cache
+        forward = self._perm.forward
+        permuted = np.empty(items.shape, dtype=np.int64)
+        for pos, item in enumerate(items.tolist()):
+            image = cache.get(item)
+            if image is None:
+                image = forward(item)
+                cache[item] = image
+            permuted[pos] = image
+        self._base.update_batch(permuted, deltas)
 
     def query(self) -> float:
         return self._base.query()

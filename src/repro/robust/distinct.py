@@ -92,6 +92,10 @@ class RobustDistinctElements(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._switcher.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked oblivious ingestion (F0 is monotone: bit-for-bit)."""
+        self._switcher.update_chunk(items, deltas)
+
     def query(self) -> float:
         return self._switcher.query()
 
@@ -144,6 +148,10 @@ class FastRobustDistinctElements(Sketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._paths.update(item, delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked ingestion; outputs round at chunk boundaries."""
+        self._paths.update_batch(items, deltas)
 
     def query(self) -> float:
         return self._paths.query()

@@ -81,6 +81,10 @@ class RobustEntropy(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._switcher.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked oblivious ingestion (additive band per chunk boundary)."""
+        self._switcher.update_chunk(items, deltas)
+
     def query(self) -> float:
         return self._switcher.query()
 

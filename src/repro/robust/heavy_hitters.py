@@ -118,6 +118,24 @@ class RobustHeavyHitters(PointQuerySketch):
         if after != before:
             self._advance_epoch()
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked oblivious ingestion: epoch clock ticks per chunk.
+
+        The L2 tracker and every CountSketch copy consume the chunk
+        vectorized; the epoch rounder observes the robust estimate once
+        per chunk boundary, so epochs that open and close inside a chunk
+        are coalesced — within an epoch the published snapshot is frozen
+        anyway, so oblivious replay only loses intermediate snapshots, not
+        the guarantee.  The adversarial game runs per item as always.
+        """
+        self._l2.update_batch(items, deltas)
+        for cs in self._ring:
+            cs.update_batch(items, deltas)
+        before = self._epoch_rounder.current
+        after = self._epoch_rounder.push(self._l2.query())
+        if after != before:
+            self._advance_epoch()
+
     def _advance_epoch(self) -> None:
         """Snapshot the least-recently-restarted copy, then restart it."""
         slot = self._next_slot % len(self._ring)

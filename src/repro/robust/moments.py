@@ -116,6 +116,10 @@ class RobustFpSwitching(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._switcher.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked oblivious ingestion of the norm tracker."""
+        self._switcher.update_chunk(items, deltas)
+
     def query(self) -> float:
         norm = self._switcher.query()
         return norm**self.p if self._moment else norm
@@ -181,6 +185,10 @@ class RobustFpPaths(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._paths.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked ingestion; outputs round at chunk boundaries."""
+        self._paths.update_batch(items, deltas)
+
     def query(self) -> float:
         return self._paths.query()
 
@@ -244,6 +252,10 @@ class RobustTurnstileFp(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._paths.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked ingestion; outputs round at chunk boundaries."""
+        self._paths.update_batch(items, deltas)
+
     def query(self) -> float:
         return self._paths.query()
 
@@ -294,6 +306,10 @@ class RobustFpHigh(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._paths.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked ingestion; outputs round at chunk boundaries."""
+        self._paths.update_batch(items, deltas)
+
     def query(self) -> float:
         return self._paths.query()
 
@@ -311,6 +327,9 @@ class _MomentView(Sketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._inner.update(item, delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        self._inner.update_batch(items, deltas)
 
     def query(self) -> float:
         return self._inner.query() if self._moment else self._inner.query_norm()

@@ -17,12 +17,18 @@ Both are linear sketches and therefore support turnstile updates.
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
 from repro.hashing.kwise import KWiseSignHash
-from repro.sketches.base import Sketch, spawn_rngs
+from repro.sketches.base import (
+    Sketch,
+    aggregate_batch,
+    as_batch_arrays,
+    spawn_rngs,
+)
 
 
 class AMSFullSketch(Sketch):
@@ -64,6 +70,26 @@ class AMSFullSketch(Sketch):
             raise ValueError(f"item {item} outside [0, {self.n})")
         self._y += self._S[:, item] * float(delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Linear-sketch batch: ``y += S[:, items] @ deltas`` on aggregates.
+
+        Identical to the per-item path up to floating-point summation
+        order (the matmul accumulates per column, the loop per update).
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if int(items.min()) < 0 or int(items.max()) >= self.n:
+            raise ValueError(f"batch contains items outside [0, {self.n})")
+        unique, summed = aggregate_batch(items, deltas)
+        self._y += self._S[:, unique] @ summed.astype(np.float64)
+
+    def snapshot(self) -> "AMSFullSketch":
+        """Cheap snapshot: share the (fixed) matrix S, copy the sketch y."""
+        clone = copy.copy(self)
+        clone._y = self._y.copy()
+        return clone
+
     def query(self) -> float:
         """The AMS estimate ``|Sf|_2^2`` of ``F2 = |f|_2^2``."""
         return float(self._y @ self._y)
@@ -104,8 +130,15 @@ class AMSSketch(Sketch):
             KWiseSignHash(sign_independence, r) for r in spawn_rngs(rng, total)
         ]
         self._y = np.zeros(total, dtype=np.float64)
-        # Simulation-only memo of per-item sign columns (not charged).
+        # Simulation-only memos of per-item sign columns (not charged).
+        # The dict serves the scalar path; the batched path uses a dense
+        # item-indexed int8 matrix so gathers stay in NumPy.
         self._sign_cache: dict[int, np.ndarray] = {}
+        self._batch_cols: np.ndarray | None = None  # (capacity, total) int8
+        self._batch_seen: np.ndarray | None = None
+        #: Dense-cache budget in int8 entries (~64 MB); batches over larger
+        #: universes fall back to the dict memo.
+        self._dense_cache_limit = 64 * (1 << 20)
 
     @classmethod
     def for_accuracy(
@@ -135,6 +168,81 @@ class AMSSketch(Sketch):
             col = np.array([s(item) for s in self._signs], dtype=np.float64)
             self._sign_cache[item] = col
         self._y += col * float(delta)
+
+    def _signs_matrix(self, items: np.ndarray) -> np.ndarray:
+        """(len(items), total_rows) ±1 sign matrix, vectorized per family."""
+        cols = np.empty((len(items), len(self._y)), dtype=np.float64)
+        for j, sign in enumerate(self._signs):
+            cols[:, j] = sign.sign_many(items)
+        return cols
+
+    def _columns_many(self, items: np.ndarray) -> np.ndarray:
+        """(len(items), total_rows) sign matrix for *non-negative* items.
+
+        Uncached items are hashed one sign family at a time but vectorized
+        across the whole batch, so each item is still hashed exactly once
+        over its lifetime — the same amortized cost as the per-item path,
+        paid in array-sized strides.  Small universes use a dense
+        item-indexed int8 memo so the gather itself is a NumPy fancy
+        index; larger ones fall back to the per-item dict memo.
+        """
+        total = len(self._y)
+        max_item = int(items.max())
+        if (max_item + 1) * total <= self._dense_cache_limit:
+            if self._batch_cols is None or self._batch_cols.shape[0] <= max_item:
+                capacity = max(2 * (max_item + 1), 1024)
+                cols = np.zeros((capacity, total), dtype=np.int8)
+                seen = np.zeros(capacity, dtype=bool)
+                if self._batch_cols is not None:
+                    cols[: self._batch_cols.shape[0]] = self._batch_cols
+                    seen[: self._batch_seen.shape[0]] = self._batch_seen
+                self._batch_cols, self._batch_seen = cols, seen
+            fresh = items[~self._batch_seen[items]]
+            if len(fresh):
+                self._batch_cols[fresh] = self._signs_matrix(fresh).astype(
+                    np.int8
+                )
+                self._batch_seen[fresh] = True
+            return self._batch_cols[items].astype(np.float64)
+        cols = np.empty((len(items), total), dtype=np.float64)
+        missing = []
+        for pos, item in enumerate(items.tolist()):
+            cached = self._sign_cache.get(item)
+            if cached is None:
+                missing.append(pos)
+            else:
+                cols[pos] = cached
+        if missing:
+            cols[missing] = self._signs_matrix(items[missing])
+            for pos in missing:
+                self._sign_cache[int(items[pos])] = cols[pos].copy()
+        return cols
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Batch the linear map: one matmul per chunk instead of m adds.
+
+        Identical to the per-item path up to floating-point summation
+        order.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if int(items.min()) < 0:
+            raise ValueError("AMS items must be non-negative")
+        unique, summed = aggregate_batch(items, deltas)
+        cols = self._columns_many(unique)
+        self._y += cols.T @ summed.astype(np.float64)
+
+    def snapshot(self) -> "AMSSketch":
+        """Cheap snapshot: copy the counters, share the sign memos.
+
+        The memo caches hold deterministic values derived from the fixed
+        hash functions, so sharing them between the live sketch and a
+        snapshot is safe — any writer stores the same entries.
+        """
+        clone = copy.copy(self)
+        clone._y = self._y.copy()
+        return clone
 
     def query(self) -> float:
         sq = self._y * self._y

@@ -6,6 +6,17 @@ game, the tracking wrappers, and the benchmark harness can treat them
 uniformly:
 
 * ``update(item, delta)`` — process one stream update;
+* ``update_batch(items, deltas)`` — process a whole chunk of updates at
+  once.  The base-class implementation is a per-item loop, so every sketch
+  supports it; the hot sketches (CountMin, CountSketch, AMS, Misra–Gries,
+  KMV, HLL, F1, the exact baselines) override it with NumPy-vectorized
+  implementations that hash whole arrays through the k-wise families.
+  For *linear and order-insensitive* sketches the batched state is
+  identical to the per-item state; order-sensitive summaries (Misra–Gries)
+  document their aggregation semantics in place.  The batched path is the
+  ingestion surface for **oblivious** stream replay; the adversarial game
+  stays per-item because adaptivity requires round granularity (the
+  adversary observes the published output after every update);
 * ``query()`` — current response to the fixed query Q (tracking semantics:
   callable after every update);
 * ``space_bits()`` — explicit accounting of the bits a C implementation of
@@ -23,12 +34,46 @@ copies of a static sketch.  A ``SketchFactory`` is any callable taking a
 from __future__ import annotations
 
 import abc
+import copy
 from collections.abc import Callable
 
 import numpy as np
 
 #: A callable producing a fresh, independently seeded sketch.
 SketchFactory = Callable[[np.random.Generator], "Sketch"]
+
+
+def as_batch_arrays(items, deltas=None) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise batch inputs to aligned ``int64`` arrays.
+
+    ``deltas=None`` means unit insertions (the "simplified definition" of
+    the insertion-only model).
+    """
+    items = np.ascontiguousarray(items, dtype=np.int64)
+    if deltas is None:
+        deltas = np.ones(items.shape, dtype=np.int64)
+    else:
+        deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        if deltas.shape != items.shape:
+            raise ValueError(
+                f"items/deltas shape mismatch: {items.shape} vs {deltas.shape}"
+            )
+    return items, deltas
+
+
+def aggregate_batch(
+    items: np.ndarray, deltas: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse a batch to (unique items, summed deltas).
+
+    Linear sketches and frequency vectors are insensitive to this
+    aggregation; it turns per-update work into per-distinct-item work,
+    which is the main structural win of batched ingestion on skewed
+    streams.
+    """
+    unique, inverse = np.unique(items, return_inverse=True)
+    summed = np.bincount(inverse, weights=deltas, minlength=len(unique))
+    return unique, summed.astype(np.int64)
 
 
 class Sketch(abc.ABC):
@@ -40,6 +85,30 @@ class Sketch(abc.ABC):
     @abc.abstractmethod
     def update(self, item: int, delta: int = 1) -> None:
         """Process one stream update."""
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Process a chunk of updates.
+
+        Fallback implementation: a per-item loop, semantically identical
+        to calling :meth:`update` on each pair in order.  Subclasses
+        override this with vectorized kernels.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        for item, delta in zip(items.tolist(), deltas.tolist()):
+            self.update(item, delta)
+
+    def snapshot(self) -> "Sketch":
+        """An independent copy of the current state.
+
+        The chunked sketch-switching path snapshots every copy before a
+        batch feed so a chunk that crosses the publish band can be rolled
+        back and replayed exactly.  The default is a generic deepcopy;
+        hot sketches override it to share immutable members (hash
+        functions, projection matrices, deterministic memo caches) and
+        copy only the mutable counters, which makes snapshots O(state)
+        array copies instead of a Python object walk.
+        """
+        return copy.deepcopy(self)
 
     @abc.abstractmethod
     def query(self) -> float:
@@ -66,9 +135,18 @@ class PointQuerySketch(Sketch):
     def point_query(self, item: int) -> float:
         """Estimate of ``f_item``."""
 
+    def point_query_batch(self, items) -> np.ndarray:
+        """Vectorized point queries; fallback loops over :meth:`point_query`."""
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        return np.array(
+            [self.point_query(i) for i in items.tolist()], dtype=np.float64
+        )
+
     def estimate_vector(self, items) -> dict[int, float]:
-        """Point-query a batch of items."""
-        return {i: self.point_query(i) for i in items}
+        """Point-query a batch of items (vectorized where available)."""
+        items = np.ascontiguousarray(list(items), dtype=np.int64)
+        estimates = self.point_query_batch(items)
+        return dict(zip(items.tolist(), estimates.tolist()))
 
 
 def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:

@@ -13,12 +13,18 @@ can propose heavy hitters without an external candidate list.
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
 from repro.hashing.kwise import KWiseHash, KWiseSignHash
-from repro.sketches.base import PointQuerySketch, spawn_rngs
+from repro.sketches.base import (
+    PointQuerySketch,
+    aggregate_batch,
+    as_batch_arrays,
+    spawn_rngs,
+)
 
 
 class CountSketch(PointQuerySketch):
@@ -89,6 +95,43 @@ class CountSketch(PointQuerySketch):
             self._item_cache[item] = (buckets, signs)
         return buckets, signs
 
+    def _vectors_many(self, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(len(items), rows) bucket and sign matrices, sharing the memo.
+
+        Cached rows are gathered from ``_item_cache``; the rest are hashed
+        in one vectorized pass per row and written back to the cache, so
+        the per-item and batched paths always agree.
+        """
+        count = len(items)
+        buckets = np.empty((count, self.rows), dtype=np.intp)
+        signs = np.empty((count, self.rows), dtype=np.float64)
+        cache = self._item_cache
+        if cache is None:
+            missing = list(range(count))
+        else:
+            missing = []
+            for pos, item in enumerate(items.tolist()):
+                cached = cache.get(item)
+                if cached is None:
+                    missing.append(pos)
+                else:
+                    buckets[pos] = cached[0]
+                    signs[pos] = cached[1]
+        if missing:
+            fresh = items[missing]
+            width = np.uint64(self.width)
+            for r in range(self.rows):
+                buckets[missing, r] = (
+                    self._buckets[r].hash_many(fresh) % width
+                ).astype(np.intp)
+                signs[missing, r] = self._signs[r].sign_many(fresh)
+            if cache is not None:
+                for pos in missing:
+                    cache[int(items[pos])] = (
+                        buckets[pos].copy(), signs[pos].copy()
+                    )
+        return buckets, signs
+
     def update(self, item: int, delta: int = 1) -> None:
         buckets, signs = self._vectors(item)
         self._table[self._row_idx, buckets] += signs * float(delta)
@@ -97,15 +140,56 @@ class CountSketch(PointQuerySketch):
             if len(self._candidates) > 4 * self._track_candidates:
                 self._prune_candidates()
 
+    def update_batch(self, items, deltas=None) -> None:
+        """Vectorized ingestion; linear, so per-item aggregation is exact.
+
+        Candidate bookkeeping prunes once per chunk instead of every
+        fourth insertion — the tracked *set* may differ from the per-item
+        path (candidates are heuristic state), the table never does.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        unique, summed = aggregate_batch(items, deltas)
+        buckets, signs = self._vectors_many(unique)
+        weighted = signs * summed[:, None].astype(np.float64)
+        for r in range(self.rows):
+            self._table[r] += np.bincount(
+                buckets[:, r], weights=weighted[:, r], minlength=self.width
+            )
+        if self._track_candidates:
+            for item in unique.tolist():
+                self._candidates[item] = None
+            if len(self._candidates) > 4 * self._track_candidates:
+                self._prune_candidates()
+
     def _prune_candidates(self) -> None:
-        scored = sorted(
-            self._candidates, key=lambda i: abs(self.point_query(i)), reverse=True
-        )
-        self._candidates = {i: None for i in scored[: self._track_candidates]}
+        candidates = list(self._candidates)
+        scores = np.abs(self.point_query_batch(candidates))
+        order = np.argsort(-scores, kind="stable")[: self._track_candidates]
+        self._candidates = {candidates[int(pos)]: None for pos in order}
+
+    def snapshot(self) -> "CountSketch":
+        """Cheap snapshot: share hashes and memo, copy table/candidates."""
+        clone = copy.copy(self)
+        clone._table = self._table.copy()
+        clone._candidates = dict(self._candidates)
+        return clone
 
     def point_query(self, item: int) -> float:
         buckets, signs = self._vectors(item)
         return float(np.median(signs * self._table[self._row_idx, buckets]))
+
+    def point_query_batch(self, items) -> np.ndarray:
+        """Median-over-rows estimates for a whole array of items."""
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        if len(items) == 0:
+            return np.zeros(0, dtype=np.float64)
+        buckets, signs = self._vectors_many(items)
+        gathered = np.empty((len(items), self.rows), dtype=np.float64)
+        for r in range(self.rows):
+            gathered[:, r] = self._table[r, buckets[:, r]]
+        return np.median(signs * gathered, axis=1)
 
     def f2_estimate(self) -> float:
         """Median over rows of the row's squared mass — an AMS-style F2.

@@ -27,11 +27,12 @@ deterministic counter).
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
-from repro.sketches.base import Sketch
+from repro.sketches.base import Sketch, aggregate_batch, as_batch_arrays
 from repro.sketches.stable import PStableSketch, item_keyed_generator
 
 #: ln E[e^{tX}] = t ln t + KAPPA * t for the CMS kernel used below.
@@ -111,6 +112,22 @@ class CliffordCosmaSketch(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._y += self._column(item) * float(delta)
         self._f1 += delta
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Batch the linear map over per-distinct-item aggregates."""
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        unique, summed = aggregate_batch(items, deltas)
+        cols = np.stack([self._column(item) for item in unique.tolist()])
+        self._y += cols.T @ summed.astype(np.float64)
+        self._f1 += int(summed.sum())
+
+    def snapshot(self) -> "CliffordCosmaSketch":
+        """Cheap snapshot: copy the counters, share the seeded memo."""
+        clone = copy.copy(self)
+        clone._y = self._y.copy()
+        return clone
 
     def query(self) -> float:
         """Current additive-eps estimate of H(f) in ``base`` units."""

@@ -14,6 +14,7 @@ baseline that the paper's wrappers undercut.
 
 from __future__ import annotations
 
+import copy
 import math
 
 from repro.sketches.base import PointQuerySketch, Sketch
@@ -34,6 +35,14 @@ class ExactDistinctCounter(Sketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._f.update(item, delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        self._f.update_batch(items, deltas)
+
+    def snapshot(self):
+        clone = copy.copy(self)
+        clone._f = self._f.copy()
+        return clone
 
     def query(self) -> float:
         return float(self._f.f0())
@@ -57,6 +66,14 @@ class ExactMomentCounter(Sketch):
     def update(self, item: int, delta: int = 1) -> None:
         self._f.update(item, delta)
 
+    def update_batch(self, items, deltas=None) -> None:
+        self._f.update_batch(items, deltas)
+
+    def snapshot(self):
+        clone = copy.copy(self)
+        clone._f = self._f.copy()
+        return clone
+
     def query(self) -> float:
         return self._f.lp(self.p) if self.return_norm else self._f.fp(self.p)
 
@@ -75,6 +92,14 @@ class ExactEntropyCounter(Sketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._f.update(item, delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        self._f.update_batch(items, deltas)
+
+    def snapshot(self):
+        clone = copy.copy(self)
+        clone._f = self._f.copy()
+        return clone
 
     def query(self) -> float:
         return self._f.shannon_entropy(self.base)
@@ -103,6 +128,14 @@ class ExactHeavyHitters(PointQuerySketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._f.update(item, delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        self._f.update_batch(items, deltas)
+
+    def snapshot(self):
+        clone = copy.copy(self)
+        clone._f = self._f.copy()
+        return clone
 
     def point_query(self, item: int) -> float:
         return float(self._f[item])

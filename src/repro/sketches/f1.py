@@ -9,6 +9,10 @@ estimators can consume an exact F1 value.
 
 from __future__ import annotations
 
+import copy
+
+import numpy as np
+
 from repro.sketches.base import Sketch
 
 
@@ -28,6 +32,16 @@ class F1Counter(Sketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._sum += delta
+
+    def update_batch(self, items, deltas=None) -> None:
+        """A chunk contributes its delta sum; items are irrelevant to F1."""
+        if deltas is None:
+            self._sum += int(np.asarray(items, dtype=np.int64).shape[0])
+        else:
+            self._sum += int(np.asarray(deltas, dtype=np.int64).sum())
+
+    def snapshot(self) -> "F1Counter":
+        return copy.copy(self)
 
     def query(self) -> float:
         return float(self._sum)

@@ -14,12 +14,25 @@ cryptographic transformation.
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
 from repro.hashing.kwise import KWiseHash
-from repro.sketches.base import Sketch
+from repro.sketches.base import Sketch, as_batch_arrays
+
+
+def _bit_length_vec(x: np.ndarray) -> np.ndarray:
+    """``int.bit_length`` for a ``uint64`` array (exact, no float round-trip)."""
+    out = np.zeros(x.shape, dtype=np.int64)
+    v = x.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = v >= (np.uint64(1) << np.uint64(shift))
+        out[big] += shift
+        v[big] >>= np.uint64(shift)
+    out += (v > 0).astype(np.int64)
+    return out
 
 
 class HyperLogLog(Sketch):
@@ -67,6 +80,32 @@ class HyperLogLog(Sketch):
         rank = width - rest.bit_length() + 1
         if rank > self._registers[idx]:
             self._registers[idx] = rank
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Vectorized ingestion via scatter-max.
+
+        Registers hold per-bucket maxima, which are order-insensitive, so
+        the batched state is bit-for-bit identical to the per-item loop.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if np.any(deltas < 0):
+            raise ValueError("HyperLogLog requires non-negative updates")
+        items = items[deltas > 0]
+        if len(items) == 0:
+            return
+        hashes = self._hash.hash_many(items)
+        idx = (hashes & np.uint64(self.m_registers - 1)).astype(np.intp)
+        rest = hashes >> np.uint64(self.b)
+        ranks = (61 - self.b) - _bit_length_vec(rest) + 1
+        np.maximum.at(self._registers, idx, ranks.astype(np.uint8))
+
+    def snapshot(self) -> "HyperLogLog":
+        """Cheap snapshot: share the hash, copy the register array."""
+        clone = copy.copy(self)
+        clone._registers = self._registers.copy()
+        return clone
 
     def query(self) -> float:
         m = self.m_registers

@@ -21,12 +21,13 @@ no random-oracle assumption is needed for the static guarantee.
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
 
 from repro.hashing.kwise import KWiseHash
-from repro.sketches.base import Sketch
+from repro.sketches.base import Sketch, as_batch_arrays
 
 _HASH_RANGE = float(1 << 61)
 
@@ -82,6 +83,45 @@ class KMVSketch(Sketch):
         mins.insert(lo, h)
         if len(mins) > self.k:
             mins.pop()
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Vectorized ingestion: hash the chunk, merge the k smallest.
+
+        The KMV state is *exactly* the set of the k smallest distinct hash
+        values seen, which is order-insensitive — the merged state is
+        bit-for-bit identical to the per-item loop.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if np.any(deltas < 0):
+            raise ValueError("KMV requires non-negative updates")
+        items = items[deltas > 0]
+        if len(items) == 0:
+            return
+        # Duplicate-insensitivity: only distinct items can move the state,
+        # so dedupe before paying for the hash evaluations.
+        items = np.unique(items)
+        hashes = self._hash.hash_many(items)
+        mins = self._mins
+        if len(mins) == self.k:
+            # Saturated: values at or above the current k-th minimum can
+            # never enter the state; drop them before the merge sort.
+            hashes = hashes[hashes < np.uint64(mins[-1])]
+            if len(hashes) == 0:
+                return
+        if mins:
+            hashes = np.concatenate(
+                [np.asarray(mins, dtype=np.uint64), hashes]
+            )
+        merged = np.unique(hashes)[: self.k]
+        self._mins = merged.tolist()
+
+    def snapshot(self) -> "KMVSketch":
+        """Cheap snapshot: share the immutable hash, copy the min-list."""
+        clone = copy.copy(self)
+        clone._mins = list(self._mins)
+        return clone
 
     def query(self) -> float:
         mins = self._mins

@@ -12,9 +12,12 @@ Deterministic, hence adversarially robust by definition.
 
 from __future__ import annotations
 
+import copy
 import math
 
-from repro.sketches.base import PointQuerySketch
+import numpy as np
+
+from repro.sketches.base import PointQuerySketch, aggregate_batch, as_batch_arrays
 
 
 class MisraGries(PointQuerySketch):
@@ -74,6 +77,34 @@ class MisraGries(PointQuerySketch):
                 self._counters[item] = remaining
             # else: remaining mass is absorbed by further decrements; for
             # unit-delta streams (the common case) this branch never loops.
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunk ingestion via per-distinct-item aggregation.
+
+        Misra–Gries is order-sensitive, so the batched summary is the one
+        obtained by replaying the chunk *aggregated by item* (one weighted
+        update per distinct item) rather than in arrival order.  Both are
+        valid MG summaries of the same frequency vector — the
+        ``F1/(k+1)`` underestimate bound depends only on F1, not on the
+        arrival order — but the counter sets may differ from the per-item
+        loop.  On skewed streams this turns m dict operations into
+        (distinct items) dict operations.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        if np.any(deltas < 0):
+            raise ValueError("Misra-Gries requires non-negative updates")
+        unique, summed = aggregate_batch(items, deltas)
+        for item, delta in zip(unique.tolist(), summed.tolist()):
+            if delta > 0:
+                self.update(item, delta)
+
+    def snapshot(self) -> "MisraGries":
+        """Cheap snapshot: copy the counter dict."""
+        clone = copy.copy(self)
+        clone._counters = dict(self._counters)
+        return clone
 
     def point_query(self, item: int) -> float:
         return float(self._counters.get(item, 0))

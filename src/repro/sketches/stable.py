@@ -27,12 +27,13 @@ charges.
 
 from __future__ import annotations
 
+import copy
 import math
 from functools import lru_cache
 
 import numpy as np
 
-from repro.sketches.base import Sketch
+from repro.sketches.base import Sketch, aggregate_batch, as_batch_arrays
 
 _KEY_MASK = (1 << 64) - 1
 _ITEM_SALT = 0x9E3779B97F4A7C15  # golden-ratio mix to decorrelate small items
@@ -170,6 +171,25 @@ class PStableSketch(Sketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._y += self._column(item) * float(delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Batch the linear map over per-distinct-item aggregates.
+
+        Columns come from the same seeded memo as the per-item path, so
+        the state matches up to floating-point summation order.
+        """
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        unique, summed = aggregate_batch(items, deltas)
+        cols = np.stack([self._column(item) for item in unique.tolist()])
+        self._y += cols.T @ summed.astype(np.float64)
+
+    def snapshot(self) -> "PStableSketch":
+        """Cheap snapshot: copy the counters, share the seeded memo."""
+        clone = copy.copy(self)
+        clone._y = self._y.copy()
+        return clone
 
     def query(self) -> float:
         norm = float(np.median(np.abs(self._y))) / self._scale

@@ -3,14 +3,25 @@
 from repro.streams.frequency import FrequencyVector
 from repro.streams.generators import (
     bounded_deletion_stream,
+    distinct_ramp_chunks,
     distinct_ramp_stream,
     phased_support_stream,
     planted_heavy_hitters_stream,
     turnstile_wave_stream,
     uniform_stream,
+    uniform_stream_chunks,
     zipfian_stream,
+    zipfian_stream_chunks,
 )
-from repro.streams.model import StreamModel, StreamParameters, Update, as_updates
+from repro.streams.model import (
+    StreamChunk,
+    StreamModel,
+    StreamParameters,
+    Update,
+    as_updates,
+    chunk_updates,
+    iter_updates,
+)
 from repro.streams.validators import (
     StreamValidationError,
     check_bounded_deletion,
@@ -23,16 +34,22 @@ from repro.streams.validators import (
 __all__ = [
     "FrequencyVector",
     "bounded_deletion_stream",
+    "distinct_ramp_chunks",
     "distinct_ramp_stream",
     "phased_support_stream",
     "planted_heavy_hitters_stream",
     "turnstile_wave_stream",
     "uniform_stream",
+    "uniform_stream_chunks",
     "zipfian_stream",
+    "zipfian_stream_chunks",
+    "StreamChunk",
     "StreamModel",
     "StreamParameters",
     "Update",
     "as_updates",
+    "chunk_updates",
+    "iter_updates",
     "StreamValidationError",
     "check_bounded_deletion",
     "function_trajectory",

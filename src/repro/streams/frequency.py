@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 
+import numpy as np
+
 
 class FrequencyVector:
     """Sparse exact frequency vector with incremental moment maintenance.
@@ -38,6 +40,39 @@ class FrequencyVector:
             self._f[item] = new
         self._f1_signed += delta
         self._updates += 1
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Apply a chunk of updates aggregated per distinct item.
+
+        The final vector is identical to applying the chunk per item (the
+        frequency vector is order-insensitive); ``updates_processed``
+        counts the chunk's individual updates, matching the per-item loop
+        for nonzero deltas.
+        """
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        if len(items) == 0:
+            return
+        if deltas is None:
+            deltas = np.ones(items.shape, dtype=np.int64)
+        else:
+            deltas = np.ascontiguousarray(deltas, dtype=np.int64)
+        nonzero = deltas != 0
+        items, deltas = items[nonzero], deltas[nonzero]
+        if len(items) == 0:
+            return
+        unique, inverse = np.unique(items, return_inverse=True)
+        summed = np.bincount(inverse, weights=deltas, minlength=len(unique))
+        f = self._f
+        for item, delta in zip(unique.tolist(), summed.astype(np.int64).tolist()):
+            if delta == 0:
+                continue  # cancelling updates within the chunk: no net effect
+            new = f[item] + delta
+            if new == 0:
+                del f[item]
+            else:
+                f[item] = new
+        self._f1_signed += int(deltas.sum())
+        self._updates += int(len(items))
 
     # ------------------------------------------------------------------
     # Queries

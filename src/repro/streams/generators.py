@@ -18,14 +18,24 @@ synthetic stream families used by the experiment harness:
 
 All generators return ``list[Update]`` and take an explicit numpy
 ``Generator`` so experiments are reproducible.
+
+For production-scale oblivious replay there are array-native *chunked*
+twins (``*_stream_chunks``) that yield :class:`StreamChunk` batches
+without ever materialising per-update Python objects — the memory and
+throughput foundation of the batched ingestion pipeline.  A chunked
+generator with the same seed produces the same *distribution* as its
+list twin; ``distinct_ramp_chunks`` is deterministic and produces the
+identical stream.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from repro.streams.frequency import FrequencyVector
-from repro.streams.model import Update
+from repro.streams.model import StreamChunk, Update
 
 
 def uniform_stream(n: int, m: int, rng: np.random.Generator) -> list[Update]:
@@ -163,6 +173,58 @@ def bounded_deletion_stream(
         positive.append(item)
         out.append(Update(item, 1))
     return out
+
+
+# ----------------------------------------------------------------------
+# Chunked (array-native) generators for batched oblivious replay
+# ----------------------------------------------------------------------
+
+def _chunk_sizes(m: int, chunk_size: int) -> Iterator[int]:
+    if m < 0:
+        raise ValueError(f"stream length must be >= 0, got {m}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    remaining = m
+    while remaining > 0:
+        take = min(chunk_size, remaining)
+        yield take
+        remaining -= take
+
+
+def uniform_stream_chunks(
+    n: int, m: int, rng: np.random.Generator, chunk_size: int = 65536
+) -> Iterator[StreamChunk]:
+    """m uniform insertions, yielded as arrays ``chunk_size`` at a time."""
+    for take in _chunk_sizes(m, chunk_size):
+        yield StreamChunk.insertions(rng.integers(0, n, size=take))
+
+
+def zipfian_stream_chunks(
+    n: int,
+    m: int,
+    rng: np.random.Generator,
+    s: float = 1.2,
+    chunk_size: int = 65536,
+) -> Iterator[StreamChunk]:
+    """m Zipf(s) insertions as chunks (weights computed once, not per chunk)."""
+    if s <= 0:
+        raise ValueError(f"zipf exponent must be positive, got {s}")
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** s
+    weights /= weights.sum()
+    for take in _chunk_sizes(m, chunk_size):
+        yield StreamChunk.insertions(rng.choice(n, size=take, p=weights))
+
+
+def distinct_ramp_chunks(
+    n: int, m: int, chunk_size: int = 65536
+) -> Iterator[StreamChunk]:
+    """The :func:`distinct_ramp_stream` updates, chunked; identical stream."""
+    produced = 0
+    for take in _chunk_sizes(m, chunk_size):
+        yield StreamChunk.insertions(
+            np.arange(produced, produced + take, dtype=np.int64) % n
+        )
+        produced += take
 
 
 def turnstile_wave_stream(

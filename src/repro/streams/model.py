@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import enum
 import math
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from typing import NamedTuple
+
+import numpy as np
 
 
 class Update(NamedTuple):
@@ -28,6 +31,111 @@ class Update(NamedTuple):
 
     item: int
     delta: int
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """A contiguous run of updates as aligned arrays — the batched-ingestion
+    currency of the codebase.
+
+    ``items[t]`` and ``deltas[t]`` are the t-th update of the chunk; the
+    arrays are what :meth:`repro.sketches.base.Sketch.update_batch`
+    consumes directly, with no per-update Python objects in between.
+    Iterating a chunk yields :class:`Update` tuples in stream order, so
+    per-item consumers (the adversarial game, the equivalence tests) can
+    treat a chunked stream exactly like a flat one.
+    """
+
+    items: np.ndarray
+    deltas: np.ndarray
+
+    def __post_init__(self) -> None:
+        items = np.ascontiguousarray(self.items, dtype=np.int64)
+        deltas = np.ascontiguousarray(self.deltas, dtype=np.int64)
+        if items.ndim != 1 or deltas.shape != items.shape:
+            raise ValueError(
+                f"items/deltas must be aligned 1-d arrays, got shapes "
+                f"{np.shape(self.items)} and {np.shape(self.deltas)}"
+            )
+        object.__setattr__(self, "items", items)
+        object.__setattr__(self, "deltas", deltas)
+
+    @classmethod
+    def from_updates(cls, updates: Iterable[Update]) -> "StreamChunk":
+        """Pack a sequence of updates (or plain items/pairs) into arrays."""
+        pairs = as_updates(updates)
+        if not pairs:
+            return cls(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        arr = np.asarray(pairs, dtype=np.int64)
+        return cls(arr[:, 0].copy(), arr[:, 1].copy())
+
+    @classmethod
+    def insertions(cls, items) -> "StreamChunk":
+        """A unit-insertion chunk (the simplified insertion-only form)."""
+        items = np.ascontiguousarray(items, dtype=np.int64)
+        return cls(items, np.ones(items.shape, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return int(self.items.shape[0])
+
+    def __iter__(self) -> Iterator[Update]:
+        for item, delta in zip(self.items.tolist(), self.deltas.tolist()):
+            yield Update(item, delta)
+
+    @property
+    def insertion_only(self) -> bool:
+        return bool(len(self) == 0 or int(self.deltas.min()) > 0)
+
+    def split(self, at: int) -> tuple["StreamChunk", "StreamChunk"]:
+        """(prefix, suffix) around position ``at`` (prefix excludes it)."""
+        return (
+            StreamChunk(self.items[:at], self.deltas[:at]),
+            StreamChunk(self.items[at:], self.deltas[at:]),
+        )
+
+
+def chunk_updates(updates, size: int) -> Iterator[StreamChunk]:
+    """Slice a stream (items / pairs / Updates / chunks) into StreamChunks.
+
+    This is the ``chunks(size)`` adapter: oblivious replay feeds the
+    resulting chunks to ``update_batch``, while the adversarial game keeps
+    consuming the same stream per :class:`Update` (adaptivity requires
+    round granularity — the adversary sees R_t after every update — so the
+    game never batches).
+    """
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    if isinstance(updates, StreamChunk):
+        for start in range(0, len(updates), size):
+            yield StreamChunk(
+                updates.items[start:start + size],
+                updates.deltas[start:start + size],
+            )
+        return
+    buffer: list[Update] = []
+    for u in updates:
+        if isinstance(u, StreamChunk):
+            # Re-chunk an already-chunked stream: flush, then slice.
+            if buffer:
+                yield StreamChunk.from_updates(buffer)
+                buffer = []
+            yield from chunk_updates(u, size)
+            continue
+        buffer.append(u)
+        if len(buffer) >= size:
+            yield StreamChunk.from_updates(buffer)
+            buffer = []
+    if buffer:
+        yield StreamChunk.from_updates(buffer)
+
+
+def iter_updates(chunks: Iterable[StreamChunk | Update]) -> Iterator[Update]:
+    """Flatten chunks back to per-:class:`Update` iteration (game adapter)."""
+    for chunk in chunks:
+        if isinstance(chunk, StreamChunk):
+            yield from chunk
+        else:
+            yield chunk
 
 
 class StreamModel(enum.Enum):

@@ -213,3 +213,104 @@ class TestAdditiveSwitching:
             AdditiveSwitchingEstimator(lambda r: _ExactEntropyLike(), 0, 0.1, rng)
         with pytest.raises(ValueError):
             AdditiveSwitchingEstimator(lambda r: _ExactEntropyLike(), 1, -1, rng)
+
+
+class TestExhaustionPaths:
+    """The on_exhausted="clamp" degradation modes and ring reuse."""
+
+    def test_plain_clamp_keeps_last_copy_active(self):
+        sw = SketchSwitchingEstimator(
+            lambda r: _ExactCounter(), copies=3, eps=0.2,
+            rng=np.random.default_rng(1), on_exhausted="clamp",
+        )
+        for _ in range(2000):
+            sw.process_update(0, 1)
+        # All copies burned long ago, yet the estimator keeps tracking by
+        # clamping to the last copy; switches keep counting past `copies`.
+        assert sw.switches > sw.copies
+        assert sw.active_index == sw.copies - 1
+        assert sw.query() == pytest.approx(2000.0, rel=0.2 / 2 + 1e-9)
+
+    def test_plain_clamp_never_raises_on_long_streams(self):
+        sw = SketchSwitchingEstimator(
+            lambda r: _ExactCounter(), copies=1, eps=0.5,
+            rng=np.random.default_rng(2), on_exhausted="clamp",
+        )
+        for _ in range(500):
+            sw.process_update(0, 1)  # must not raise
+
+    def test_additive_clamp_keeps_tracking(self):
+        import math
+
+        sw = AdditiveSwitchingEstimator(
+            lambda r: _ExactEntropyLike(), copies=2, eps=0.1,
+            rng=np.random.default_rng(3), on_exhausted="clamp",
+        )
+        for t in range(1, 1500):
+            out = sw.process_update(0, 1)
+            assert abs(out - math.log2(t + 1)) <= 0.1 + 1e-9
+        assert sw.switches > sw.copies
+
+    def test_clamp_chunked_matches_per_item(self):
+        def make(mode_copies):
+            return SketchSwitchingEstimator(
+                lambda r: _ExactCounter(), copies=mode_copies, eps=0.2,
+                rng=np.random.default_rng(4), on_exhausted="clamp",
+            )
+
+        a, b = make(3), make(3)
+        for _ in range(1500):
+            a.process_update(0, 1)
+        items = np.zeros(1500, dtype=np.int64)
+        for lo in range(0, 1500, 128):
+            b.update_chunk(items[lo:lo + 128])
+        assert a.switches == b.switches
+        assert a.query() == b.query()
+
+    def test_invalid_on_exhausted_rejected(self):
+        with pytest.raises(ValueError):
+            SketchSwitchingEstimator(
+                lambda r: _ExactCounter(), copies=2, eps=0.2,
+                rng=np.random.default_rng(0), on_exhausted="ignore",
+            )
+        with pytest.raises(ValueError):
+            AdditiveSwitchingEstimator(
+                lambda r: _ExactEntropyLike(), copies=2, eps=0.2,
+                rng=np.random.default_rng(0), on_exhausted="ignore",
+            )
+
+
+class TestRestartRingReuse:
+    def test_full_cycle_replaces_every_slot(self):
+        ring = 5
+        sw = SketchSwitchingEstimator(
+            lambda r: _ExactCounter(), copies=ring, eps=0.2,
+            rng=np.random.default_rng(5), restart=True,
+        )
+        originals = list(sw._sketches)
+        for _ in range(5000):
+            sw.process_update(0, 1)
+        # The ring cycled at least once: every slot holds a restarted copy
+        # and the switch count exceeds the ring size.
+        assert sw.switches > ring
+        assert all(s is not o for s, o in zip(sw._sketches, originals))
+        # Restarted copies only saw a suffix, so each restarted counter is
+        # strictly behind the true count.
+        assert all(s.query() < 5000 for s in sw._sketches)
+
+    def test_restart_rng_derivation_is_deterministic(self):
+        def make():
+            return SketchSwitchingEstimator(
+                lambda r: KMVSketch(16, r), copies=4, eps=0.3,
+                rng=np.random.default_rng(6), restart=True,
+            )
+
+        a, b = make(), make()
+        for t in range(3000):
+            a.process_update(t % 512, 1)
+            b.process_update(t % 512, 1)
+        assert a.switches == b.switches
+        assert a.query() == b.query()
+        # Identical seeding must reproduce identical ring states.
+        for sa, sb in zip(a._sketches, b._sketches):
+            assert sa.state_fingerprint() == sb.state_fingerprint()

@@ -77,3 +77,62 @@ class TestPolyEval:
     def test_horner_matches_naive(self, coeffs, x):
         naive = sum(c * pow(x, j, MERSENNE_P) for j, c in enumerate(coeffs))
         assert poly_eval(coeffs, x) == naive % MERSENNE_P
+
+
+class TestVectorizedKernels:
+    """The batched-ingestion kernels match the exact scalar arithmetic."""
+
+    @given(st.lists(elements, min_size=1, max_size=64))
+    def test_mod_mersenne_vec(self, xs):
+        import numpy as np
+
+        from repro.hashing.field import mod_mersenne_vec
+
+        arr = np.array(xs, dtype=np.uint64)
+        expected = np.array([mod_mersenne(x) for x in xs], dtype=np.uint64)
+        assert np.array_equal(mod_mersenne_vec(arr), expected)
+
+    @given(
+        st.lists(elements, min_size=1, max_size=32),
+        st.lists(elements, min_size=1, max_size=32),
+    )
+    def test_field_mul_vec(self, aa, bb):
+        import numpy as np
+
+        from repro.hashing.field import field_mul_vec
+
+        size = min(len(aa), len(bb))
+        a = np.array(aa[:size], dtype=np.uint64)
+        b = np.array(bb[:size], dtype=np.uint64)
+        a_orig, b_orig = a.copy(), b.copy()
+        got = field_mul_vec(a, b)
+        expected = np.array(
+            [field_mul(int(x), int(y)) for x, y in zip(a_orig, b_orig)],
+            dtype=np.uint64,
+        )
+        assert np.array_equal(got, expected)
+        # Inputs must not be mutated.
+        assert np.array_equal(a, a_orig) and np.array_equal(b, b_orig)
+
+    @given(
+        st.lists(elements, min_size=1, max_size=6),
+        st.lists(elements, min_size=1, max_size=32),
+    )
+    def test_poly_eval_vec(self, coeffs, xs):
+        import numpy as np
+
+        from repro.hashing.field import poly_eval_vec
+
+        got = poly_eval_vec(coeffs, np.array(xs, dtype=np.uint64))
+        assert got.tolist() == poly_eval_many(coeffs, xs)
+
+    def test_boundary_values(self):
+        import numpy as np
+
+        from repro.hashing.field import field_mul_vec
+
+        edge = [0, 1, 2, MERSENNE_P - 2, MERSENNE_P - 1]
+        a = np.array(edge * len(edge), dtype=np.uint64)
+        b = np.repeat(np.array(edge, dtype=np.uint64), len(edge))
+        expected = [(int(x) * int(y)) % MERSENNE_P for x, y in zip(a, b)]
+        assert field_mul_vec(a, b).tolist() == expected

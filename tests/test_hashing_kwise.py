@@ -78,3 +78,25 @@ class TestTabulationHash:
     def test_invalid_out_bits(self):
         with pytest.raises(ValueError):
             TabulationHash(np.random.default_rng(0), out_bits=65)
+
+
+class TestVectorizedHashing:
+    def test_hash_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        xs = np.concatenate([
+            rng.integers(0, 2**40, size=512),
+            np.array([0, 1, 2, (1 << 61) - 2]),
+        ])
+        for k in (1, 2, 4, 8):
+            for out_bits in (61, 32, 16):
+                h = KWiseHash(k, np.random.default_rng(k), out_bits=out_bits)
+                scalar = np.array([h(int(x)) for x in xs], dtype=np.uint64)
+                assert np.array_equal(h.hash_many(xs), scalar), (k, out_bits)
+
+    def test_sign_many_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        xs = rng.integers(0, 2**40, size=512)
+        s = KWiseSignHash(4, np.random.default_rng(2))
+        scalar = np.array([s(int(x)) for x in xs], dtype=np.float64)
+        assert np.array_equal(s.sign_many(xs), scalar)
+        assert set(np.unique(s.sign_many(xs))) <= {-1.0, 1.0}

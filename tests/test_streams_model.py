@@ -75,3 +75,69 @@ class TestAsUpdates:
 
     def test_mixed(self):
         assert as_updates([7, (8, 2)]) == [Update(7, 1), Update(8, 2)]
+
+
+class TestStreamChunk:
+    def test_from_updates_round_trip(self):
+        from repro.streams.model import StreamChunk
+
+        ups = [Update(3, 1), Update(5, -2), Update(3, 4)]
+        chunk = StreamChunk.from_updates(ups)
+        assert len(chunk) == 3
+        assert list(chunk) == ups
+        assert not chunk.insertion_only
+
+    def test_insertions_constructor(self):
+        from repro.streams.model import StreamChunk
+
+        chunk = StreamChunk.insertions([4, 4, 9])
+        assert list(chunk) == [Update(4, 1), Update(4, 1), Update(9, 1)]
+        assert chunk.insertion_only
+
+    def test_shape_mismatch_rejected(self):
+        import numpy as np
+
+        from repro.streams.model import StreamChunk
+
+        with pytest.raises(ValueError):
+            StreamChunk(np.arange(3), np.arange(2))
+
+    def test_split(self):
+        from repro.streams.model import StreamChunk
+
+        chunk = StreamChunk.insertions(list(range(10)))
+        head, tail = chunk.split(4)
+        assert list(head) + list(tail) == list(chunk)
+        assert len(head) == 4 and len(tail) == 6
+
+
+class TestChunkAdapters:
+    def test_chunk_updates_slices_evenly(self):
+        from repro.streams.model import chunk_updates
+
+        ups = [Update(i, 1) for i in range(1000)]
+        chunks = list(chunk_updates(ups, 256))
+        assert [len(c) for c in chunks] == [256, 256, 256, 232]
+        assert list(chunks[0])[0] == ups[0]
+
+    def test_chunk_updates_accepts_plain_items_and_chunks(self):
+        from repro.streams.model import StreamChunk, chunk_updates
+
+        rechunked = list(chunk_updates(StreamChunk.insertions(range(10)), 4))
+        assert [len(c) for c in rechunked] == [4, 4, 2]
+        from_items = list(chunk_updates([7, 8, 9], 2))
+        assert [list(c) for c in from_items] == [
+            [Update(7, 1), Update(8, 1)], [Update(9, 1)]
+        ]
+
+    def test_chunk_updates_rejects_bad_size(self):
+        from repro.streams.model import chunk_updates
+
+        with pytest.raises(ValueError):
+            list(chunk_updates([1, 2], 0))
+
+    def test_iter_updates_preserves_per_item_iteration(self):
+        from repro.streams.model import chunk_updates, iter_updates
+
+        ups = [Update(i % 7, 1 + i % 3) for i in range(500)]
+        assert list(iter_updates(chunk_updates(ups, 64))) == ups
