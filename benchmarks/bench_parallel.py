@@ -1,0 +1,173 @@
+"""PARALLEL — the execution-engine throughput gate (ISSUE 2 tentpole).
+
+Replays the same 1M-update oblivious uniform stream through the robust
+sketch-switching distinct-elements estimator three ways:
+
+* **PR 1 serial batched** — the ``update_batch`` path this engine is
+  measured against (the `BENCH_ingest.json` robust-switching baseline);
+* **SerialEngine** — same process, with the shard plan's shared-work
+  hoists (chunk deduped once, first-occurrence filtering over the
+  duplicate-insensitive KMV copies);
+* **ProcessEngine(>=4 workers)** — copies sharded across forked workers
+  over shared-memory chunk buffers.
+
+Asserts bit-for-bit equivalence (identical published outputs and switch
+counts) across all three, and the acceptance gate: the process engine on
+>= 4 workers is at least 2x the PR 1 serial batched path.  Also measures
+per-partial merge sharding (CountMin) and the columnar-store + prefetch
+replay path, asserting exactness for both.
+
+Emits ``out/parallel_engine.{txt,json}``; ``run_all.py`` folds the JSON
+into ``BENCH_parallel.json`` at the repo root.
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.engine import ProcessEngine, SerialEngine, fork_available
+from repro.robust.distinct import RobustDistinctElements
+from repro.sketches.countmin import CountMinSketch
+from repro.streams.frequency import FrequencyVector
+from repro.streams.model import StreamChunk, StreamParameters
+from repro.streams.store import write_stream
+from tables import emit, emit_json, format_row
+
+N = 1 << 14
+M = 1_000_000
+CHUNK = 65536
+EPS = 0.25
+WORKERS = 4
+WIDTHS = (30, 14, 10, 10, 10)
+MIN_PARALLEL_SPEEDUP = 2.0
+
+
+def _robust(seed=11):
+    return RobustDistinctElements(
+        n=N, m=M, eps=EPS, rng=np.random.default_rng(seed)
+    )
+
+
+def _run_engine(est, items, engine):
+    start = time.perf_counter()
+    if engine is None:
+        for lo in range(0, M, CHUNK):
+            est.update_batch(StreamChunk.insertions(items[lo:lo + CHUNK]))
+    else:
+        with engine.session(est) as session:
+            for lo in range(0, M, CHUNK):
+                session.feed(items[lo:lo + CHUNK])
+    return M / (time.perf_counter() - start)
+
+
+def test_parallel_engine_throughput(benchmark):
+    rng = np.random.default_rng(2024)
+    items = rng.integers(0, N, size=M)
+    truth = FrequencyVector()
+    truth.update_batch(items)
+
+    rows = [format_row(
+        ("path", "items/s", "speedup", "switches", "rel err"), WIDTHS
+    )]
+    payload = {
+        "n": N, "m": M, "chunk": CHUNK, "eps": EPS, "workers": WORKERS,
+        "results": {},
+    }
+
+    def run_all():
+        contenders = [("pr1_serial_batched", None),
+                      ("engine_serial", SerialEngine())]
+        if fork_available():
+            contenders.append(
+                (f"engine_process_{WORKERS}w", ProcessEngine(workers=WORKERS))
+            )
+        results = {}
+        for name, engine in contenders:
+            est = _robust()
+            rate = _run_engine(est, items, engine)
+            results[name] = (rate, est)
+            err = abs(est.query() - truth.f0()) / truth.f0()
+            speedup = rate / results["pr1_serial_batched"][0]
+            payload["results"][name] = {
+                "items_per_sec": round(rate),
+                "speedup_vs_pr1": round(speedup, 2),
+                "switches": est.switches,
+                "final_estimate": round(est.query(), 1),
+                "final_relative_error": round(err, 4),
+            }
+            rows.append(format_row(
+                (name, f"{rate:,.0f}", f"{speedup:.2f}x", est.switches,
+                 f"{err:.3f}"), WIDTHS,
+            ))
+
+        # The engines must be *equivalent*, not just fast: identical
+        # published outputs and switch counts.
+        base = results["pr1_serial_batched"][1]
+        for name, (_, est) in results.items():
+            assert est.query() == base.query(), f"{name} diverged in output"
+            assert est.switches == base.switches, f"{name} switch count"
+        if fork_available():
+            speedup = (
+                results[f"engine_process_{WORKERS}w"][0]
+                / results["pr1_serial_batched"][0]
+            )
+            assert speedup >= MIN_PARALLEL_SPEEDUP, (
+                f"process engine only {speedup:.2f}x over the PR 1 serial "
+                f"batched path (required >= {MIN_PARALLEL_SPEEDUP}x)"
+            )
+
+        # Per-partial merge sharding: CountMin across workers, exact table.
+        serial_cm = CountMinSketch(2048, 5, np.random.default_rng(7))
+        start = time.perf_counter()
+        for lo in range(0, M, CHUNK):
+            serial_cm.update_batch(items[lo:lo + CHUNK])
+        serial_rate = M / (time.perf_counter() - start)
+        if fork_available():
+            merged_cm = CountMinSketch(2048, 5, np.random.default_rng(7))
+            rate = _run_engine(merged_cm, items, ProcessEngine(workers=WORKERS))
+            assert np.array_equal(serial_cm._table, merged_cm._table), (
+                "merged CountMin table diverged from serial"
+            )
+            payload["results"]["countmin_merge_shards"] = {
+                "items_per_sec": round(rate),
+                "speedup_vs_serial": round(rate / serial_rate, 2),
+            }
+            rows.append(format_row(
+                ("countmin merge shards", f"{rate:,.0f}",
+                 f"{rate / serial_rate:.2f}x", "-", "exact"), WIDTHS,
+            ))
+
+        # Columnar store + double-buffered prefetch replay.
+        with tempfile.TemporaryDirectory() as tmp:
+            store = write_stream(
+                tmp + "/stream", StreamChunk.insertions(items),
+                chunk_size=CHUNK, params=StreamParameters(n=N, m=M),
+            )
+            reader_cm = CountMinSketch(2048, 5, np.random.default_rng(7))
+            start = time.perf_counter()
+            from repro.api import ingest
+            report = ingest(reader_cm, store, chunk_size=CHUNK, prefetch=2)
+            rate = M / (time.perf_counter() - start)
+            assert report.updates == M
+            assert np.array_equal(serial_cm._table, reader_cm._table), (
+                "columnar replay diverged from in-memory ingestion"
+            )
+            payload["results"]["columnar_store_replay"] = {
+                "items_per_sec": round(rate),
+            }
+            rows.append(format_row(
+                ("columnar store + prefetch", f"{rate:,.0f}", "-", "-",
+                 "exact"), WIDTHS,
+            ))
+        return payload
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows.append("")
+    rows.append(
+        f"n={N}, m={M:,} uniform oblivious stream, chunk={CHUNK}, "
+        f"eps={EPS}; robust switching = Theorem 5.1 KMV ring; "
+        f"process engine = {WORKERS} forked workers over shared memory"
+    )
+    emit("parallel_engine", rows)
+    emit_json("parallel_engine", payload)

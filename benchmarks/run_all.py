@@ -1,17 +1,26 @@
-"""Run every benchmark and fold the results into ``BENCH_ingest.json``.
+"""Run every benchmark and fold the results into the BENCH reports.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/run_all.py            # full suite
     PYTHONPATH=src python benchmarks/run_all.py --quick    # ingest only
+    PYTHONPATH=src python benchmarks/run_all.py --engine   # engine only
 
 Each ``bench_*.py`` file is executed as its own pytest session (they are
 independent experiments with their own assertions).  Afterwards the
 machine-readable payloads the benchmarks drop in ``benchmarks/out/*.json``
-— most importantly the batched-vs-per-item ingestion throughput from
-``bench_ingest.py`` — are merged, together with per-file pass/fail and
-wall-clock, into ``BENCH_ingest.json`` at the repository root so the
-performance trajectory is tracked across PRs.
+are merged, together with per-file pass/fail, wall-clock, and machine
+metadata (cpu count, platform, numpy version — throughput numbers are
+meaningless without them), into the repo-root reports:
+
+* ``BENCH_ingest.json`` — the batched-vs-per-item ingestion trajectory
+  (``bench_ingest.py`` and the accuracy benchmarks);
+* ``BENCH_parallel.json`` — the execution-engine trajectory
+  (``bench_parallel.py``: sharded switching, merge shards, columnar
+  store replay).
+
+Payloads whose name starts with ``parallel`` land in the parallel
+report; everything else in the ingest report.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import argparse
 import json
 import os
 import pathlib
+import platform
 import subprocess
 import sys
 import time
@@ -27,10 +37,37 @@ import time
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 OUT_DIR = BENCH_DIR / "out"
-REPORT_PATH = REPO_ROOT / "BENCH_ingest.json"
+INGEST_REPORT_PATH = REPO_ROOT / "BENCH_ingest.json"
+PARALLEL_REPORT_PATH = REPO_ROOT / "BENCH_parallel.json"
 
-#: The headline benchmark; --quick runs only this one.
+#: The headline benchmarks; --quick/--engine run only one of them.
 QUICK = ("bench_ingest.py",)
+ENGINE = ("bench_parallel.py",)
+
+def report_key(name: str) -> str:
+    """Which repo-root report a benchmark file or payload feeds.
+
+    One rule for both: engine benchmarks are ``bench_parallel*.py`` and
+    emit ``parallel*`` payloads; everything else is ingest/accuracy.
+    """
+    return (
+        "parallel"
+        if name.startswith(("parallel", "bench_parallel"))
+        else "ingest"
+    )
+
+
+def machine_metadata() -> dict:
+    """What the throughput numbers were measured on."""
+    import numpy
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+    }
 
 
 def run_bench_file(path: pathlib.Path) -> dict:
@@ -59,28 +96,42 @@ def run_bench_file(path: pathlib.Path) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
         "--quick", action="store_true",
         help="run only the ingestion throughput benchmark",
+    )
+    group.add_argument(
+        "--engine", action="store_true",
+        help="run only the parallel execution engine benchmark",
     )
     args = parser.parse_args()
 
     if args.quick:
         files = [BENCH_DIR / name for name in QUICK]
+    elif args.engine:
+        files = [BENCH_DIR / name for name in ENGINE]
     else:
         files = sorted(BENCH_DIR.glob("bench_*.py"))
 
-    report: dict = {
-        "generated_by": "benchmarks/run_all.py",
-        "python": sys.version.split()[0],
-        "files": {},
-        "throughput": {},
-    }
+    meta = machine_metadata()
+
+    def new_report() -> dict:
+        return {
+            "generated_by": "benchmarks/run_all.py",
+            "machine": meta,
+            "python": meta["python"],
+            "files": {},
+            "throughput": {},
+        }
+
+    reports = {"ingest": new_report(), "parallel": new_report()}
+
     failures = 0
     for path in files:
         print(f"== {path.name}", flush=True)
         record = run_bench_file(path)
-        report["files"][path.name] = record
+        reports[report_key(path.name)]["files"][path.name] = record
         if not record["passed"]:
             failures += 1
             print(f"   FAILED ({record['summary']})")
@@ -92,14 +143,19 @@ def main() -> int:
     if OUT_DIR.is_dir():
         for json_path in sorted(OUT_DIR.glob("*.json")):
             try:
-                report["throughput"][json_path.stem] = json.loads(
-                    json_path.read_text()
-                )
+                payload = json.loads(json_path.read_text())
             except json.JSONDecodeError:
-                report["throughput"][json_path.stem] = {"error": "unreadable"}
+                payload = {"error": "unreadable"}
+            key = report_key(json_path.stem)
+            reports[key]["throughput"][json_path.stem] = payload
 
-    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"\nwrote {REPORT_PATH}")
+    targets = {"ingest": INGEST_REPORT_PATH, "parallel": PARALLEL_REPORT_PATH}
+    for key, target in targets.items():
+        report = reports[key]
+        if not report["files"]:
+            continue  # no benchmark of this kind ran; keep the old report
+        target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {target}")
     return 1 if failures else 0
 
 

@@ -14,6 +14,9 @@ Public API layers:
 * :mod:`repro.core` — the paper's contribution: flip numbers,
   epsilon-rounding, sketch switching (Algorithm 1), computation paths
   (Lemma 3.8);
+* :mod:`repro.engine` — the parallel execution engine: shard planning,
+  serial/process executors over shared-memory chunk buffers, and
+  double-buffered prefetching for oblivious replay;
 * :mod:`repro.adversary` — the two-player game and concrete attacks,
   including Algorithm 3 against AMS;
 * :mod:`repro.robust` — one robust algorithm per theorem.
@@ -32,14 +35,15 @@ Quickstart::
     assert not result.failed
 """
 
-from repro import adversary, core, hashing, robust, sketches, streams
+from repro import adversary, core, engine, hashing, robust, sketches, streams
 from repro.api import PROBLEMS, IngestReport, ingest, robust_estimator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "adversary",
     "core",
+    "engine",
     "hashing",
     "robust",
     "sketches",

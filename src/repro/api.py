@@ -22,7 +22,9 @@ Every estimator satisfies the :class:`repro.sketches.base.Sketch`
 contract (``process_update`` / ``query`` / ``space_bits``), including the
 batched ``update_batch`` surface; :func:`ingest` is the convenience
 front-end that replays any stream representation through the vectorized
-pipeline and reports throughput.
+pipeline — optionally through the parallel execution engine
+(``engine="process:4"``) and with double-buffered chunk prefetching
+(``prefetch=2``) — and reports throughput.
 """
 
 from __future__ import annotations
@@ -32,6 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.executor import resolve_engine
+from repro.engine.prefetch import prefetch_chunks
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
 from repro.robust.distinct import (
@@ -144,33 +148,65 @@ class IngestReport:
     seconds: float
     items_per_sec: float
     final_estimate: float
+    #: Execution mode: "direct" (plain update_batch), "serial" (engine
+    #: shared-work path), or "process[N]" (N forked workers).
+    mode: str = "direct"
 
 
 def ingest(
     estimator: Sketch,
     stream,
     chunk_size: int = 65536,
+    engine=None,
+    prefetch: int = 0,
 ) -> IngestReport:
     """Replay an **oblivious** stream through the batched pipeline.
 
     ``stream`` may be a plain item sequence, ``(item, delta)`` pairs,
-    ``Update`` tuples, a ``StreamChunk``, or an iterable of chunks (the
-    array-native generators in :mod:`repro.streams.generators`).  Updates
-    are sliced into ``chunk_size``-sized chunks and fed through
+    ``Update`` tuples, a ``StreamChunk``, an iterable of chunks (the
+    array-native generators in :mod:`repro.streams.generators`), or a
+    :class:`repro.streams.store.ColumnarStreamStore` replayed zero-copy.
+    Updates are sliced into ``chunk_size``-sized chunks and fed through
     ``update_batch``, which every estimator supports (vectorized for the
     hot sketches, loop fallback otherwise).
+
+    ``engine`` selects the execution engine (``None`` for the direct
+    path, ``"serial"``, ``"process"``, ``"process:N"``, a worker count,
+    or an :class:`repro.engine.ExecutionEngine`): sketch-switching
+    estimators fan their copies out across workers, mergeable sketches
+    shard per partial, everything else falls back to the deterministic
+    serial path with identical outputs.  ``prefetch`` (a queue depth;
+    ``2`` = double buffering) overlaps chunk generation or disk reads
+    with ingestion.
 
     This is the high-throughput replay surface only: adaptive adversaries
     must go through :class:`repro.adversary.game.AdversarialGame`, which
     keeps per-update round granularity by design.
     """
+    resolved = resolve_engine(engine)
+    if hasattr(stream, "chunks") and not isinstance(stream, Sketch):
+        # Chunked sources (ColumnarStreamStore) slice themselves.
+        chunk_iter = stream.chunks(chunk_size)
+    else:
+        chunk_iter = chunk_updates(stream, chunk_size)
+    if prefetch:
+        chunk_iter = prefetch_chunks(chunk_iter, depth=prefetch)
     count = 0
     chunks = 0
+    mode = "direct"
     start = time.perf_counter()
-    for chunk in chunk_updates(stream, chunk_size):
-        estimator.update_batch(chunk.items, chunk.deltas)
-        count += len(chunk)
-        chunks += 1
+    if resolved is None:
+        for chunk in chunk_iter:
+            estimator.update_batch(chunk.items, chunk.deltas)
+            count += len(chunk)
+            chunks += 1
+    else:
+        with resolved.session(estimator) as session:
+            mode = session.mode
+            for chunk in chunk_iter:
+                session.feed(chunk.items, chunk.deltas)
+                count += len(chunk)
+                chunks += 1
     secs = time.perf_counter() - start
     return IngestReport(
         updates=count,
@@ -178,4 +214,5 @@ def ingest(
         seconds=secs,
         items_per_sec=count / secs if secs > 0 else 0.0,
         final_estimate=estimator.query(),
+        mode=mode,
     )

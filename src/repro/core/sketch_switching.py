@@ -51,6 +51,17 @@ non-monotone trackers a transient band exit that fully reverts within
 one chunk is coalesced away; the adversarial game therefore always runs
 per item (adaptivity needs round granularity), and batching is reserved
 for oblivious replay.
+
+The parallel execution engine (:mod:`repro.engine`) drives the same
+protocol with the copies sharded across worker processes: chunk feeds
+fan out per copy, the publish-band check stays at chunk boundaries on
+the coordinator, and a crossing chunk falls back to the identical bisect
+discipline (the leaf run steps only the *active* copy per item — band
+decisions depend on no other copy — then batch-catches the rest up to
+the switch position).  The hooks it shares with the serial path are
+:func:`within_band` and :meth:`SketchSwitchingEstimator._replacement_rng`,
+so published outputs, switch counts, and restart RNG draws are identical
+by construction.
 """
 
 from __future__ import annotations
@@ -75,6 +86,17 @@ def _unpack_chunk(items, deltas):
 #: bisected further; keeps recursion depth and snapshot count small while
 #: bounding the per-item work triggered by one switch.
 REPLAY_LEAF = 64
+
+
+def within_band(published: float, estimate: float, eps: float) -> bool:
+    """Is ``published`` inside ``(1 ± eps/2)`` of ``estimate``?
+
+    The Algorithm 1 switch predicate, shared by the serial estimator and
+    the execution engine's sharded drivers (:mod:`repro.engine.executor`)
+    so both sides resolve a boundary check identically.
+    """
+    lo, hi = sorted(((1 - eps / 2) * estimate, (1 + eps / 2) * estimate))
+    return lo <= published <= hi
 
 
 class SketchExhaustedError(RuntimeError):
@@ -226,18 +248,23 @@ class SketchSwitchingEstimator(Sketch):
 
     def _within_band(self, y: float) -> bool:
         """Is the published value inside (1 ± eps/2) of the active estimate?"""
-        lo, hi = sorted(((1 - self.eps / 2) * y, (1 + self.eps / 2) * y))
-        return lo <= self._published <= hi
+        return within_band(self._published, y, self.eps)
+
+    def _replacement_rng(self) -> np.random.Generator:
+        """Derive the next restarted copy's RNG from the fresh-randomness pool.
+
+        Uses the same ``spawn_rngs`` derivation that seeded the initial
+        copies, keeping the independence argument (Lemma 3.6) uniform
+        across original and restarted instances.  The engine's parallel
+        driver calls this on the coordinator so the RNG sequence — and
+        therefore every restarted copy — is bit-for-bit the serial one.
+        """
+        return spawn_rngs(self._fresh_rng, 1)[0]
 
     def _advance(self) -> None:
         if self.restart:
             burned = self._rho % len(self._sketches)
-            # Derive the replacement's RNG the same way spawn_rngs seeds
-            # the initial copies, keeping the independence argument
-            # (Lemma 3.6) uniform across original and restarted instances.
-            self._sketches[burned] = self._factory(
-                spawn_rngs(self._fresh_rng, 1)[0]
-            )
+            self._sketches[burned] = self._factory(self._replacement_rng())
             self._rho += 1
             return
         if self._rho + 1 >= len(self._sketches):

@@ -1,0 +1,60 @@
+"""Parallel execution engine: sharded multi-copy ingestion.
+
+Sketch switching's robustness budget is paid in *copies* — many
+independent instances of a static sketch, every one fed every update.
+This package turns that multiplied work into a sharded execution plan:
+
+* :mod:`repro.engine.shards` — decide the decomposition (per-copy for
+  switching estimators, per-partial for mergeable sketches, serial
+  fallback otherwise) and the shared-work hoists it licenses;
+* :mod:`repro.engine.executor` — run the plan on this process
+  (:class:`SerialEngine`) or across forked workers over shared-memory
+  chunk buffers (:class:`ProcessEngine`), bit-for-bit equivalent to the
+  serial batched path for exact-state sketches;
+* :mod:`repro.engine.prefetch` — double-buffered chunk prefetching that
+  overlaps chunk generation / disk reads with ingestion.
+
+Entry points: ``api.ingest(..., engine="process:4", prefetch=2)``, the
+experiment runners' ``engine=`` parameter, or driving an
+:class:`IngestSession` directly.  The adversarial game never uses an
+engine — adaptivity requires per-item round granularity.
+"""
+
+from repro.engine.executor import (
+    DEFAULT_CHUNK_CAPACITY,
+    EngineError,
+    ExecutionEngine,
+    IngestSession,
+    ProcessEngine,
+    SerialEngine,
+    fork_available,
+    resolve_engine,
+)
+from repro.engine.prefetch import DEFAULT_DEPTH, prefetch_chunks
+from repro.engine.shards import (
+    MergeShardPlan,
+    SeenFilter,
+    SerialPlan,
+    SwitchingShardPlan,
+    partition_copies,
+    plan_shards,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_CAPACITY",
+    "DEFAULT_DEPTH",
+    "EngineError",
+    "ExecutionEngine",
+    "IngestSession",
+    "MergeShardPlan",
+    "ProcessEngine",
+    "SeenFilter",
+    "SerialEngine",
+    "SerialPlan",
+    "SwitchingShardPlan",
+    "fork_available",
+    "partition_copies",
+    "plan_shards",
+    "prefetch_chunks",
+    "resolve_engine",
+]

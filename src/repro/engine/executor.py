@@ -1,0 +1,1018 @@
+"""Execution engines: serial and process-pool drivers for shard plans.
+
+The paper's robustness frameworks multiply work — sketch switching runs
+``Theta(eps^-1 log eps^-1)`` independent copies of a static sketch — and
+that work is embarrassingly parallel per copy.  This module executes the
+plans of :mod:`repro.engine.shards` two ways:
+
+* :class:`SerialEngine` — everything on the calling process, but with the
+  plan's shared-work hoists applied: the chunk is deduped/aggregated
+  *once* and the result fanned out to every copy, instead of every copy
+  re-deduping the same chunk.  This is also the deterministic fallback
+  when process parallelism is unavailable.
+* :class:`ProcessEngine` — copies (or merge partials) live in forked
+  worker processes; chunks travel through shared-memory buffers (one
+  ``memcpy`` in, zero copies out), and only tiny protocol messages cross
+  the command pipes.  Requires the ``fork`` start method (the workers
+  inherit sketch state and factories by address space, not pickling);
+  anywhere ``fork`` is unavailable the engine degrades to the serial
+  path, bit-for-bit.
+
+Both engines drive the *same* coordinator (:class:`_SwitchingDriver`)
+for switching estimators.  Its central observation: every publish-band
+decision of Algorithm 1 reads only the **active** copy's estimate, so
+
+* the boundary check probes the active copy first and feeds the other
+  copies only once the chunk is known clean (the overwhelmingly common
+  case — no snapshots, no rollbacks, one batch feed per copy);
+* a crossing chunk is resolved by a bisection *of the active copy
+  alone* (snapshot/feed/rollback one copy instead of all ``lambda`` of
+  them) down to a per-item leaf scan that pins the exact switch
+  position, after which the remaining copies batch-catch-up to the
+  switch point in one feed and the protocol continues with the next
+  copy.
+
+For the monotone tracked quantities the switching framework targets
+(F0/Fp/L2 — the band edges only move toward the published value), this
+reproduces the per-item protocol exactly: published outputs, switch
+counts, and restart RNG draws match the serial estimator bit for bit
+whenever the inner sketches' ``update_batch`` reproduces per-item state
+exactly (true for the exact-state sketches; float accumulators match up
+to summation order).  Non-monotone trackers coalesce transient band
+exits at chunk granularity — the same caveat the serial chunked path
+documents.
+
+One alignment caveat on switch *handoffs*: right after a switch the new
+active copy's estimate can itself sit outside the just-published band
+(independent copies disagree), and the per-item protocol switches again
+at the very next update.  Inside a chunk both this engine and the
+serial ``update_chunk`` resolve that handoff per item.  At a block
+boundary they may coalesce differently: ``update_chunk`` checks next at
+its bisect-cell boundary, this driver steps the first item of the next
+segment per item (following the per-item protocol more closely).  A
+divergence therefore needs a switch to land exactly on the last update
+of a replay block *and* the handoff exit to revert before the next
+boundary — possible in principle, not observed on the seeded test and
+benchmark streams, and SerialEngine/ProcessEngine always agree with
+each other by construction (same driver).
+
+The adversarial game is untouched: it stays per item, per update, on one
+process — adaptivity requires round granularity.  Engines are an
+**oblivious replay** surface, like the rest of the batched pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing as mp
+import os
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.rounding import round_to_power
+from repro.core.sketch_switching import (
+    REPLAY_LEAF,
+    SketchExhaustedError,
+    SketchSwitchingEstimator,
+    within_band,
+)
+from repro.engine.shards import (
+    MergeShardPlan,
+    SerialPlan,
+    SwitchingShardPlan,
+    plan_shards,
+)
+from repro.sketches.base import Sketch, aggregate_batch, as_batch_arrays
+
+#: Default shared-buffer capacity in updates; chunks larger than this are
+#: split (each split gets its own boundary band check, so keep ingestion
+#: chunk sizes at or below it for bit-for-bit serial equivalence).
+DEFAULT_CHUNK_CAPACITY = 1 << 20
+
+
+class EngineError(RuntimeError):
+    """A worker process failed; the session is no longer usable."""
+
+
+# ----------------------------------------------------------------------
+# Backends: where the sketch copies live and how they are fed
+# ----------------------------------------------------------------------
+
+
+class _LocalSwitchingBackend:
+    """Copies stay in-process; feeds and snapshots act on them directly."""
+
+    def __init__(self, plan: SwitchingShardPlan):
+        self._sw = plan.switcher
+        self._unique_hint = plan.unique_hint
+        self._items: np.ndarray | None = None
+        self._deltas: np.ndarray | None = None
+        self._sub: tuple[np.ndarray, np.ndarray | None] | None = None
+        self._sub_unique = False
+        self._active_stack: list[Sketch] = []
+
+    @property
+    def capacity(self) -> int:
+        return 1 << 62  # no buffer to overflow
+
+    def stage(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        self._items, self._deltas = items, deltas
+
+    def _feed_one(self, sketch: Sketch, items, deltas, assume_unique) -> None:
+        if assume_unique and self._unique_hint:
+            sketch.update_batch(items, deltas, assume_unique=True)
+        else:
+            sketch.update_batch(items, deltas)
+
+    # -- active-copy probe/search ops -----------------------------------
+
+    def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
+        self._sub = (items, deltas)
+        self._sub_unique = assume_unique
+        sk = self._sw._sketches[active]
+        self._active_stack.append(sk.snapshot())
+        self._feed_one(sk, items, deltas, assume_unique)
+        return sk.query()
+
+    def probe_raw(self, active: int) -> float:
+        self._sub = None
+        sk = self._sw._sketches[active]
+        self._active_stack.append(sk.snapshot())
+        sk.update_batch(self._items, self._deltas)
+        return sk.query()
+
+    def keep_active(self, active: int) -> None:
+        self._active_stack.pop()
+
+    def roll_active(self, active: int) -> None:
+        self._sw._sketches[active] = self._active_stack.pop()
+
+    def snap_active(self, active: int) -> None:
+        self._active_stack.append(self._sw._sketches[active].snapshot())
+
+    def feed_active(self, lo: int, hi: int, active: int) -> float:
+        sk = self._sw._sketches[active]
+        sk.update_batch(self._items[lo:hi], self._deltas[lo:hi])
+        return sk.query()
+
+    def step_active(self, pos: int, active: int) -> float:
+        sk = self._sw._sketches[active]
+        sk.update(int(self._items[pos]), int(self._deltas[pos]))
+        return sk.query()
+
+    def scan_active(
+        self, lo: int, hi: int, active: int, published: float
+    ) -> tuple[int, float] | None:
+        sk = self._sw._sketches[active]
+        eps = self._sw.eps
+        items = self._items[lo:hi].tolist()
+        deltas = self._deltas[lo:hi].tolist()
+        for off, (item, delta) in enumerate(zip(items, deltas)):
+            sk.update(item, delta)
+            y = sk.query()
+            if not within_band(published, y, eps):
+                return lo + off, y
+        return None
+
+    # -- non-active copies ----------------------------------------------
+
+    def feed_others_sub(self, exclude: int) -> None:
+        items, deltas = self._sub
+        for idx, s in enumerate(self._sw._sketches):
+            if idx != exclude:
+                self._feed_one(s, items, deltas, self._sub_unique)
+
+    def feed_others_raw(self, exclude: int) -> None:
+        self.catch_up(0, len(self._items), exclude)
+
+    def catch_up(self, lo: int, hi: int, exclude: int) -> None:
+        items, deltas = self._items[lo:hi], self._deltas[lo:hi]
+        for idx, s in enumerate(self._sw._sketches):
+            if idx != exclude:
+                s.update_batch(items, deltas)
+
+    def replace(self, idx: int, rng: np.random.Generator) -> None:
+        self._sw._sketches[idx] = self._sw._factory(rng)
+
+    def collect_into(self, sw: SketchSwitchingEstimator) -> None:
+        pass  # copies never left the estimator
+
+    def close(self) -> None:
+        self._active_stack.clear()
+        self._items = self._deltas = self._sub = None
+
+
+def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
+    """Forked worker: owns a shard of copies, obeys coordinator commands.
+
+    ``copies`` is a list of ``[global_index, sketch]`` pairs inherited
+    through fork; ``views`` maps region name -> (items, deltas) NumPy
+    views over the shared-memory buffers.  Commands arrive in order per
+    pipe, which is the only ordering the protocol relies on; commands
+    about the *active* copy only ever reach the worker that owns it.
+    """
+
+    def lookup(idx):
+        for slot in copies:
+            if slot[0] == idx:
+                return slot
+        raise RuntimeError(f"copy {idx} not owned by this worker")
+
+    def slice_of(region, lo, hi, unit):
+        items, deltas = views[region]
+        return items[lo:hi], (None if unit else deltas[lo:hi])
+
+    active_stack: list = []  # snapshots of this worker's active copy
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "feed":
+                # Feed every owned copy except `exclude` (the active one,
+                # which took the same updates through probe/search ops).
+                _, region, lo, hi, unit, assume_unique, exclude = msg
+                its, dts = slice_of(region, lo, hi, unit)
+                for i, s in copies:
+                    if i == exclude:
+                        continue
+                    if assume_unique and unique_hint:
+                        s.update_batch(its, dts, assume_unique=True)
+                    else:
+                        s.update_batch(its, dts)
+            elif op == "probe":
+                _, region, lo, hi, unit, assume_unique, active = msg
+                slot = lookup(active)
+                active_stack.append(slot[1].snapshot())
+                its, dts = slice_of(region, lo, hi, unit)
+                if assume_unique and unique_hint:
+                    slot[1].update_batch(its, dts, assume_unique=True)
+                else:
+                    slot[1].update_batch(its, dts)
+                conn.send(("ok", slot[1].query()))
+            elif op == "akeep":
+                active_stack.pop()
+            elif op == "aroll":
+                _, active = msg
+                lookup(active)[1] = active_stack.pop()
+            elif op == "asnap":
+                _, active = msg
+                active_stack.append(lookup(active)[1].snapshot())
+            elif op == "afeed":
+                _, lo, hi, active = msg
+                slot = lookup(active)
+                its, dts = slice_of("raw", lo, hi, False)
+                slot[1].update_batch(its, dts)
+                conn.send(("ok", slot[1].query()))
+            elif op == "astep":
+                _, pos, active = msg
+                sk = lookup(active)[1]
+                items, deltas = views["raw"]
+                sk.update(int(items[pos]), int(deltas[pos]))
+                conn.send(("ok", sk.query()))
+            elif op == "ascan":
+                _, lo, hi, active, published, eps = msg
+                sk = lookup(active)[1]
+                its, dts = slice_of("raw", lo, hi, False)
+                result = None
+                for off, (item, delta) in enumerate(
+                    zip(its.tolist(), dts.tolist())
+                ):
+                    sk.update(item, delta)
+                    y = sk.query()
+                    if not within_band(published, y, eps):
+                        result = (lo + off, y)
+                        break
+                conn.send(("ok", result))
+            elif op == "replace":
+                _, idx, rng = msg
+                lookup(idx)[1] = factory(rng)
+            elif op == "sync":
+                conn.send(("ok", None))
+            elif op == "collect":
+                conn.send(("ok", [(i, s) for i, s in copies]))
+            elif op == "stop":
+                break
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown command {op!r}")
+    except (EOFError, KeyboardInterrupt):  # coordinator went away
+        pass
+    except Exception:  # surface the traceback instead of hanging the pipe
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+def _send(conn, msg) -> None:
+    """Send a command, surfacing a dead worker's queued traceback.
+
+    A worker that fails during a fire-and-forget command sends
+    ``("error", traceback)`` and closes its pipe end; the coordinator
+    only notices at its *next* send.  Drain that queued error into an
+    :class:`EngineError` instead of leaking a bare ``BrokenPipeError``.
+    """
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError) as exc:
+        detail = ""
+        try:
+            while conn.poll(0):
+                kind, payload = conn.recv()
+                if kind == "error":
+                    detail = f":\n{payload}"
+        except (EOFError, OSError):
+            pass
+        raise EngineError(f"engine worker died{detail}") from exc
+
+
+def _recv_checked(conn):
+    """Receive a reply, converting worker errors/deaths to EngineError."""
+    try:
+        kind, payload = conn.recv()
+    except EOFError as exc:
+        raise EngineError("engine worker died without a reply") from exc
+    if kind == "error":
+        raise EngineError(f"engine worker failed:\n{payload}")
+    return payload
+
+
+class _SharedBuffers:
+    """Shared-memory chunk regions: raw stream arrays + preprocessed feed."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        nbytes = capacity * 8
+        self._blocks = {
+            name: shared_memory.SharedMemory(create=True, size=nbytes)
+            for name in ("raw_i", "raw_d", "sub_i", "sub_d")
+        }
+        arr = {
+            name: np.ndarray(capacity, dtype=np.int64, buffer=block.buf)
+            for name, block in self._blocks.items()
+        }
+        self.views = {
+            "raw": (arr["raw_i"], arr["raw_d"]),
+            "sub": (arr["sub_i"], arr["sub_d"]),
+        }
+
+    def write(self, region: str, items, deltas) -> int:
+        dst_i, dst_d = self.views[region]
+        count = len(items)
+        dst_i[:count] = items
+        if deltas is not None:
+            dst_d[:count] = deltas
+        return count
+
+    def close(self, unlink: bool) -> None:
+        self.views = {}
+        for block in self._blocks.values():
+            block.close()
+            if unlink:
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        self._blocks = {}
+
+
+class _ProcessSwitchingBackend:
+    """Copies sharded across forked workers over shared chunk buffers."""
+
+    def __init__(self, plan: SwitchingShardPlan, workers: int, capacity: int):
+        sw = plan.switcher
+        self._sw = sw
+        self._buffers = _SharedBuffers(capacity)
+        ctx = mp.get_context("fork")
+        shards = plan.shards(workers)
+        self._owner: dict[int, int] = {}
+        self._conns = []
+        self._procs = []
+        self._dirty = False  # fire-and-forget commands since last barrier
+        self._raw_len = 0
+        self._sub_len = 0
+        self._sub_unit = True
+        self._sub_unique = False
+        for w, indices in enumerate(shards):
+            parent, child = ctx.Pipe()
+            owned = [[i, sw._sketches[i]] for i in indices]
+            proc = ctx.Process(
+                target=_switching_worker,
+                args=(child, owned, sw._factory, self._buffers.views,
+                      plan.unique_hint),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            for i in indices:
+                self._owner[i] = w
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    @property
+    def capacity(self) -> int:
+        return self._buffers.capacity
+
+    def _recv(self, conn):
+        return _recv_checked(conn)
+
+    def _barrier(self) -> None:
+        if not self._dirty:
+            return
+        for conn in self._conns:
+            _send(conn, ("sync",))
+        for conn in self._conns:
+            self._recv(conn)
+        self._dirty = False
+
+    def stage(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        # Workers may still be consuming the previous chunk's buffer via
+        # fire-and-forget feeds; fence before overwriting it.
+        self._barrier()
+        self._buffers.write("raw", items, deltas)
+        self._raw_len = len(items)
+        self._sub_len = 0
+        self._sub_unit = True
+        self._sub_unique = False
+
+    def _owner_conn(self, active: int):
+        return self._conns[self._owner[active]]
+
+    # -- active-copy probe/search ops -----------------------------------
+
+    def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
+        self._barrier()
+        self._sub_len = self._buffers.write("sub", items, deltas)
+        self._sub_unit = deltas is None
+        self._sub_unique = assume_unique
+        conn = self._owner_conn(active)
+        _send(conn, ("probe", "sub", 0, self._sub_len, self._sub_unit,
+                   assume_unique, active))
+        return self._recv(conn)
+
+    def probe_raw(self, active: int) -> float:
+        self._sub_len = 0
+        conn = self._owner_conn(active)
+        _send(conn, ("probe", "raw", 0, self._raw_len, False, False, active))
+        return self._recv(conn)
+
+    def keep_active(self, active: int) -> None:
+        _send(self._owner_conn(active), ("akeep",))
+        self._dirty = True
+
+    def roll_active(self, active: int) -> None:
+        _send(self._owner_conn(active), ("aroll", active))
+        self._dirty = True
+
+    def snap_active(self, active: int) -> None:
+        _send(self._owner_conn(active), ("asnap", active))
+        self._dirty = True
+
+    def feed_active(self, lo: int, hi: int, active: int) -> float:
+        conn = self._owner_conn(active)
+        _send(conn, ("afeed", lo, hi, active))
+        return self._recv(conn)
+
+    def step_active(self, pos: int, active: int) -> float:
+        conn = self._owner_conn(active)
+        _send(conn, ("astep", pos, active))
+        return self._recv(conn)
+
+    def scan_active(
+        self, lo: int, hi: int, active: int, published: float
+    ) -> tuple[int, float] | None:
+        conn = self._owner_conn(active)
+        _send(conn, ("ascan", lo, hi, active, published, self._sw.eps))
+        got = self._recv(conn)
+        return None if got is None else tuple(got)
+
+    # -- non-active copies ----------------------------------------------
+
+    def feed_others_sub(self, exclude: int) -> None:
+        for conn in self._conns:
+            _send(conn, ("feed", "sub", 0, self._sub_len, self._sub_unit,
+                       self._sub_unique, exclude))
+        self._dirty = True
+
+    def feed_others_raw(self, exclude: int) -> None:
+        self.catch_up(0, self._raw_len, exclude)
+
+    def catch_up(self, lo: int, hi: int, exclude: int) -> None:
+        for conn in self._conns:
+            _send(conn, ("feed", "raw", lo, hi, False, False, exclude))
+        self._dirty = True
+
+    def replace(self, idx: int, rng: np.random.Generator) -> None:
+        _send(self._conns[self._owner[idx]], ("replace", idx, rng))
+        self._dirty = True
+
+    def collect_into(self, sw: SketchSwitchingEstimator) -> None:
+        self._barrier()
+        for conn in self._conns:
+            _send(conn, ("collect",))
+        for conn in self._conns:
+            for idx, sketch in self._recv(conn):
+                sw._sketches[idx] = sketch
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._conns, self._procs = [], []
+        self._buffers.close(unlink=True)
+
+
+# ----------------------------------------------------------------------
+# The switching coordinator (shared by both backends)
+# ----------------------------------------------------------------------
+
+
+class _SwitchingDriver:
+    """Algorithm 1's chunk discipline over a sharded copy backend.
+
+    Owns the protocol state (published value, active index rho, switch
+    count, fresh randomness) on the coordinator; the backend owns the
+    copies.  Every band decision reads only the active copy, so the
+    driver probes *it* first and touches the other copies exactly once
+    per clean chunk (or once per switch segment on a crossing chunk) —
+    see the module docstring for the equivalence argument.
+    """
+
+    def __init__(self, plan: SwitchingShardPlan, backend):
+        self._plan = plan
+        self._sw = plan.switcher
+        self._backend = backend
+        self._seen = plan.make_seen_filter() if plan.filter_duplicates else None
+        self._items: np.ndarray | None = None
+        self._deltas: np.ndarray | None = None
+
+    def _active(self) -> int:
+        return self._sw._rho % self._sw.copies
+
+    # -- feeding --------------------------------------------------------
+
+    def feed(self, items, deltas=None) -> None:
+        items, deltas = as_batch_arrays(items, deltas)
+        cap = self._backend.capacity
+        for lo in range(0, len(items), cap):
+            self._feed_one(items[lo:lo + cap], deltas[lo:lo + cap])
+
+    def _feed_one(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        count = len(items)
+        if count == 0:
+            return
+        sw = self._sw
+        self._backend.stage(items, deltas)
+        self._items, self._deltas = items, deltas
+        if count <= REPLAY_LEAF:
+            # Mirror the serial path: tiny chunks replay per item with the
+            # band checked every update (no chunk-level coalescing).
+            self._drive_raw(0, count)
+            return
+        active = self._active()
+        uniq = None
+        probed_sub = True
+        if self._seen is not None and int(deltas.min()) > 0:
+            uniq = np.unique(items)
+            fresh = self._seen.fresh(uniq)
+            if len(fresh) == 0:
+                # Every live copy has seen every item here: no copy's
+                # state — hence no band check — can change.
+                return
+            y = self._backend.probe_sub(fresh, None, True, active)
+        elif self._plan.aggregate_once:
+            agg_items, agg_deltas = aggregate_batch(items, deltas)
+            y = self._backend.probe_sub(
+                agg_items, agg_deltas, self._plan.unique_hint, active
+            )
+        else:
+            probed_sub = False
+            y = self._backend.probe_raw(active)
+        if sw._within_band(y):
+            # Clean chunk (the common case): the active copy already has
+            # it; give the others the same pre-processed feed.
+            self._backend.keep_active(active)
+            if probed_sub:
+                self._backend.feed_others_sub(active)
+            else:
+                self._backend.feed_others_raw(active)
+            if uniq is not None:
+                self._seen.mark(uniq)
+            return
+        # Crossed somewhere inside: rewind the active copy and resolve
+        # the switch positions exactly on the raw updates.
+        self._backend.roll_active(active)
+        self._drive_raw(0, count)
+
+    def _drive_raw(self, lo: int, hi: int) -> None:
+        """Resolve [lo, hi) exactly: locate each switch via the active
+        copy, then batch the remaining copies up to it.
+
+        On entry no copy has seen [lo, hi).  The active copy advances
+        through :meth:`_search`; after each located switch the other
+        copies catch up to the switch position in one feed and the
+        protocol continues with the next active copy.
+        """
+        sw = self._sw
+        switches_before = sw.switches
+        pos = lo
+        while pos < hi:
+            active = self._active()
+            crossing = self._search(pos, hi, active)
+            if crossing is None:
+                self._backend.catch_up(pos, hi, active)
+                break
+            cpos, y = crossing
+            self._backend.catch_up(pos, cpos + 1, active)
+            sw._published = round_to_power(y, sw.eps / 2) if y != 0 else 0.0
+            sw.switches += 1
+            self._advance()
+            pos = cpos + 1
+        if self._seen is not None and sw.switches != switches_before:
+            # A switch invalidates the filter: the replacement (or newly
+            # active) copy was born mid-chunk and must re-see later
+            # occurrences of items the older copies already absorbed.
+            self._seen.reset()
+
+    def _search(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
+        """First band crossing in [lo, hi), probing the active copy only.
+
+        The first item is stepped **per item**, exactly as the protocol
+        would: right after a switch the new active copy's estimate can
+        sit *below* the just-published value (independent copies
+        disagree), and the per-item protocol switches again immediately
+        — a low-side exit a batch probe would coalesce once the estimate
+        grows back into the band.  For a monotone tracked quantity a
+        low-side exit is only possible at such a handoff, so once one
+        check passes in band every later crossing is high-side and
+        unique, and the batch bisection below finds it exactly.
+
+        Returns ``(position, estimate)`` with the active copy fed
+        through ``position`` (or through ``hi - 1`` if no crossing).
+        """
+        sw = self._sw
+        y = self._backend.step_active(lo, active)
+        if not sw._within_band(y):
+            return lo, y
+        if lo + 1 >= hi:
+            return None
+        return self._bisect(lo + 1, hi, active)
+
+    def _bisect(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
+        """Bisect for the unique high-side crossing; leaves scan per item."""
+        sw = self._sw
+        if hi - lo <= REPLAY_LEAF:
+            return self._backend.scan_active(lo, hi, active, sw._published)
+        mid = (lo + hi) // 2
+        self._backend.snap_active(active)
+        y = self._backend.feed_active(lo, mid, active)
+        if sw._within_band(y):
+            self._backend.keep_active(active)
+            return self._bisect(mid, hi, active)
+        self._backend.roll_active(active)
+        return self._bisect(lo, mid, active)
+
+    def _advance(self) -> None:
+        """Burn-and-advance, mirroring ``SketchSwitchingEstimator._advance``
+        with the replacement built wherever the burned copy lives."""
+        sw = self._sw
+        if sw.restart:
+            burned = sw._rho % sw.copies
+            self._backend.replace(burned, sw._replacement_rng())
+            sw._rho += 1
+            return
+        if sw._rho + 1 >= sw.copies:
+            if sw.on_exhausted == "raise":
+                raise SketchExhaustedError(
+                    f"all {sw.copies} copies burned after "
+                    f"{sw.switches} switches; flip-number budget exceeded"
+                )
+            return
+        sw._rho += 1
+
+
+# ----------------------------------------------------------------------
+# Merge (per-partial) process execution
+# ----------------------------------------------------------------------
+
+
+def _merge_worker(conn, partial: Sketch, views) -> None:
+    """Forked worker owning one merge partial."""
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "feed":
+                _, lo, hi = msg
+                items, deltas = views["raw"]
+                partial.update_batch(items[lo:hi], deltas[lo:hi])
+                conn.send(("ok", None))
+            elif op == "collect":
+                conn.send(("ok", partial))
+            elif op == "stop":
+                break
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown command {op!r}")
+    except (EOFError, KeyboardInterrupt):
+        pass
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Sessions (what api.ingest and the runner drive)
+# ----------------------------------------------------------------------
+
+
+class IngestSession(abc.ABC):
+    """One engine-managed ingestion pass over an oblivious stream."""
+
+    #: Human-readable execution mode, recorded by IngestReport/benchmarks.
+    mode: str = "serial"
+
+    @abc.abstractmethod
+    def feed(self, items, deltas=None) -> None:
+        """Ingest one chunk."""
+
+    @abc.abstractmethod
+    def query(self) -> float:
+        """The estimator's current published output."""
+
+    def finalize(self) -> None:
+        """Sync all sharded state back into the estimator."""
+
+    def close(self) -> None:
+        """Release workers/buffers without finalizing (error path)."""
+
+    def __enter__(self) -> "IngestSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.close()
+
+
+class _PlainSession(IngestSession):
+    """Deterministic fallback: plain ``update_batch`` on this process."""
+
+    def __init__(self, estimator: Sketch, mode: str = "serial"):
+        self._est = estimator
+        self.mode = mode
+
+    def feed(self, items, deltas=None) -> None:
+        self._est.update_batch(items, deltas)
+
+    def query(self) -> float:
+        return self._est.query()
+
+
+class _SwitchingSession(IngestSession):
+    """Per-copy fan-out session for sketch-switching estimators."""
+
+    def __init__(self, estimator, plan: SwitchingShardPlan, backend, mode: str):
+        self._est = estimator
+        self._plan = plan
+        self._backend = backend
+        self._driver = _SwitchingDriver(plan, backend)
+        self.mode = mode
+
+    def feed(self, items, deltas=None) -> None:
+        self._driver.feed(items, deltas)
+
+    def query(self) -> float:
+        # The published value is coordinator state; no worker round trip.
+        return self._est.query()
+
+    def finalize(self) -> None:
+        self._backend.collect_into(self._plan.switcher)
+        self._backend.close()
+
+    def close(self) -> None:
+        self._backend.close()
+
+
+class _ProcessMergeSession(IngestSession):
+    """Per-partial fan-out for one mergeable sketch.
+
+    Worker partials are pure deltas (they start from ``empty_like``), so
+    the sketch's pre-session state merges correctly.  Note that
+    :meth:`query` must collect and merge every partial — boundary-judged
+    runs (``run_relative(engine=...)``) pay one full state transfer per
+    chunk boundary; the merged view is cached between feeds.
+    """
+
+    def __init__(self, plan: MergeShardPlan, workers: int, capacity: int):
+        self._sketch = plan.sketch
+        self._buffers = _SharedBuffers(capacity)
+        ctx = mp.get_context("fork")
+        self._conns = []
+        self._procs = []
+        for partial in plan.make_partials(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_merge_worker,
+                args=(child, partial, self._buffers.views),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self.mode = f"process[{len(self._procs)}]"
+        self._finalized = False
+        self._merged_view: Sketch | None = None
+
+    def _recv(self, conn):
+        return _recv_checked(conn)
+
+    def feed(self, items, deltas=None) -> None:
+        items, deltas = as_batch_arrays(items, deltas)
+        self._merged_view = None
+        cap = self._buffers.capacity
+        for start in range(0, len(items), cap):
+            part_i = items[start:start + cap]
+            part_d = deltas[start:start + cap]
+            count = self._buffers.write("raw", part_i, part_d)
+            workers = len(self._conns)
+            bounds = np.linspace(0, count, workers + 1).astype(int)
+            for conn, lo, hi in zip(self._conns, bounds[:-1], bounds[1:]):
+                _send(conn, ("feed", int(lo), int(hi)))
+            for conn in self._conns:
+                self._recv(conn)
+
+    def _collect(self) -> list[Sketch]:
+        for conn in self._conns:
+            _send(conn, ("collect",))
+        return [self._recv(conn) for conn in self._conns]
+
+    def query(self) -> float:
+        if self._finalized:
+            return self._sketch.query()
+        if self._merged_view is None:
+            merged = self._sketch.snapshot()
+            for partial in self._collect():
+                merged.merge(partial)
+            self._merged_view = merged
+        return self._merged_view.query()
+
+    def finalize(self) -> None:
+        if self._finalized:
+            return
+        for partial in self._collect():
+            self._sketch.merge(partial)
+        self._finalized = True
+        self.close()
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._conns, self._procs = [], []
+        if self._buffers is not None:
+            self._buffers.close(unlink=True)
+            self._buffers = None
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+
+
+def fork_available() -> bool:
+    """Process engines need ``fork`` (state travels by address space)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+class ExecutionEngine(abc.ABC):
+    """Factory of :class:`IngestSession` objects for one estimator each."""
+
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def session(self, estimator: Sketch) -> IngestSession:
+        """Open an ingestion session; use as a context manager."""
+
+
+class SerialEngine(ExecutionEngine):
+    """In-process execution of the shard plan's shared-work hoists.
+
+    No extra processes: the win over plain ``update_batch`` is that a
+    chunk is deduped/aggregated once on the coordinator instead of once
+    per fanned-out copy.  Also the deterministic fallback everywhere
+    process parallelism is unavailable.
+    """
+
+    name = "serial"
+
+    def session(self, estimator: Sketch) -> IngestSession:
+        plan = plan_shards(estimator)
+        if isinstance(plan, SwitchingShardPlan):
+            return _SwitchingSession(
+                estimator, plan, _LocalSwitchingBackend(plan), mode="serial"
+            )
+        return _PlainSession(estimator)
+
+
+class ProcessEngine(ExecutionEngine):
+    """Shard copies/partials across forked worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (defaults to ``os.cpu_count()``).
+    chunk_capacity:
+        Shared-buffer size in updates; feeds larger than this are split.
+
+    Falls back to :class:`SerialEngine` behaviour — same outputs — when
+    ``fork`` is unavailable, when a plan has no parallel decomposition,
+    or when one worker would own everything anyway.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_capacity: int = DEFAULT_CHUNK_CAPACITY,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or (os.cpu_count() or 1)
+        if chunk_capacity < REPLAY_LEAF + 1:
+            raise ValueError(
+                f"chunk_capacity must exceed REPLAY_LEAF={REPLAY_LEAF}"
+            )
+        self.chunk_capacity = chunk_capacity
+
+    def session(self, estimator: Sketch) -> IngestSession:
+        plan = plan_shards(estimator)
+        parallel = self.workers > 1 and fork_available()
+        if isinstance(plan, SwitchingShardPlan):
+            if parallel and plan.switcher.copies > 1:
+                backend = _ProcessSwitchingBackend(
+                    plan, self.workers, self.chunk_capacity
+                )
+                mode = f"process[{len(backend._procs)}]"
+                return _SwitchingSession(estimator, plan, backend, mode)
+            return _SwitchingSession(
+                estimator, plan, _LocalSwitchingBackend(plan), mode="serial"
+            )
+        if isinstance(plan, MergeShardPlan) and parallel:
+            return _ProcessMergeSession(
+                plan, self.workers, self.chunk_capacity
+            )
+        return _PlainSession(estimator)
+
+
+def resolve_engine(spec) -> ExecutionEngine | None:
+    """Normalise an engine spec: None, name string, worker count, instance.
+
+    ``None`` → no engine (the historical direct path); ``"serial"`` →
+    :class:`SerialEngine`; ``"process"`` / ``"process:N"`` / an int →
+    :class:`ProcessEngine`; an :class:`ExecutionEngine` passes through.
+    """
+    if spec is None or isinstance(spec, ExecutionEngine):
+        return spec
+    if isinstance(spec, bool):
+        raise ValueError("engine must be a name, worker count, or engine")
+    if isinstance(spec, int):
+        return ProcessEngine(workers=spec)
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialEngine()
+        if spec == "process":
+            return ProcessEngine()
+        if spec.startswith("process:"):
+            return ProcessEngine(workers=int(spec.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown engine spec {spec!r}; expected None, 'serial', 'process', "
+        f"'process:N', a worker count, or an ExecutionEngine"
+    )

@@ -1,0 +1,78 @@
+"""Double-buffered chunk prefetching.
+
+Chunk *production* — drawing synthetic batches from a generator, or
+paging a columnar store's memmapped arrays off disk — and chunk
+*ingestion* are serialized in a naive replay loop: the estimator idles
+while the next chunk materialises.  :func:`prefetch_chunks` overlaps the
+two with a bounded hand-off queue filled by a background thread: while
+the consumer ingests chunk ``t``, the producer is already building chunk
+``t+1`` (and with ``depth=2``, the default, ``t+2``).  NumPy generation
+and memmap page-ins release the GIL for their hot parts, so the overlap
+is real even on CPython.
+
+Order is preserved, the producer is throttled by the queue bound (no
+unbounded buffering of a 10^9-update stream), and a producer exception
+is re-raised at the consuming site.  Closing the returned generator
+early (``break`` in the consumer) stops the producer thread promptly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Iterable, Iterator
+
+#: Default queue depth: classic double buffering (one chunk being
+#: consumed, one being produced).
+DEFAULT_DEPTH = 2
+
+_DONE = object()
+
+
+def prefetch_chunks(chunks: Iterable, depth: int = DEFAULT_DEPTH) -> Iterator:
+    """Yield from ``chunks`` with production overlapped in a worker thread.
+
+    ``depth`` bounds how many chunks may exist between producer and
+    consumer at once; ``depth=2`` is double buffering.
+    """
+    if depth < 1:
+        raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+    handoff: queue.Queue = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def produce() -> None:
+        try:
+            for chunk in chunks:
+                while not stop.is_set():
+                    try:
+                        handoff.put(chunk, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if stop.is_set():
+                    return
+            handoff.put(_DONE)
+        except BaseException as exc:  # re-raised at the consuming site
+            try:
+                handoff.put(exc, timeout=1.0)
+            except queue.Full:  # pragma: no cover - consumer gone
+                pass
+
+    worker = threading.Thread(target=produce, daemon=True, name="chunk-prefetch")
+    worker.start()
+    try:
+        while True:
+            got = handoff.get()
+            if got is _DONE:
+                return
+            if isinstance(got, BaseException):
+                raise got
+            yield got
+    finally:
+        stop.set()
+        # Unblock a producer stuck on a full queue, then let it finish.
+        try:
+            handoff.get_nowait()
+        except queue.Empty:
+            pass
+        worker.join(timeout=5)

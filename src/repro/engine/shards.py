@@ -1,0 +1,210 @@
+"""Shard planning: how an estimator's work splits across engine workers.
+
+Sketch switching derives robustness from many independent copies of a
+static sketch — a workload that is embarrassingly parallel *per copy*:
+every copy must see every update, but no copy's state depends on any
+other's, and the publish-band decision reads only the active copy.  A
+single mergeable sketch parallelises differently — *per partial*: the
+stream is sliced, each worker folds its slice into a private partial, and
+partials combine through :meth:`repro.sketches.base.Sketch.merge`.
+
+:func:`plan_shards` inspects an estimator and picks the plan:
+
+* :class:`SwitchingShardPlan` — a :class:`SketchSwitchingEstimator`
+  (possibly wrapped by a robust wrapper exposing ``_switcher``): copies
+  fan out across workers, the coordinator keeps the protocol state.
+* :class:`MergeShardPlan` — a mergeable sketch: per-partial sharding.
+* :class:`SerialPlan` — everything else: the deterministic fallback
+  (plain ``update_batch`` on the calling process).
+
+The switching plan also carries the *shared-work hoists* that make the
+sharded path cheaper than feeding each copy independently, even before
+any process parallelism:
+
+* chunk aggregation — dedupe/aggregate the chunk once instead of once
+  per copy (valid when every inner sketch is ``aggregation_invariant``);
+* first-occurrence filtering — drop items every live copy has already
+  seen (valid when every inner sketch is ``duplicate_insensitive``: a
+  re-occurring item provably cannot move any copy's state, hence cannot
+  move any boundary band check).  The :class:`SeenFilter` tracking this
+  must be reset whenever a switch replaces or burns a copy, because a
+  restarted copy is born blank and re-occurrences are first occurrences
+  *to it*; the engine drivers do exactly that.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sketch_switching import SketchSwitchingEstimator
+from repro.sketches.base import Sketch
+
+#: Above this universe size the seen-filter switches from a dense boolean
+#: mask (O(1) lookups) to sorted-array membership (O(log) via searchsorted).
+DENSE_SEEN_LIMIT = 1 << 26
+
+
+class SeenFilter:
+    """Tracks which items every live sketch copy has seen since its birth.
+
+    ``fresh(unique_items)`` returns the subset not yet marked;
+    ``mark(unique_items)`` records a successfully committed chunk;
+    ``reset()`` forgets everything (called after any switch, because the
+    youngest copy was born mid-stream and must re-see later occurrences).
+    """
+
+    def __init__(self, universe: int | None):
+        self._dense = (
+            np.zeros(universe, dtype=bool)
+            if universe is not None and 0 < universe <= DENSE_SEEN_LIMIT
+            else None
+        )
+        self._sorted = np.zeros(0, dtype=np.int64)
+
+    def fresh(self, unique_items: np.ndarray) -> np.ndarray:
+        if len(unique_items) == 0:
+            return unique_items
+        if self._dense is not None:
+            if (
+                int(unique_items[0]) < 0
+                or int(unique_items[-1]) >= self._dense.shape[0]
+            ):
+                # Items outside the declared universe: treat all as fresh
+                # (correct, merely less effective).
+                return unique_items
+            return unique_items[~self._dense[unique_items]]
+        if len(self._sorted) == 0:
+            return unique_items
+        pos = np.searchsorted(self._sorted, unique_items)
+        pos[pos >= len(self._sorted)] = len(self._sorted) - 1
+        return unique_items[self._sorted[pos] != unique_items]
+
+    def mark(self, unique_items: np.ndarray) -> None:
+        if len(unique_items) == 0:
+            return
+        if self._dense is not None:
+            if (
+                int(unique_items[0]) >= 0
+                and int(unique_items[-1]) < self._dense.shape[0]
+            ):
+                self._dense[unique_items] = True
+            return
+        self._sorted = np.union1d(self._sorted, unique_items)
+
+    def reset(self) -> None:
+        if self._dense is not None:
+            self._dense[:] = False
+        self._sorted = np.zeros(0, dtype=np.int64)
+
+
+def partition_copies(count: int, workers: int) -> list[list[int]]:
+    """Split copy indices 0..count-1 into at most ``workers`` balanced shards.
+
+    Contiguous and deterministic so the copy→worker assignment is stable
+    across a session (the coordinator routes active-copy commands by it).
+    Empty shards are dropped: more workers than copies is just fewer
+    workers.
+    """
+    if count < 1:
+        raise ValueError(f"copy count must be >= 1, got {count}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, count)
+    base, extra = divmod(count, workers)
+    shards: list[list[int]] = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        shards.append(list(range(start, start + size)))
+        start += size
+    return shards
+
+
+def _accepts_assume_unique(sketch: Sketch) -> bool:
+    """Does this sketch's ``update_batch`` take the dedup hint keyword?"""
+    try:
+        return "assume_unique" in inspect.signature(sketch.update_batch).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+
+
+@dataclass
+class SwitchingShardPlan:
+    """Per-copy fan-out for a sketch-switching estimator."""
+
+    switcher: SketchSwitchingEstimator
+    #: Universe-size hint for the seen-filter (dense mask when small).
+    universe: int | None = None
+    #: All inner copies are duplicate-insensitive: first-occurrence
+    #: filtering is exact.
+    filter_duplicates: bool = False
+    #: All inner copies are aggregation-invariant: the chunk can be
+    #: aggregated once on the coordinator instead of once per copy.
+    aggregate_once: bool = False
+    #: ``update_batch`` accepts ``assume_unique=True`` (KMV): pre-deduped
+    #: feeds skip the per-copy dedup entirely.
+    unique_hint: bool = False
+
+    def shards(self, workers: int) -> list[list[int]]:
+        return partition_copies(self.switcher.copies, workers)
+
+    def make_seen_filter(self) -> SeenFilter:
+        return SeenFilter(self.universe)
+
+
+@dataclass
+class MergeShardPlan:
+    """Per-partial sharding for one mergeable sketch.
+
+    Worker partials start from :meth:`Sketch.empty_like` — zero state
+    sharing the sketch's randomness — so each partial is a pure delta of
+    the updates its worker ingested and merging back into a sketch with
+    *existing* state stays correct (nothing is double counted).
+    """
+
+    sketch: Sketch
+
+    def make_partials(self, workers: int) -> list[Sketch]:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return [self.sketch.empty_like() for _ in range(workers)]
+
+
+@dataclass
+class SerialPlan:
+    """No parallel decomposition known: deterministic in-process feeding."""
+
+    estimator: Sketch
+    reason: str = "estimator is neither a switching estimator nor mergeable"
+
+
+ShardPlan = SwitchingShardPlan | MergeShardPlan | SerialPlan
+
+
+def plan_shards(estimator: Sketch) -> ShardPlan:
+    """Pick the sharding decomposition for ``estimator``.
+
+    Robust wrappers built on sketch switching expose their inner
+    :class:`SketchSwitchingEstimator` as ``_switcher``; the planner
+    unwraps it so e.g. ``RobustDistinctElements`` fans out per copy.
+    Additive switching (entropy) has a non-monotone band and stays on
+    the serial fallback.
+    """
+    switcher = estimator if isinstance(
+        estimator, SketchSwitchingEstimator
+    ) else getattr(estimator, "_switcher", None)
+    if isinstance(switcher, SketchSwitchingEstimator):
+        inner = switcher._sketches
+        return SwitchingShardPlan(
+            switcher=switcher,
+            universe=getattr(estimator, "n", None),
+            filter_duplicates=all(s.duplicate_insensitive for s in inner),
+            aggregate_once=all(s.aggregation_invariant for s in inner),
+            unique_hint=all(_accepts_assume_unique(s) for s in inner),
+        )
+    if isinstance(estimator, Sketch) and estimator.mergeable:
+        return MergeShardPlan(sketch=estimator)
+    return SerialPlan(estimator=estimator)

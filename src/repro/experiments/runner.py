@@ -17,6 +17,11 @@ Two ingestion modes:
   truth consume whole chunks, and the published output is judged at chunk
   boundaries.  Orders of magnitude faster; ``items_per_sec`` in
   :class:`RunStats` records the achieved throughput in both modes.
+
+Batched runs additionally accept an execution engine (``engine=`` — a
+name like ``"process:4"`` or an :class:`repro.engine.ExecutionEngine`):
+the estimator is driven through an engine session, fanning switching
+copies across worker processes, with the same boundary judging.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro.engine.executor import resolve_engine
 from repro.streams.frequency import FrequencyVector
 from repro.streams.model import Update, chunk_updates, iter_updates
 
@@ -63,17 +69,21 @@ def run_relative(
     skip: int = 100,
     floor: float = 0.0,
     chunk_size: int | None = None,
+    engine=None,
 ) -> RunStats:
     """Relative-error scoring: err = |R_t - g| / |g| per judged step.
 
     With ``chunk_size`` set, the stream is replayed batched and judged at
-    chunk boundaries (oblivious-replay semantics).
+    chunk boundaries (oblivious-replay semantics); ``engine`` then
+    selects the execution engine for the batched feeds.
     """
     if chunk_size is not None:
         return _run_chunked(
             algo, updates, truth_fn, chunk_size,
-            skip=skip, floor=floor, additive=False,
+            skip=skip, floor=floor, additive=False, engine=engine,
         )
+    if engine is not None:
+        raise ValueError("engine= requires chunk_size= (batched replay)")
     truth = FrequencyVector()
     worst = total = 0.0
     judged = 0
@@ -99,12 +109,16 @@ def run_additive(
     truth_fn: TruthFn,
     skip: int = 100,
     chunk_size: int | None = None,
+    engine=None,
 ) -> RunStats:
     """Additive-error scoring: err = |R_t - g| per judged step (entropy)."""
     if chunk_size is not None:
         return _run_chunked(
             algo, updates, truth_fn, chunk_size, skip=skip, additive=True,
+            engine=engine,
         )
+    if engine is not None:
+        raise ValueError("engine= requires chunk_size= (batched replay)")
     truth = FrequencyVector()
     worst = total = 0.0
     judged = 0
@@ -132,35 +146,53 @@ def _run_chunked(
     skip: int = 100,
     floor: float = 0.0,
     additive: bool = False,
+    engine=None,
 ) -> RunStats:
     """Batched oblivious replay, judged at chunk boundaries.
 
     Accepts anything :func:`repro.streams.model.chunk_updates` accepts —
     a list of Updates, plain items, or an iterable of StreamChunks (the
     array-native generators), so million-update streams never materialise
-    per-update Python objects.
+    per-update Python objects.  With ``engine`` set, the estimator is
+    fed through an engine session instead of direct ``update_batch``
+    calls (same boundary outputs for exact-state sketches).
     """
+    resolved = resolve_engine(engine)
     truth = FrequencyVector()
     worst = total = 0.0
     judged = 0
     count = 0
+    session = None
     start = time.perf_counter()
-    for chunk in chunk_updates(updates, chunk_size):
-        truth.update_batch(chunk.items, chunk.deltas)
-        algo.update_batch(chunk.items, chunk.deltas)
-        count += len(chunk)
-        out = algo.query()
-        g = truth_fn(truth)
-        if count >= skip:
-            if additive:
-                err = abs(out - g)
-            elif abs(g) > floor:
-                err = abs(out - g) / abs(g)
+    try:
+        if resolved is not None:
+            session = resolved.session(algo)
+        for chunk in chunk_updates(updates, chunk_size):
+            truth.update_batch(chunk.items, chunk.deltas)
+            if session is None:
+                algo.update_batch(chunk.items, chunk.deltas)
+                out = algo.query()
             else:
-                continue
-            worst = max(worst, err)
-            total += err
-            judged += 1
+                session.feed(chunk.items, chunk.deltas)
+                out = session.query()
+            count += len(chunk)
+            g = truth_fn(truth)
+            if count >= skip:
+                if additive:
+                    err = abs(out - g)
+                elif abs(g) > floor:
+                    err = abs(out - g) / abs(g)
+                else:
+                    continue
+                worst = max(worst, err)
+                total += err
+                judged += 1
+        if session is not None:
+            session.finalize()
+            session = None
+    finally:
+        if session is not None:
+            session.close()
     secs = time.perf_counter() - start
     return _finalize(worst, total, judged, secs, count, algo)
 
@@ -173,6 +205,7 @@ def sweep_contenders(
     floor: float = 0.0,
     additive: bool = False,
     chunk_size: int | None = None,
+    engine=None,
 ) -> dict[str, RunStats]:
     """Run every (name, algorithm) pair over the same stream.
 
@@ -191,11 +224,12 @@ def sweep_contenders(
     for name, algo in contenders:
         if additive:
             out[name] = run_additive(
-                algo, updates, truth_fn, skip=skip, chunk_size=chunk_size
+                algo, updates, truth_fn, skip=skip, chunk_size=chunk_size,
+                engine=engine,
             )
         else:
             out[name] = run_relative(
                 algo, updates, truth_fn, skip=skip, floor=floor,
-                chunk_size=chunk_size,
+                chunk_size=chunk_size, engine=engine,
             )
     return out

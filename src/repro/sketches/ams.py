@@ -53,6 +53,7 @@ class AMSFullSketch(Sketch):
     """
 
     supports_deletions = True
+    aggregation_invariant = True
 
     def __init__(self, t: int, n: int, rng: np.random.Generator):
         if t < 1:
@@ -90,6 +91,18 @@ class AMSFullSketch(Sketch):
         clone._y = self._y.copy()
         return clone
 
+    def merge(self, other: "AMSFullSketch") -> None:
+        """Add another partial's sketch vector (``S(f + g) = Sf + Sg``)."""
+        if not isinstance(other, AMSFullSketch) or other._y.shape != self._y.shape:
+            raise ValueError("can only merge AMSFull partials of the same shape")
+        self._y += other._y
+
+    def empty_like(self) -> "AMSFullSketch":
+        """Zero sketch vector, same projection matrix S."""
+        clone = copy.copy(self)
+        clone._y = np.zeros_like(self._y)
+        return clone
+
     def query(self) -> float:
         """The AMS estimate ``|Sf|_2^2`` of ``F2 = |f|_2^2``."""
         return float(self._y @ self._y)
@@ -113,6 +126,7 @@ class AMSSketch(Sketch):
     """
 
     supports_deletions = True
+    aggregation_invariant = True
 
     def __init__(
         self,
@@ -242,6 +256,18 @@ class AMSSketch(Sketch):
         """
         clone = copy.copy(self)
         clone._y = self._y.copy()
+        return clone
+
+    def merge(self, other: "AMSSketch") -> None:
+        """Add another partial's counter vector (the sketch map is linear)."""
+        if not isinstance(other, AMSSketch) or other._y.shape != self._y.shape:
+            raise ValueError("can only merge AMS partials of the same shape")
+        self._y += other._y
+
+    def empty_like(self) -> "AMSSketch":
+        """Zero counters, same sign hashes and memo caches."""
+        clone = copy.copy(self)
+        clone._y = np.zeros_like(self._y)
         return clone
 
     def query(self) -> float:

@@ -17,6 +17,15 @@ uniformly:
   ingestion surface for **oblivious** stream replay; the adversarial game
   stays per-item because adaptivity requires round granularity (the
   adversary observes the published output after every update);
+* ``merge(other)`` — fold another instance's state into this one, for
+  sketches whose state forms a commutative monoid (linear sketches add
+  their tables; KMV/HLL take unions/maxima of their summaries).  The
+  parallel execution engine (:mod:`repro.engine`) shards a stream across
+  worker processes as per-worker *partials* and merges them back; the
+  merged state equals the serial state exactly for integer/union state
+  and up to float summation order for float accumulators.  Sketches that
+  cannot merge (order-sensitive summaries such as Misra–Gries) simply
+  don't override it; :attr:`Sketch.mergeable` reports the capability;
 * ``query()`` — current response to the fixed query Q (tracking semantics:
   callable after every update);
 * ``space_bits()`` — explicit accounting of the bits a C implementation of
@@ -82,6 +91,19 @@ class Sketch(abc.ABC):
     #: Whether the sketch tolerates negative deltas (turnstile updates).
     supports_deletions: bool = False
 
+    #: Whether the state depends only on the *set* of items ever inserted
+    #: (with positive delta) — true for KMV and HLL, whose docstrings prove
+    #: it.  The execution engine exploits this to drop re-occurring items
+    #: from a chunk before fanning it out to many copies.
+    duplicate_insensitive: bool = False
+
+    #: Whether ``update_batch(aggregate_batch(chunk))`` lands in the same
+    #: state as ``update_batch(chunk)`` — true for linear sketches (which
+    #: aggregate internally anyway) and for duplicate-insensitive ones,
+    #: false for order-sensitive summaries (Misra–Gries).  Lets the engine
+    #: aggregate a chunk once instead of once per fanned-out copy.
+    aggregation_invariant: bool = False
+
     @abc.abstractmethod
     def update(self, item: int, delta: int = 1) -> None:
         """Process one stream update."""
@@ -109,6 +131,39 @@ class Sketch(abc.ABC):
         array copies instead of a Python object walk.
         """
         return copy.deepcopy(self)
+
+    def merge(self, other: "Sketch") -> None:
+        """Fold ``other``'s state into this sketch (commutative, associative).
+
+        Both operands must be *partials of the same sketch*: built from the
+        same randomness (hash functions, sign matrices), each having
+        ingested a disjoint part of the stream.  Mergeable sketches
+        override this; the default declares the capability absent.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    def empty_like(self) -> "Sketch":
+        """A zero-state partial sharing this sketch's randomness.
+
+        The engine's per-partial sharding starts every worker from
+        ``empty_like()``, so each partial is a pure delta and merging
+        back into a sketch with *existing* state stays correct (nothing
+        is double counted).  Mergeable sketches implement this alongside
+        :meth:`merge`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support empty partials"
+        )
+
+    @property
+    def mergeable(self) -> bool:
+        """Whether this sketch overrides :meth:`merge` and :meth:`empty_like`."""
+        return (
+            type(self).merge is not Sketch.merge
+            and type(self).empty_like is not Sketch.empty_like
+        )
 
     @abc.abstractmethod
     def query(self) -> float:

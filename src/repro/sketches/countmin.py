@@ -32,6 +32,7 @@ class CountMinSketch(PointQuerySketch):
     """
 
     supports_deletions = False
+    aggregation_invariant = True
 
     def __init__(self, width: int, rows: int, rng: np.random.Generator):
         if width < 1 or rows < 1:
@@ -88,6 +89,20 @@ class CountMinSketch(PointQuerySketch):
         """Cheap snapshot: share the hashes, copy the counter table."""
         clone = copy.copy(self)
         clone._table = self._table.copy()
+        return clone
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add another partial's counters (CountMin is linear in the stream)."""
+        if not isinstance(other, CountMinSketch) or other._table.shape != self._table.shape:
+            raise ValueError("can only merge CountMin partials of the same shape")
+        self._table += other._table
+        self._f1 += other._f1
+
+    def empty_like(self) -> "CountMinSketch":
+        """Zero counters, same hash functions."""
+        clone = copy.copy(self)
+        clone._table = np.zeros_like(self._table)
+        clone._f1 = 0
         return clone
 
     def point_query(self, item: int) -> float:

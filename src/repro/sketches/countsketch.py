@@ -31,6 +31,7 @@ class CountSketch(PointQuerySketch):
     """CountSketch table with median-of-rows point queries."""
 
     supports_deletions = True
+    aggregation_invariant = True
 
     def __init__(
         self,
@@ -174,6 +175,27 @@ class CountSketch(PointQuerySketch):
         clone = copy.copy(self)
         clone._table = self._table.copy()
         clone._candidates = dict(self._candidates)
+        return clone
+
+    def merge(self, other: "CountSketch") -> None:
+        """Add another partial's table (linear); union the candidate sets.
+
+        The merged table equals the serial one up to float summation
+        order; candidates are heuristic state, so the union may differ
+        from the serial candidate set the same way batched pruning does.
+        """
+        if not isinstance(other, CountSketch) or other._table.shape != self._table.shape:
+            raise ValueError("can only merge CountSketch partials of the same shape")
+        self._table += other._table
+        self._candidates.update(other._candidates)
+        if self._track_candidates and len(self._candidates) > 4 * self._track_candidates:
+            self._prune_candidates()
+
+    def empty_like(self) -> "CountSketch":
+        """Zero table and no candidates, same hash functions and memo."""
+        clone = copy.copy(self)
+        clone._table = np.zeros_like(self._table)
+        clone._candidates = {}
         return clone
 
     def point_query(self, item: int) -> float:

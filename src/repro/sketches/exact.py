@@ -25,7 +25,25 @@ from repro.streams.frequency import FrequencyVector
 _ENTRY_BITS = 128
 
 
-class ExactDistinctCounter(Sketch):
+class _MergeableExactMixin:
+    """Shared engine support: the exact baselines merge by vector addition."""
+
+    aggregation_invariant = True
+
+    def merge(self, other) -> None:
+        if type(other) is not type(self):
+            raise ValueError(
+                f"can only merge {type(self).__name__} partials"
+            )
+        self._f.merge(other._f)
+
+    def empty_like(self):
+        clone = copy.copy(self)
+        clone._f = FrequencyVector()
+        return clone
+
+
+class ExactDistinctCounter(_MergeableExactMixin, Sketch):
     """Deterministic F0: store the support set.  Space Theta(F0 * log n)."""
 
     supports_deletions = True
@@ -51,7 +69,7 @@ class ExactDistinctCounter(Sketch):
         return max(64, self._f.support_size * 64)
 
 
-class ExactMomentCounter(Sketch):
+class ExactMomentCounter(_MergeableExactMixin, Sketch):
     """Deterministic Fp (any p >= 0): store the whole frequency vector."""
 
     supports_deletions = True
@@ -81,7 +99,7 @@ class ExactMomentCounter(Sketch):
         return max(64, self._f.support_size * _ENTRY_BITS)
 
 
-class ExactEntropyCounter(Sketch):
+class ExactEntropyCounter(_MergeableExactMixin, Sketch):
     """Deterministic Shannon entropy from the full frequency vector."""
 
     supports_deletions = True
@@ -108,7 +126,7 @@ class ExactEntropyCounter(Sketch):
         return max(64, self._f.support_size * _ENTRY_BITS)
 
 
-class ExactHeavyHitters(PointQuerySketch):
+class ExactHeavyHitters(_MergeableExactMixin, PointQuerySketch):
     """Deterministic Lp heavy hitters from the full vector.
 
     ``query()`` returns the number of items at or above the threshold

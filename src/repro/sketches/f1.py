@@ -26,6 +26,7 @@ class F1Counter(Sketch):
     """
 
     supports_deletions = True
+    aggregation_invariant = True
 
     def __init__(self) -> None:
         self._sum = 0
@@ -42,6 +43,15 @@ class F1Counter(Sketch):
 
     def snapshot(self) -> "F1Counter":
         return copy.copy(self)
+
+    def merge(self, other: "F1Counter") -> None:
+        """Counters add."""
+        if not isinstance(other, F1Counter):
+            raise ValueError("can only merge F1Counter partials")
+        self._sum += other._sum
+
+    def empty_like(self) -> "F1Counter":
+        return F1Counter()
 
     def query(self) -> float:
         return float(self._sum)

@@ -39,6 +39,8 @@ class HyperLogLog(Sketch):
     """HLL with 2^b registers over a 61-bit hash."""
 
     supports_deletions = False
+    duplicate_insensitive = True
+    aggregation_invariant = True
 
     def __init__(self, b: int, rng: np.random.Generator):
         if not 4 <= b <= 18:
@@ -105,6 +107,18 @@ class HyperLogLog(Sketch):
         """Cheap snapshot: share the hash, copy the register array."""
         clone = copy.copy(self)
         clone._registers = self._registers.copy()
+        return clone
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Register-wise maximum (idempotent; exact vs. the serial state)."""
+        if not isinstance(other, HyperLogLog) or other.b != self.b:
+            raise ValueError("can only merge HLL partials with the same b")
+        np.maximum(self._registers, other._registers, out=self._registers)
+
+    def empty_like(self) -> "HyperLogLog":
+        """Zero registers, same hash function."""
+        clone = copy.copy(self)
+        clone._registers = np.zeros_like(self._registers)
         return clone
 
     def query(self) -> float:

@@ -36,6 +36,8 @@ class KMVSketch(Sketch):
     """Bottom-k distinct elements estimator."""
 
     supports_deletions = False
+    duplicate_insensitive = True
+    aggregation_invariant = True
 
     def __init__(self, k: int, rng: np.random.Generator, independence: int = 8):
         if k < 2:
@@ -84,12 +86,15 @@ class KMVSketch(Sketch):
         if len(mins) > self.k:
             mins.pop()
 
-    def update_batch(self, items, deltas=None) -> None:
+    def update_batch(self, items, deltas=None, *, assume_unique: bool = False) -> None:
         """Vectorized ingestion: hash the chunk, merge the k smallest.
 
         The KMV state is *exactly* the set of the k smallest distinct hash
         values seen, which is order-insensitive — the merged state is
-        bit-for-bit identical to the per-item loop.
+        bit-for-bit identical to the per-item loop.  ``assume_unique``
+        skips the internal dedup when the caller guarantees the items are
+        already distinct (the execution engine dedups a chunk once before
+        fanning it out to many copies).
         """
         items, deltas = as_batch_arrays(items, deltas)
         if len(items) == 0:
@@ -99,9 +104,10 @@ class KMVSketch(Sketch):
         items = items[deltas > 0]
         if len(items) == 0:
             return
-        # Duplicate-insensitivity: only distinct items can move the state,
-        # so dedupe before paying for the hash evaluations.
-        items = np.unique(items)
+        if not assume_unique:
+            # Duplicate-insensitivity: only distinct items can move the
+            # state, so dedupe before paying for the hash evaluations.
+            items = np.unique(items)
         hashes = self._hash.hash_many(items)
         mins = self._mins
         if len(mins) == self.k:
@@ -121,6 +127,28 @@ class KMVSketch(Sketch):
         """Cheap snapshot: share the immutable hash, copy the min-list."""
         clone = copy.copy(self)
         clone._mins = list(self._mins)
+        return clone
+
+    def merge(self, other: "KMVSketch") -> None:
+        """Union the bottom-k sets and keep the k smallest (idempotent).
+
+        The state is the set of the k smallest distinct hash values seen,
+        so the merged state equals the serial state bit for bit (partials
+        must share the same hash function).
+        """
+        if not isinstance(other, KMVSketch) or other.k != self.k:
+            raise ValueError("can only merge KMV partials with the same k")
+        if not other._mins:
+            return
+        merged = np.unique(
+            np.asarray(self._mins + other._mins, dtype=np.uint64)
+        )[: self.k]
+        self._mins = merged.tolist()
+
+    def empty_like(self) -> "KMVSketch":
+        """Empty bottom-k set, same hash function."""
+        clone = copy.copy(self)
+        clone._mins = []
         return clone
 
     def query(self) -> float:

@@ -1,4 +1,5 @@
-"""Stream model, exact frequency vectors, workload generators, validators."""
+"""Stream model, exact frequency vectors, workload generators, validators,
+and the columnar on-disk stream store."""
 
 from repro.streams.frequency import FrequencyVector
 from repro.streams.generators import (
@@ -22,6 +23,7 @@ from repro.streams.model import (
     chunk_updates,
     iter_updates,
 )
+from repro.streams.store import ColumnarStreamStore, write_stream
 from repro.streams.validators import (
     StreamValidationError,
     check_bounded_deletion,
@@ -32,7 +34,9 @@ from repro.streams.validators import (
 )
 
 __all__ = [
+    "ColumnarStreamStore",
     "FrequencyVector",
+    "write_stream",
     "bounded_deletion_stream",
     "distinct_ramp_chunks",
     "distinct_ramp_stream",

@@ -155,6 +155,23 @@ class FrequencyVector:
         """The L2 guarantee's target set: ``|f_i| >= eps * |f|_2``."""
         return self.heavy_hitters(eps * self.lp(2))
 
+    def merge(self, other: "FrequencyVector") -> None:
+        """Add another vector's frequencies (``f + g`` coordinate-wise).
+
+        The merged vector equals the one a serial pass over both streams
+        would produce; used by the engine's per-partial sharding of the
+        exact baselines.
+        """
+        f = self._f
+        for item, value in other._f.items():
+            new = f[item] + value
+            if new == 0:
+                del f[item]
+            else:
+                f[item] = new
+        self._f1_signed += other._f1_signed
+        self._updates += other._updates
+
     def copy(self) -> "FrequencyVector":
         out = FrequencyVector()
         out._f = defaultdict(int, self._f)

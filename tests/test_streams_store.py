@@ -1,0 +1,151 @@
+"""Columnar stream store: format, zero-copy reads, round-trip property.
+
+The load-bearing property: for any stream (including turnstile deltas),
+``write_stream`` → ``chunks()`` → replay reproduces the exact frequency
+vector, at every chunk size.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ingest
+from repro.sketches.countmin import CountMinSketch
+from repro.streams.frequency import FrequencyVector
+from repro.streams.model import StreamChunk, StreamParameters, Update
+from repro.streams.store import (
+    ColumnarStreamStore,
+    StoreFormatError,
+    write_stream,
+)
+
+
+def _freq(updates):
+    f = FrequencyVector()
+    for u in updates:
+        f.update(u.item, u.delta)
+    return f
+
+
+updates_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=-5, max_value=5).filter(lambda d: d != 0),
+    ).map(lambda t: Update(*t)),
+    max_size=300,
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(updates=updates_strategy, chunk_size=st.integers(1, 64))
+    def test_frequency_vector_equality(self, tmp_path_factory, updates,
+                                       chunk_size):
+        path = tmp_path_factory.mktemp("store") / "s"
+        store = write_stream(path, updates, chunk_size=17)
+        assert len(store) == len(updates)
+        replayed = FrequencyVector()
+        total = 0
+        for chunk in store.chunks(chunk_size):
+            replayed.update_batch(chunk.items, chunk.deltas)
+            total += len(chunk)
+        assert total == len(updates)
+        assert replayed.to_dict() == _freq(updates).to_dict()
+
+    @settings(max_examples=25, deadline=None)
+    @given(updates=updates_strategy)
+    def test_per_update_iteration_matches(self, tmp_path_factory, updates):
+        path = tmp_path_factory.mktemp("store") / "s"
+        store = write_stream(path, updates, chunk_size=13)
+        got = [u for chunk in store.chunks(7) for u in chunk]
+        assert got == list(updates)
+
+
+class TestFormat:
+    def test_unit_delta_stream_elides_delta_column(self, tmp_path):
+        items = np.arange(100, dtype=np.int64)
+        store = write_stream(tmp_path / "s", StreamChunk.insertions(items))
+        assert store.unit_deltas
+        assert store.deltas is None
+        assert not (tmp_path / "s" / "deltas.bin").exists()
+        chunk = next(store.chunks(64))
+        assert np.all(chunk.deltas == 1)
+        assert not chunk.deltas.flags.writeable
+
+    def test_late_non_unit_delta_backfills(self, tmp_path):
+        # 100 unit updates already written when the first delta=2 arrives.
+        ups = [Update(i, 1) for i in range(100)] + [Update(5, 2)]
+        store = write_stream(tmp_path / "s", ups, chunk_size=16)
+        assert not store.unit_deltas
+        deltas = np.asarray(store.deltas)
+        assert np.all(deltas[:100] == 1) and deltas[100] == 2
+
+    def test_chunks_are_zero_copy_views(self, tmp_path):
+        items = np.arange(5000, dtype=np.int64)
+        store = write_stream(tmp_path / "s", StreamChunk.insertions(items))
+        chunks = list(store.chunks(1024))
+        assert all(
+            np.shares_memory(c.items, store.items) for c in chunks
+        )
+        assert isinstance(store.items, np.memmap)
+
+    def test_header_params_round_trip(self, tmp_path):
+        params = StreamParameters(n=1024, m=5000, M=7)
+        store = write_stream(
+            tmp_path / "s", [Update(1, 1)], params=params,
+            metadata={"source": "unit-test"},
+        )
+        reopened = ColumnarStreamStore(store.path)
+        assert reopened.params == params
+        assert reopened.header["metadata"]["source"] == "unit-test"
+
+    def test_empty_stream(self, tmp_path):
+        store = write_stream(tmp_path / "s", [])
+        assert len(store) == 0
+        assert store.chunk_count() == 0
+        assert list(store.chunks(8)) == []
+
+    def test_chunk_count(self, tmp_path):
+        store = write_stream(tmp_path / "s",
+                             StreamChunk.insertions(np.arange(100)))
+        assert store.chunk_count(30) == 4
+        assert store.chunk_count(100) == 1
+
+    def test_rejects_missing_or_foreign_directories(self, tmp_path):
+        with pytest.raises(StoreFormatError, match="no header"):
+            ColumnarStreamStore(tmp_path)
+        (tmp_path / "header.json").write_text(json.dumps({"format": "csv"}))
+        with pytest.raises(StoreFormatError, match="not a"):
+            ColumnarStreamStore(tmp_path)
+        (tmp_path / "header.json").write_text("{broken")
+        with pytest.raises(StoreFormatError, match="unreadable"):
+            ColumnarStreamStore(tmp_path)
+
+    def test_rejects_newer_version(self, tmp_path):
+        store = write_stream(tmp_path / "s", [Update(1, 1)])
+        header = json.loads((store.path / "header.json").read_text())
+        header["version"] = 99
+        (store.path / "header.json").write_text(json.dumps(header))
+        with pytest.raises(StoreFormatError, match="newer"):
+            ColumnarStreamStore(store.path)
+
+    def test_chunk_size_validation(self, tmp_path):
+        store = write_stream(tmp_path / "s", [Update(1, 1)])
+        with pytest.raises(ValueError):
+            list(store.chunks(0))
+
+
+class TestIngestIntegration:
+    def test_ingest_replays_store_directly(self, tmp_path):
+        rng = np.random.default_rng(3)
+        items = rng.integers(0, 512, size=20_000)
+        store = write_stream(tmp_path / "s", StreamChunk.insertions(items))
+        direct = CountMinSketch(256, 3, np.random.default_rng(1))
+        direct.update_batch(items)
+        replayed = CountMinSketch(256, 3, np.random.default_rng(1))
+        report = ingest(replayed, store, chunk_size=4096, prefetch=2)
+        assert report.updates == len(items)
+        assert np.array_equal(direct._table, replayed._table)

@@ -1,0 +1,121 @@
+"""Tests for the stream-class validators (previously untested).
+
+The validators gate experiment inputs: a stream claiming to be in a
+model class (insertion-only, (n, m, M)-conforming, alpha-bounded
+deletion) is checked before the theorems' promises are invoked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streams.frequency import FrequencyVector
+from repro.streams.generators import bounded_deletion_stream
+from repro.streams.model import StreamParameters, Update
+from repro.streams.validators import (
+    StreamValidationError,
+    check_bounded_deletion,
+    function_trajectory,
+    validate_bounded_deletion,
+    validate_insertion_only,
+    validate_parameters,
+)
+
+
+class TestInsertionOnly:
+    def test_accepts_positive_deltas(self):
+        validate_insertion_only([Update(1, 1), Update(2, 5)])
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(StreamValidationError, match="delta=0"):
+            validate_insertion_only([Update(1, 1), Update(2, 0)])
+        with pytest.raises(StreamValidationError, match="delta=-1"):
+            validate_insertion_only([Update(1, -1)])
+
+    def test_error_names_the_offending_position(self):
+        with pytest.raises(StreamValidationError, match="update 2"):
+            validate_insertion_only(
+                [Update(0, 1), Update(1, 1), Update(2, -3)]
+            )
+
+    def test_empty_stream_is_fine(self):
+        validate_insertion_only([])
+
+
+class TestParameters:
+    def test_conforming_stream(self):
+        params = StreamParameters(n=16, m=10, M=3)
+        validate_parameters([Update(0, 1), Update(15, 2), Update(0, -1)],
+                            params)
+
+    def test_item_outside_universe(self):
+        params = StreamParameters(n=4, m=10)
+        with pytest.raises(ValueError, match="outside universe"):
+            validate_parameters([Update(4, 1)], params)
+        with pytest.raises(ValueError, match="outside universe"):
+            validate_parameters([Update(-1, 1)], params)
+
+    def test_frequency_bound_checked_per_prefix(self):
+        params = StreamParameters(n=8, m=10, M=2)
+        # |f_3| hits 3 > M at step 2 even though later deletions lower it.
+        stream = [Update(3, 2), Update(3, 1), Update(3, -2)]
+        with pytest.raises(StreamValidationError, match="at step 1"):
+            validate_parameters(stream, params)
+
+    def test_negative_frequency_magnitude_also_bounded(self):
+        params = StreamParameters(n=8, m=10, M=2)
+        with pytest.raises(StreamValidationError):
+            validate_parameters([Update(1, -3)], params)
+
+    def test_length_bound(self):
+        params = StreamParameters(n=8, m=2, M=10)
+        with pytest.raises(StreamValidationError, match="exceeds m"):
+            validate_parameters(
+                [Update(0, 1), Update(1, 1), Update(2, 1)], params
+            )
+
+
+class TestBoundedDeletion:
+    def test_insertion_only_always_passes(self):
+        stream = [Update(i % 5, 1) for i in range(50)]
+        assert check_bounded_deletion(stream, alpha=1.0)
+        validate_bounded_deletion(stream, alpha=1.0)
+
+    def test_violation_detected(self):
+        # Insert then delete everything: F1(f) -> 0 while F1(h) grows.
+        stream = [Update(0, 1), Update(1, 1), Update(0, -1), Update(1, -1)]
+        assert not check_bounded_deletion(stream, alpha=2.0)
+        with pytest.raises(StreamValidationError, match="bounded-deletion"):
+            validate_bounded_deletion(stream, alpha=2.0)
+
+    def test_generator_streams_conform_by_construction(self):
+        rng = np.random.default_rng(0)
+        stream = bounded_deletion_stream(64, 600, rng, alpha=4.0)
+        assert check_bounded_deletion(stream, alpha=4.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            check_bounded_deletion([], alpha=0.5)
+
+    def test_checked_at_every_prefix_not_just_the_end(self):
+        # Ends conforming, but a middle prefix violates alpha = 1.5.
+        stream = [
+            Update(0, 1), Update(1, 1),
+            Update(0, -1), Update(1, -1),  # f = 0 here, h = 4
+            Update(2, 1), Update(3, 1), Update(4, 1), Update(5, 1),
+        ]
+        assert not check_bounded_deletion(stream, alpha=1.5)
+
+
+class TestFunctionTrajectory:
+    def test_tracks_f0_per_prefix(self):
+        stream = [Update(0, 1), Update(1, 1), Update(0, 1), Update(2, 1)]
+        traj = function_trajectory(stream, FrequencyVector.f0)
+        assert traj == [1.0, 2.0, 2.0, 3.0]
+
+    def test_tracks_moments_with_deletions(self):
+        stream = [Update(0, 2), Update(1, 1), Update(0, -2)]
+        traj = function_trajectory(stream, lambda f: f.fp(2.0))
+        assert traj == [4.0, 5.0, 1.0]
+
+    def test_empty_stream(self):
+        assert function_trajectory([], FrequencyVector.f0) == []
