@@ -1,4 +1,5 @@
-"""PARALLEL — the execution-engine throughput gate (ISSUE 2 tentpole).
+"""PARALLEL — the execution-engine throughput gate (ISSUE 2 tentpole,
+extended with the ISSUE 3 additive/entropy band case).
 
 Replays the same 1M-update oblivious uniform stream through the robust
 sketch-switching distinct-elements estimator three ways:
@@ -13,12 +14,23 @@ sketch-switching distinct-elements estimator three ways:
 
 Asserts bit-for-bit equivalence (identical published outputs and switch
 counts) across all three, and the acceptance gate: the process engine on
->= 4 workers is at least 2x the PR 1 serial batched path.  Also measures
-per-partial merge sharding (CountMin) and the columnar-store + prefetch
-replay path, asserting exactness for both.
+>= 4 workers is at least 2x the PR 1 serial batched path.
+
+The **entropy** case replays a uniform stream through the robust
+additive-band entropy tracker (Theorem 7.3) the same three ways — the
+additive band runs the identical switching protocol since the
+band-policy refactor, so the engine covers it too.  Here the shared-work
+hoist is chunk aggregation (the Clifford–Cosma copies consume a linear
+map of per-distinct-item delta sums, so the chunk is aggregated once for
+all copies instead of once per copy); equivalence is again exact, and
+the same >= 2x gate applies.  Also measures per-partial merge sharding
+(CountMin) and the columnar-store + prefetch replay path, asserting
+exactness for both.
 
 Emits ``out/parallel_engine.{txt,json}``; ``run_all.py`` folds the JSON
-into ``BENCH_parallel.json`` at the repo root.
+into ``BENCH_parallel.json`` at the repo root, and
+``benchmarks/check_regression.py`` gates CI on the speedup columns
+against the committed baseline.
 """
 
 import tempfile
@@ -28,6 +40,7 @@ import numpy as np
 
 from repro.engine import ProcessEngine, SerialEngine, fork_available
 from repro.robust.distinct import RobustDistinctElements
+from repro.robust.entropy import RobustEntropy
 from repro.sketches.countmin import CountMinSketch
 from repro.streams.frequency import FrequencyVector
 from repro.streams.model import StreamChunk, StreamParameters
@@ -42,6 +55,17 @@ WORKERS = 4
 WIDTHS = (30, 14, 10, 10, 10)
 MIN_PARALLEL_SPEEDUP = 2.0
 
+# Entropy (additive band) case: a small universe gives chunk aggregation
+# — the hoist the engine adds for linear-map sketches — its headroom
+# (65536-update chunks collapse to <= 256 distinct items), the long
+# stream amortizes the one crossing-heavy ramp chunk that every path
+# pays identically, and explicit copies/row constants keep the replay
+# laptop-sized.
+ENT_N = 1 << 8
+ENT_M = 2_000_000
+ENT_EPS = 0.6
+ENT_COPIES = 24
+
 
 def _robust(seed=11):
     return RobustDistinctElements(
@@ -49,16 +73,24 @@ def _robust(seed=11):
     )
 
 
+def _robust_entropy(seed=13):
+    return RobustEntropy(
+        n=ENT_N, m=ENT_M, eps=ENT_EPS, rng=np.random.default_rng(seed),
+        copies=ENT_COPIES, cc_constant=0.5,
+    )
+
+
 def _run_engine(est, items, engine):
+    m = len(items)
     start = time.perf_counter()
     if engine is None:
-        for lo in range(0, M, CHUNK):
+        for lo in range(0, m, CHUNK):
             est.update_batch(StreamChunk.insertions(items[lo:lo + CHUNK]))
     else:
         with engine.session(est) as session:
-            for lo in range(0, M, CHUNK):
+            for lo in range(0, m, CHUNK):
                 session.feed(items[lo:lo + CHUNK])
-    return M / (time.perf_counter() - start)
+    return m / (time.perf_counter() - start)
 
 
 def test_parallel_engine_throughput(benchmark):
@@ -72,6 +104,8 @@ def test_parallel_engine_throughput(benchmark):
     )]
     payload = {
         "n": N, "m": M, "chunk": CHUNK, "eps": EPS, "workers": WORKERS,
+        "entropy": {"n": ENT_N, "m": ENT_M, "eps": ENT_EPS,
+                    "copies": ENT_COPIES},
         "results": {},
     }
 
@@ -114,6 +148,48 @@ def test_parallel_engine_throughput(benchmark):
             )
             assert speedup >= MIN_PARALLEL_SPEEDUP, (
                 f"process engine only {speedup:.2f}x over the PR 1 serial "
+                f"batched path (required >= {MIN_PARALLEL_SPEEDUP}x)"
+            )
+
+        # Additive band (entropy): same protocol, same engines, same gate.
+        ent_items = np.random.default_rng(77).integers(0, ENT_N, size=ENT_M)
+        ent_truth = FrequencyVector()
+        ent_truth.update_batch(ent_items)
+        h_true = ent_truth.shannon_entropy()
+        ent_contenders = [("entropy_pr1_serial_batched", None),
+                          ("entropy_engine_serial", SerialEngine())]
+        if fork_available():
+            ent_contenders.append((
+                f"entropy_engine_process_{WORKERS}w",
+                ProcessEngine(workers=WORKERS),
+            ))
+        ent_results = {}
+        for name, engine in ent_contenders:
+            est = _robust_entropy()
+            rate = _run_engine(est, ent_items, engine)
+            ent_results[name] = (rate, est)
+            speedup = rate / ent_results["entropy_pr1_serial_batched"][0]
+            payload["results"][name] = {
+                "items_per_sec": round(rate),
+                "speedup_vs_pr1": round(speedup, 2),
+                "switches": est.switches,
+                "final_estimate": round(est.query(), 4),
+                "final_additive_error": round(abs(est.query() - h_true), 4),
+            }
+            rows.append(format_row(
+                (name, f"{rate:,.0f}", f"{speedup:.2f}x", est.switches,
+                 f"{abs(est.query() - h_true):.3f}"), WIDTHS,
+            ))
+        ent_base = ent_results["entropy_pr1_serial_batched"][1]
+        for name, (_, est) in ent_results.items():
+            assert est.query() == ent_base.query(), f"{name} diverged"
+            assert est.switches == ent_base.switches, f"{name} switch count"
+        for name, (rate, _) in ent_results.items():
+            if name == "entropy_pr1_serial_batched":
+                continue
+            speedup = rate / ent_results["entropy_pr1_serial_batched"][0]
+            assert speedup >= MIN_PARALLEL_SPEEDUP, (
+                f"{name} only {speedup:.2f}x over the entropy PR 1 serial "
                 f"batched path (required >= {MIN_PARALLEL_SPEEDUP}x)"
             )
 
@@ -167,7 +243,9 @@ def test_parallel_engine_throughput(benchmark):
     rows.append(
         f"n={N}, m={M:,} uniform oblivious stream, chunk={CHUNK}, "
         f"eps={EPS}; robust switching = Theorem 5.1 KMV ring; "
-        f"process engine = {WORKERS} forked workers over shared memory"
+        f"process engine = {WORKERS} forked workers over shared memory; "
+        f"entropy = Theorem 7.3 additive band, n={ENT_N}, m={ENT_M:,}, "
+        f"eps={ENT_EPS}, {ENT_COPIES} CC copies (err column is additive)"
     )
     emit("parallel_engine", rows)
     emit_json("parallel_engine", payload)

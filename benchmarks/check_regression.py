@@ -1,0 +1,74 @@
+"""Gate engine speedups against the committed BENCH_parallel.json baseline.
+
+Raw items/sec numbers are machine-dependent, so CI compares the
+machine-normalized **speedup ratios** (each engine path over its own
+serial-batched baseline measured in the same run): a fresh
+``speedup_vs_pr1`` may not fall more than ``--tolerance`` (default 20%)
+below the committed one.  Keys present in only one of the two reports
+are skipped (new benchmark rows don't fail the gate until a baseline is
+committed).
+
+Usage::
+
+    cp BENCH_parallel.json /tmp/baseline.json        # before re-running
+    PYTHONPATH=src python benchmarks/run_all.py --engine
+    python benchmarks/check_regression.py \
+        --baseline /tmp/baseline.json --fresh BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def speedups(report: dict) -> dict[str, float]:
+    """Flatten a BENCH_parallel report to {result key: speedup_vs_pr1}."""
+    out: dict[str, float] = {}
+    for payload in report.get("throughput", {}).values():
+        for key, row in payload.get("results", {}).items():
+            value = row.get("speedup_vs_pr1")
+            if value is not None:
+                out[key] = float(value)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_parallel.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated BENCH_parallel.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup drop (default 0.2)")
+    args = parser.parse_args()
+
+    baseline = speedups(json.loads(pathlib.Path(args.baseline).read_text()))
+    fresh = speedups(json.loads(pathlib.Path(args.fresh).read_text()))
+    if not baseline:
+        print("no speedup rows in the baseline; nothing to gate")
+        return 0
+
+    failures = []
+    for key in sorted(baseline):
+        if key not in fresh:
+            print(f"  {key:<36} missing from fresh report -- skipped")
+            continue
+        floor = (1.0 - args.tolerance) * baseline[key]
+        status = "ok" if fresh[key] >= floor else "REGRESSION"
+        print(f"  {key:<36} baseline {baseline[key]:6.2f}x  "
+              f"fresh {fresh[key]:6.2f}x  floor {floor:6.2f}x  {status}")
+        if fresh[key] < floor:
+            failures.append(key)
+    if failures:
+        print(f"\nspeedup regression (> {args.tolerance:.0%} drop) in: "
+              f"{', '.join(failures)}")
+        return 1
+    print("\nall engine speedups within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.engine.executor import resolve_engine
 from repro.engine.prefetch import prefetch_chunks
+from repro.engine.shards import EpochShardPlan, SwitchingShardPlan, plan_shards
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
 from repro.robust.distinct import (
@@ -50,7 +51,8 @@ from repro.robust.moments import (
     RobustFpSwitching,
 )
 from repro.sketches.base import Sketch
-from repro.streams.model import chunk_updates
+from repro.streams.model import StreamParameters, chunk_updates
+from repro.streams.store import StreamWriter
 
 PROBLEMS = (
     "distinct",
@@ -151,6 +153,29 @@ class IngestReport:
     #: Execution mode: "direct" (plain update_batch), "serial" (engine
     #: shared-work path), or "process[N]" (N forked workers).
     mode: str = "direct"
+    #: Band-policy name driving the estimator's switching protocol
+    #: ("multiplicative", "additive", "epoch"), or None when the
+    #: estimator has no switching core.
+    policy: str | None = None
+    #: Directory the replay was teed into (``spill_store=``), if any.
+    spill_path: str | None = None
+
+
+def band_policy_name(estimator: Sketch) -> str | None:
+    """The band-policy name an estimator's switching core runs under.
+
+    Derived from the engine's shard planner — the one place that knows
+    how to unwrap robust wrappers — so the reported policy can never
+    disagree with how the engines would actually drive the estimator;
+    estimators the planner runs serially (no switching core) return
+    None.
+    """
+    plan = plan_shards(estimator)
+    if isinstance(plan, SwitchingShardPlan):
+        return plan.band.name
+    if isinstance(plan, EpochShardPlan):
+        return "epoch"
+    return None
 
 
 def ingest(
@@ -159,6 +184,8 @@ def ingest(
     chunk_size: int = 65536,
     engine=None,
     prefetch: int = 0,
+    spill_store=None,
+    spill_params: StreamParameters | None = None,
 ) -> IngestReport:
     """Replay an **oblivious** stream through the batched pipeline.
 
@@ -172,12 +199,23 @@ def ingest(
 
     ``engine`` selects the execution engine (``None`` for the direct
     path, ``"serial"``, ``"process"``, ``"process:N"``, a worker count,
-    or an :class:`repro.engine.ExecutionEngine`): sketch-switching
-    estimators fan their copies out across workers, mergeable sketches
+    or an :class:`repro.engine.ExecutionEngine`): switching estimators —
+    multiplicative, additive (entropy), or the heavy-hitters epoch
+    wrapper — fan their copies out across workers, mergeable sketches
     shard per partial, everything else falls back to the deterministic
     serial path with identical outputs.  ``prefetch`` (a queue depth;
     ``2`` = double buffering) overlaps chunk generation or disk reads
     with ingestion.
+
+    ``spill_store`` tees the replay into a columnar on-disk store at the
+    given directory while feeding the estimator: every chunk drawn from
+    the source is appended through a
+    :class:`repro.streams.store.StreamWriter` before it is ingested, and
+    the header is sealed even if ingestion fails mid-stream — so a
+    generated (or otherwise ephemeral) stream becomes replayable as a
+    side effect.  ``spill_params`` embeds the ``(n, m, M)`` regime in
+    the header; when the source itself is a store, its params carry over
+    by default.
 
     This is the high-throughput replay surface only: adaptive adversaries
     must go through :class:`repro.adversary.game.AdversarialGame`, which
@@ -187,26 +225,47 @@ def ingest(
     if hasattr(stream, "chunks") and not isinstance(stream, Sketch):
         # Chunked sources (ColumnarStreamStore) slice themselves.
         chunk_iter = stream.chunks(chunk_size)
+        if spill_params is None:
+            spill_params = getattr(stream, "params", None)
     else:
         chunk_iter = chunk_updates(stream, chunk_size)
     if prefetch:
         chunk_iter = prefetch_chunks(chunk_iter, depth=prefetch)
+    writer = None
+    if spill_store is not None:
+        writer = StreamWriter(
+            spill_store, params=spill_params,
+            metadata={"source": "api.ingest", "chunk_size": chunk_size},
+        )
     count = 0
     chunks = 0
     mode = "direct"
+    policy = None
     start = time.perf_counter()
-    if resolved is None:
-        for chunk in chunk_iter:
-            estimator.update_batch(chunk.items, chunk.deltas)
-            count += len(chunk)
-            chunks += 1
-    else:
-        with resolved.session(estimator) as session:
-            mode = session.mode
+    try:
+        if resolved is None:
+            # Direct path: no session planned the estimator, so resolve
+            # the policy name from the planner ourselves.
+            policy = band_policy_name(estimator)
             for chunk in chunk_iter:
-                session.feed(chunk.items, chunk.deltas)
+                if writer is not None:
+                    writer.append(chunk.items, chunk.deltas)
+                estimator.update_batch(chunk.items, chunk.deltas)
                 count += len(chunk)
                 chunks += 1
+        else:
+            with resolved.session(estimator) as session:
+                mode = session.mode
+                policy = session.policy
+                for chunk in chunk_iter:
+                    if writer is not None:
+                        writer.append(chunk.items, chunk.deltas)
+                    session.feed(chunk.items, chunk.deltas)
+                    count += len(chunk)
+                    chunks += 1
+    finally:
+        if writer is not None:
+            writer.close()
     secs = time.perf_counter() - start
     return IngestReport(
         updates=count,
@@ -215,4 +274,6 @@ def ingest(
         items_per_sec=count / secs if secs > 0 else 0.0,
         final_estimate=estimator.query(),
         mode=mode,
+        policy=policy,
+        spill_path=None if spill_store is None else str(writer.path),
     )

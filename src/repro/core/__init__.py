@@ -1,5 +1,20 @@
-"""The paper's contribution: flip numbers, rounding, and the two frameworks."""
+"""The paper's contribution: flip numbers, rounding, and the two frameworks.
 
+The switching framework is layered: :mod:`repro.core.bands` owns the
+publish-band policies (multiplicative, additive, epoch),
+:mod:`repro.core.copies` the copy lifecycle (allocation, burn, restart
+ring), and :mod:`repro.core.sketch_switching` composes them into the one
+switching protocol every robust wrapper and execution engine drives.
+"""
+
+from repro.core.bands import (
+    AdditiveBand,
+    BandPolicy,
+    EpochBand,
+    L2Band,
+    MultiplicativeBand,
+    relative_within,
+)
 from repro.core.computation_paths import (
     ComputationPathsEstimator,
     paths_log2_count,
@@ -17,16 +32,31 @@ from repro.core.flip_number import (
     measured_flip_number,
     monotone_flip_number_bound,
 )
+from repro.core.copies import CopyManager, LocalCopyBackend
 from repro.core.rounding import RoundedSequence, num_rounded_values, round_to_power
 from repro.core.sketch_switching import (
     AdditiveSwitchingEstimator,
     SketchExhaustedError,
     SketchSwitchingEstimator,
+    SwitchingEstimator,
+    SwitchingProtocol,
     restart_ring_size,
+    within_band,
 )
 from repro.core.tracking import MedianTracker, median_copies, union_bound_delta
 
 __all__ = [
+    "AdditiveBand",
+    "BandPolicy",
+    "CopyManager",
+    "EpochBand",
+    "L2Band",
+    "LocalCopyBackend",
+    "MultiplicativeBand",
+    "SwitchingEstimator",
+    "SwitchingProtocol",
+    "relative_within",
+    "within_band",
     "ComputationPathsEstimator",
     "paths_log2_count",
     "required_delta0",

@@ -1,0 +1,259 @@
+"""Copy lifecycle for the switching protocols: allocate, burn, restart.
+
+Every switching construction pays its robustness budget in *copies* —
+independent instances of a static sketch, one active at a time.  The
+:class:`CopyManager` owns that lifecycle and nothing else:
+
+* **allocation** — ``copies`` instances from a factory, seeded through
+  one ``SeedSequence.spawn`` pass so the independence assumption of
+  Lemma 3.6 holds uniformly (plus one extra child generator kept as the
+  fresh-randomness pool for replacements);
+* **burn-and-advance** — plain Algorithm 1 mode walks forward through
+  the copy list and raises :class:`SketchExhaustedError` (or clamps)
+  when the flip budget runs out; restart mode (Theorem 4.1) treats the
+  list as a ring, replacing each burned slot with a freshly seeded
+  instance;
+* **replacement seeding** — :meth:`replacement_rng` derives each
+  restarted copy's generator from the fresh pool with the same
+  ``spawn_rngs`` derivation that seeded the initial copies.  Both the
+  serial estimator and the engine's sharded drivers draw replacements
+  from here *on the coordinator*, which is what makes restarted copies —
+  and therefore published outputs — bit-for-bit identical across
+  execution modes.
+
+The band decision itself lives in :mod:`repro.core.bands`; the drive
+loop in :mod:`repro.core.sketch_switching`.  :class:`LocalCopyBackend`
+is the in-process realisation of the copy-backend interface the drive
+loop talks to (the process engine provides the forked-worker twin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import Sketch, SketchFactory, spawn_rngs
+
+
+class SketchExhaustedError(RuntimeError):
+    """All sketch copies were burned: the flip-number budget was exceeded.
+
+    Under the theorems' preconditions this happens only with probability
+    delta; in experiments it signals an undersized ``copies`` parameter.
+    """
+
+
+class CopyManager:
+    """Owns the copies of one switching estimator and their lifecycle.
+
+    Parameters
+    ----------
+    factory:
+        Builds one independent static tracker per call.
+    copies:
+        Instance count: the flip-number bound in plain mode, or the
+        Theorem 4.1 ring size in restart mode.
+    rng:
+        Seeds the copies (and the fresh-randomness replacement pool).
+    restart:
+        Ring mode: burned slots are replaced instead of abandoned.
+    on_exhausted:
+        Plain-mode behaviour when every copy is burned: ``"raise"``
+        (default) or ``"clamp"`` (keep the last copy active).
+    """
+
+    def __init__(
+        self,
+        factory: SketchFactory,
+        copies: int,
+        rng: np.random.Generator,
+        restart: bool = False,
+        on_exhausted: str = "raise",
+    ):
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        if on_exhausted not in ("raise", "clamp"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.factory = factory
+        self.restart = restart
+        self.on_exhausted = on_exhausted
+        rngs = spawn_rngs(rng, copies + 1)
+        self._fresh_rng = rngs[copies]
+        self.sketches: list[Sketch] = [factory(r) for r in rngs[:copies]]
+        #: Monotone activation counter; the active slot is ``rho % count``.
+        self.rho = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.sketches)
+
+    @property
+    def active_index(self) -> int:
+        return self.rho % len(self.sketches)
+
+    @property
+    def active(self) -> Sketch:
+        return self.sketches[self.active_index]
+
+    def replacement_rng(self) -> np.random.Generator:
+        """Derive the next restarted copy's RNG from the fresh pool.
+
+        Uses the same ``spawn_rngs`` derivation that seeded the initial
+        copies, keeping the independence argument (Lemma 3.6) uniform
+        across original and restarted instances.  The engine's parallel
+        driver calls this on the coordinator so the RNG sequence — and
+        therefore every restarted copy — is bit-for-bit the serial one.
+        """
+        return spawn_rngs(self._fresh_rng, 1)[0]
+
+    def advance(self, switches: int, replace=None) -> None:
+        """Burn the active copy and activate the next.
+
+        ``replace(index, rng)`` builds and installs the restarted copy;
+        the default builds it locally via the factory.  The engine passes
+        its backend's replace so the instance is constructed wherever the
+        burned copy lives (possibly a worker process) from a
+        coordinator-derived RNG.  ``switches`` only feeds the exhaustion
+        message.
+        """
+        if self.restart:
+            burned = self.rho % len(self.sketches)
+            rng = self.replacement_rng()
+            if replace is None:
+                self.sketches[burned] = self.factory(rng)
+            else:
+                replace(burned, rng)
+            self.rho += 1
+            return
+        if self.rho + 1 >= len(self.sketches):
+            if self.on_exhausted == "raise":
+                raise SketchExhaustedError(
+                    f"all {len(self.sketches)} copies burned after "
+                    f"{switches} switches; flip-number budget exceeded"
+                )
+            return  # clamp: keep using the last copy
+        self.rho += 1
+
+
+class LocalCopyBackend:
+    """In-process copy backend: feeds and snapshots act on the manager.
+
+    One of the two realisations of the copy-backend interface the
+    switching protocol drives (the other lives in
+    :mod:`repro.engine.executor` and shards the copies across forked
+    workers).  Methods come in two groups: *active-copy probe/search*
+    ops, which snapshot/feed/step only the active instance, and
+    *non-active* fan-out feeds.
+    """
+
+    def __init__(self, copies: CopyManager, unique_hint: bool = False):
+        self._copies = copies
+        self._unique_hint = unique_hint
+        self._items: np.ndarray | None = None
+        self._deltas: np.ndarray | None = None
+        self._sub: tuple[np.ndarray, np.ndarray | None] | None = None
+        self._sub_unique = False
+        self._active_stack: list[Sketch] = []
+
+    @property
+    def capacity(self) -> int:
+        return 1 << 62  # no buffer to overflow
+
+    def stage(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        self._items, self._deltas = items, deltas
+
+    def stage_sub(self, items, deltas, assume_unique: bool) -> None:
+        """Stage a pre-processed (deduped/aggregated) feed without probing.
+
+        Used by uniform fan-outs that have no active copy to probe (the
+        heavy-hitters ring): ``feed_others_sub(-1)`` then feeds every
+        copy the staged arrays.
+        """
+        self._sub = (items, deltas)
+        self._sub_unique = assume_unique
+
+    def _feed_one(self, sketch: Sketch, items, deltas, assume_unique) -> None:
+        if assume_unique and self._unique_hint:
+            sketch.update_batch(items, deltas, assume_unique=True)
+        else:
+            sketch.update_batch(items, deltas)
+
+    # -- active-copy probe/search ops -----------------------------------
+
+    def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
+        self._sub = (items, deltas)
+        self._sub_unique = assume_unique
+        sk = self._copies.sketches[active]
+        self._active_stack.append(sk.snapshot())
+        self._feed_one(sk, items, deltas, assume_unique)
+        return sk.query()
+
+    def probe_raw(self, active: int) -> float:
+        self._sub = None
+        sk = self._copies.sketches[active]
+        self._active_stack.append(sk.snapshot())
+        sk.update_batch(self._items, self._deltas)
+        return sk.query()
+
+    def keep_active(self, active: int) -> None:
+        self._active_stack.pop()
+
+    def roll_active(self, active: int) -> None:
+        self._copies.sketches[active] = self._active_stack.pop()
+
+    def snap_active(self, active: int) -> None:
+        self._active_stack.append(self._copies.sketches[active].snapshot())
+
+    def feed_active(self, lo: int, hi: int, active: int) -> float:
+        sk = self._copies.sketches[active]
+        sk.update_batch(self._items[lo:hi], self._deltas[lo:hi])
+        return sk.query()
+
+    def step_active(self, pos: int, active: int) -> float:
+        sk = self._copies.sketches[active]
+        sk.update(int(self._items[pos]), int(self._deltas[pos]))
+        return sk.query()
+
+    def scan_active(
+        self, lo: int, hi: int, active: int, published: float, band
+    ) -> tuple[int, float] | None:
+        """Per-item scan for the first band crossing in [lo, hi)."""
+        sk = self._copies.sketches[active]
+        items = self._items[lo:hi].tolist()
+        deltas = self._deltas[lo:hi].tolist()
+        for off, (item, delta) in enumerate(zip(items, deltas)):
+            sk.update(item, delta)
+            y = sk.query()
+            if band.crossed(published, y):
+                return lo + off, y
+        return None
+
+    # -- non-active copies ----------------------------------------------
+
+    def feed_others_sub(self, exclude: int) -> None:
+        items, deltas = self._sub
+        for idx, s in enumerate(self._copies.sketches):
+            if idx != exclude:
+                self._feed_one(s, items, deltas, self._sub_unique)
+
+    def feed_others_raw(self, exclude: int) -> None:
+        self.catch_up(0, len(self._items), exclude)
+
+    def catch_up(self, lo: int, hi: int, exclude: int) -> None:
+        items, deltas = self._items[lo:hi], self._deltas[lo:hi]
+        for idx, s in enumerate(self._copies.sketches):
+            if idx != exclude:
+                s.update_batch(items, deltas)
+
+    def replace(self, idx: int, rng: np.random.Generator) -> None:
+        self._copies.sketches[idx] = self._copies.factory(rng)
+
+    def fetch(self, idx: int) -> Sketch:
+        """The copy at ``idx`` (epoch wrappers snapshot it for publishing)."""
+        return self._copies.sketches[idx]
+
+    def collect_into(self, copies: CopyManager) -> None:
+        pass  # copies never left the manager
+
+    def close(self) -> None:
+        self._active_stack.clear()
+        self._items = self._deltas = self._sub = None

@@ -1,78 +1,102 @@
-"""Sketch switching (Algorithm 1, Lemma 3.6) — the first generic framework.
+"""Sketch switching (Algorithm 1, Lemma 3.6) — one protocol, many bands.
 
-Maintain ``lambda`` independent instances of a static strong tracker; only
-one instance is *active* at a time.  The published output changes only when
-the active instance's estimate drifts multiplicatively away from it; at
-that moment the algorithm publishes the (eps/2)-rounded fresh estimate,
-**burns** the active instance (its randomness is now correlated with the
-adversary's view), and activates the next one.  Correctness: between
-switches the adversary learns nothing about the active instance beyond the
-already-published value, so each instance faces an (adaptively chosen but)
-fixed stream, to which its static tracking guarantee applies; the flip
-number bounds how many switches can ever happen.
+Every switching construction in the paper is the same loop: feed every
+copy of a static tracker, compare the published value against the active
+copy's estimate, and on a crossing publish a rounded fresh estimate,
+**burn** the active copy (its randomness is now correlated with the
+adversary's view), and activate the next one.  Correctness: between
+switches the adversary learns nothing about the active instance beyond
+the already-published value, so each instance faces an (adaptively
+chosen but) fixed stream, to which its static tracking guarantee
+applies; the flip number bounds how many switches can ever happen.
 
-Two modes:
+This module implements that loop **once**, layered over two orthogonal
+pieces:
+
+* :mod:`repro.core.bands` — the :class:`~repro.core.bands.BandPolicy`
+  deciding *when* to switch and *what* to publish: multiplicative
+  ``(1 ± eps/2)`` with power-of-``(1+eps/2)`` rounding (F0/Fp/L2),
+  additive ``± eps/2`` with step rounding (entropy), or the epoch band
+  driving the heavy-hitters construction;
+* :mod:`repro.core.copies` — the :class:`~repro.core.copies.CopyManager`
+  owning the copy lifecycle: allocation, burn-and-advance, the
+  Theorem 4.1 restart ring, and replacement-RNG derivation.
+
+:class:`SwitchingEstimator` composes ``band + copies`` into the paper's
+estimator; :class:`SketchSwitchingEstimator` (multiplicative) and
+:class:`AdditiveSwitchingEstimator` (additive) survive as thin aliases.
+A new robustness scheme — DP aggregation over all copies (Hassidim et
+al. 2020), importance sampling — is one new :class:`BandPolicy` (plus,
+where needed, an aggregation hook), not a fifth hand-rolled loop.
+
+Two copy-budget modes:
 
 * ``restart=False`` — verbatim Algorithm 1 with ``copies = lambda``;
 * ``restart=True`` — the Theorem 4.1 optimization: a ring of
   ``O(eps^-1 log eps^-1)`` copies, each restarted after use.  A restarted
-  copy only sees a suffix of the stream, but it is next activated after the
-  tracked norm has grown by ``(1+eps/2)^copies``, at which point the missed
-  prefix is an O(eps) fraction of the current mass.  Requires the tracked
-  function to be a monotone norm-like quantity (true for the Fp/F0/L2 uses
-  in the paper); do not combine with turnstile streams.
+  copy only sees a suffix of the stream, but it is next activated after
+  the tracked norm has grown by ``(1+eps/2)^copies``, at which point the
+  missed prefix is an O(eps) fraction of the current mass.  Requires the
+  tracked function to be a monotone norm-like quantity (true for the
+  Fp/F0/L2 uses in the paper); do not combine with turnstile streams.
 
-Both modes expose ``switches`` and ``space_bits`` so the experiments can
-verify the switch count against the flip-number bound and account space.
+Batched ingestion (``update_chunk`` / ``update_batch``) drives the same
+:class:`SwitchingProtocol` the execution engine uses, over an in-process
+:class:`~repro.core.copies.LocalCopyBackend`: the *active* copy is
+probed first (every band decision reads only it), the publish band is
+checked once at the chunk boundary, and the other copies receive one
+batch feed per clean chunk.  A crossing chunk is rolled back and
+resolved on the raw updates by snapshot bisection of the active copy —
+per-item exact for bisectable bands (multiplicative/epoch over monotone
+quantities), cell-granularity coalescing for the additive band (see
+:mod:`repro.core.bands`) — after which the remaining copies
+batch-catch-up to each switch position.  Published outputs and switch counts are bit-for-bit identical
+to the per-item protocol whenever the inner sketches' ``update_batch``
+reproduces per-item state exactly (true for the exact-state sketches:
+KMV, HLL, CountMin, F1, the exact baselines; float accumulators match up
+to summation order).  For non-monotone trackers (entropy) a transient
+band exit that fully reverts within one *clean* chunk is coalesced away
+— the band is only consulted at the boundary — so the adversarial game
+always runs per item (adaptivity needs round granularity) and batching
+is reserved for oblivious replay.
 
-Batched ingestion (``update_chunk`` / ``update_batch``): all copies are
-fed a whole chunk through their vectorized ``update_batch`` and the
-publish band is checked once at the chunk boundary.  If the boundary
-estimate is still inside the band, nothing is published — which is
-exactly what the per-item protocol would have concluded whenever the
-tracked quantity is monotone (the band edges only move toward the
-published value, so a crossing cannot appear and then un-appear inside a
-chunk).  If the boundary estimate has left the band, the state is
-restored from a snapshot taken before the batch feed and the chunk is
-*bisected*: each half goes back through the same batched discipline, and
-only leaf-sized runs (``REPLAY_LEAF`` updates) around the actual crossing
-are replayed per item — so every mid-chunk switch, publication, burn, and
-ring restart happens exactly as in the per-item protocol, at
-``O(log chunk)`` extra batch feeds instead of a full per-item replay.
-Published outputs and switch counts are bit-for-bit identical whenever
-the inner sketches' ``update_batch`` reproduces the per-item state
-exactly — true for the exact-state sketches (KMV, HLL, CountMin, F1,
-the exact baselines); float-accumulating sketches (AMS, p-stable,
-CountSketch) match only up to floating-point summation order, so a
-boundary query within an ulp of the band edge can in principle resolve
-differently than the per-item path.  The equivalence test in
-``tests/test_batched_ingestion.py`` pins the exact-state case.  For
-non-monotone trackers a transient band exit that fully reverts within
-one chunk is coalesced away; the adversarial game therefore always runs
-per item (adaptivity needs round granularity), and batching is reserved
-for oblivious replay.
-
-The parallel execution engine (:mod:`repro.engine`) drives the same
-protocol with the copies sharded across worker processes: chunk feeds
-fan out per copy, the publish-band check stays at chunk boundaries on
-the coordinator, and a crossing chunk falls back to the identical bisect
-discipline (the leaf run steps only the *active* copy per item — band
-decisions depend on no other copy — then batch-catches the rest up to
-the switch position).  The hooks it shares with the serial path are
-:func:`within_band` and :meth:`SketchSwitchingEstimator._replacement_rng`,
-so published outputs, switch counts, and restart RNG draws are identical
-by construction.
+The parallel execution engine (:mod:`repro.engine`) runs the identical
+:class:`SwitchingProtocol` with the copies sharded across worker
+processes; because serial chunked ingestion and both engines share one
+drive loop, one band implementation, and one replacement-RNG derivation
+(:meth:`CopyManager.replacement_rng`, always called on the coordinator),
+their published outputs and switch counts agree by construction.
 """
 
 from __future__ import annotations
 
-import copy
 import math
 
 import numpy as np
 
-from repro.core.rounding import round_to_power
-from repro.sketches.base import Sketch, SketchFactory, as_batch_arrays, spawn_rngs
+from repro.core.bands import (
+    AdditiveBand,
+    BandPolicy,
+    MultiplicativeBand,
+    relative_within,
+)
+from repro.core.copies import (
+    CopyManager,
+    LocalCopyBackend,
+    SketchExhaustedError,
+)
+from repro.sketches.base import Sketch, SketchFactory, aggregate_batch, as_batch_arrays
+
+__all__ = [
+    "AdditiveSwitchingEstimator",
+    "REPLAY_LEAF",
+    "SketchExhaustedError",
+    "SketchSwitchingEstimator",
+    "SwitchingEstimator",
+    "SwitchingProtocol",
+    "restart_ring_size",
+    "within_band",
+]
 
 
 def _unpack_chunk(items, deltas):
@@ -82,7 +106,7 @@ def _unpack_chunk(items, deltas):
     return items, deltas
 
 
-#: Below this many updates a crossing run is replayed per item instead of
+#: Below this many updates a crossing run is scanned per item instead of
 #: bisected further; keeps recursion depth and snapshot count small while
 #: bounding the per-item work triggered by one switch.
 REPLAY_LEAF = 64
@@ -91,20 +115,10 @@ REPLAY_LEAF = 64
 def within_band(published: float, estimate: float, eps: float) -> bool:
     """Is ``published`` inside ``(1 ± eps/2)`` of ``estimate``?
 
-    The Algorithm 1 switch predicate, shared by the serial estimator and
-    the execution engine's sharded drivers (:mod:`repro.engine.executor`)
-    so both sides resolve a boundary check identically.
+    The Algorithm 1 switch predicate; kept as a convenience alias of
+    ``MultiplicativeBand(eps).within`` for existing callers.
     """
-    lo, hi = sorted(((1 - eps / 2) * estimate, (1 + eps / 2) * estimate))
-    return lo <= published <= hi
-
-
-class SketchExhaustedError(RuntimeError):
-    """All sketch copies were burned: the flip-number budget was exceeded.
-
-    Under the theorems' preconditions this happens only with probability
-    delta; in experiments it signals an undersized ``copies`` parameter.
-    """
+    return relative_within(published, estimate, eps / 2)
 
 
 def restart_ring_size(eps: float, constant: float = 2.0) -> int:
@@ -119,28 +133,148 @@ def restart_ring_size(eps: float, constant: float = 2.0) -> int:
     return max(4, size)
 
 
-class SketchSwitchingEstimator(Sketch):
-    """Algorithm 1: adversarially robust g-estimation by sketch switching.
+class SwitchingEstimator(Sketch):
+    """The generic switching estimator: ``band policy x copy manager``.
 
     Parameters
     ----------
     factory:
         Builds one independent static tracker per call (already sized for
-        the target (eps0, delta0) of Lemma 3.6).
+        the target (eps0, delta0) of Lemma 3.6).  Ignored when ``copies``
+        is a pre-built :class:`~repro.core.copies.CopyManager`.
     copies:
-        Number of instances: the flip-number bound ``lambda_{eps/20,m}(g)``
-        in plain mode, or the restart ring size in restart mode.
+        Instance count (int) or a pre-built
+        :class:`~repro.core.copies.CopyManager`.
     eps:
-        The overall approximation parameter; switches trigger when the
-        published value leaves ``(1 ± eps/2)`` of the active estimate.
+        Approximation parameter; only consulted when ``band`` is omitted
+        (defaulting to the Algorithm 1 multiplicative band).
     rng:
-        Seeds the independent copies.
-    restart:
-        Enable the Theorem 4.1 ring-restart optimization.
-    on_exhausted:
-        ``"raise"`` (default) raises :class:`SketchExhaustedError` when all
-        copies are burned in plain mode; ``"clamp"`` keeps the last copy
-        active (useful for measuring failure modes in experiments).
+        Seeds the copies (int form only).
+    band:
+        The :class:`~repro.core.bands.BandPolicy` deciding switches and
+        publications.  Defaults to ``MultiplicativeBand(eps)``.
+    restart, on_exhausted:
+        Copy-lifecycle knobs, forwarded to the
+        :class:`~repro.core.copies.CopyManager` (int form only).
+    """
+
+    def __init__(
+        self,
+        factory: SketchFactory | None = None,
+        copies: int | CopyManager = None,
+        eps: float | None = None,
+        rng: np.random.Generator | None = None,
+        band: BandPolicy | None = None,
+        restart: bool = False,
+        on_exhausted: str = "raise",
+    ):
+        if band is None:
+            if eps is None:
+                raise ValueError("provide a band policy or an eps")
+            band = MultiplicativeBand(eps)
+        self.band = band
+        self.eps = getattr(band, "eps", eps)
+        if isinstance(copies, CopyManager):
+            self._copies = copies
+        else:
+            if factory is None or copies is None or rng is None:
+                raise ValueError(
+                    "provide factory/copies/rng, or a pre-built CopyManager"
+                )
+            self._copies = CopyManager(
+                factory, copies, rng, restart=restart, on_exhausted=on_exhausted
+            )
+        self.supports_deletions = (
+            all(s.supports_deletions for s in self._copies.sketches)
+            and not self._copies.restart
+        )
+        self._published = 0.0
+        self.switches = 0
+
+    # -- compatibility / introspection surfaces --------------------------
+
+    @property
+    def copies(self) -> int:
+        return self._copies.count
+
+    @property
+    def active_index(self) -> int:
+        return self._copies.active_index
+
+    @property
+    def restart(self) -> bool:
+        return self._copies.restart
+
+    @property
+    def on_exhausted(self) -> str:
+        return self._copies.on_exhausted
+
+    @property
+    def _sketches(self) -> list[Sketch]:
+        """The live copy list (tests and planners introspect it)."""
+        return self._copies.sketches
+
+    @property
+    def _factory(self) -> SketchFactory:
+        return self._copies.factory
+
+    def _within_band(self, y: float) -> bool:
+        """Is the published value still covering the active estimate?"""
+        return self.band.within(self._published, y)
+
+    def _replacement_rng(self) -> np.random.Generator:
+        """Coordinator-side replacement seeding; see
+        :meth:`CopyManager.replacement_rng`."""
+        return self._copies.replacement_rng()
+
+    # -- the per-item protocol -------------------------------------------
+
+    def update(self, item: int, delta: int = 1) -> None:
+        for s in self._copies.sketches:
+            s.update(item, delta)
+        y = self._copies.active.query()
+        if self.band.within(self._published, y):
+            return
+        # Publish the rounded fresh estimate from the (now burned) active
+        # copy, then advance.
+        self._published = self.band.publish(y)
+        self.switches += 1
+        self._copies.advance(self.switches)
+
+    # -- chunked ingestion (the shared protocol, in-process) -------------
+
+    def update_chunk(self, items, deltas=None) -> None:
+        """Batched ingestion of one chunk (see the module docstring).
+
+        Drives the same :class:`SwitchingProtocol` the execution engine
+        uses, over an in-process backend and with no cross-chunk hoists:
+        the active copy is probed, the band is checked at the boundary,
+        and a crossing chunk is resolved exactly on the raw updates
+        (including ring restarts and their RNG draws).
+        """
+        items, deltas = _unpack_chunk(items, deltas)
+        backend = LocalCopyBackend(self._copies)
+        try:
+            SwitchingProtocol(self, backend).feed(items, deltas)
+        finally:
+            backend.close()
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Sketch-contract alias for :meth:`update_chunk`."""
+        self.update_chunk(items, deltas)
+
+    def query(self) -> float:
+        return self._published
+
+    def space_bits(self) -> int:
+        return sum(s.space_bits() for s in self._copies.sketches) + 128
+
+
+class SketchSwitchingEstimator(SwitchingEstimator):
+    """Algorithm 1 with the multiplicative ``(1 ± eps/2)`` band.
+
+    Back-compat alias of ``SwitchingEstimator(band=MultiplicativeBand)``
+    — the Theorem 4.1/5.1 configuration for F0/Fp/L2 tracking.
     """
 
     def __init__(
@@ -152,146 +286,23 @@ class SketchSwitchingEstimator(Sketch):
         restart: bool = False,
         on_exhausted: str = "raise",
     ):
-        if copies < 1:
-            raise ValueError(f"copies must be >= 1, got {copies}")
-        if not 0 < eps < 1:
-            raise ValueError(f"eps must be in (0,1), got {eps}")
-        if on_exhausted not in ("raise", "clamp"):
-            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
-        self.eps = eps
-        self.restart = restart
-        self.on_exhausted = on_exhausted
-        self._rngs = spawn_rngs(rng, copies + 1)
-        self._fresh_rng = self._rngs[copies]
-        self._factory = factory
-        self._sketches = [factory(r) for r in self._rngs[:copies]]
-        self.supports_deletions = all(
-            s.supports_deletions for s in self._sketches
-        ) and not restart
-        self._rho = 0
-        self._published = 0.0
-        self.switches = 0
-
-    @property
-    def copies(self) -> int:
-        return len(self._sketches)
-
-    @property
-    def active_index(self) -> int:
-        return self._rho
-
-    def update(self, item: int, delta: int = 1) -> None:
-        for s in self._sketches:
-            s.update(item, delta)
-        active = self._sketches[self._rho % len(self._sketches)]
-        y = active.query()
-        if self._within_band(y):
-            return
-        # Publish the rounded fresh estimate from the (now burned) active
-        # copy, then advance.
-        self._published = round_to_power(y, self.eps / 2) if y != 0 else 0.0
-        self.switches += 1
-        self._advance()
-
-    def update_chunk(self, items, deltas=None) -> None:
-        """Batched ingestion of one chunk (see the module docstring).
-
-        Feeds every copy via its vectorized ``update_batch`` and checks
-        the publish band once, at the chunk boundary.  A chunk whose
-        boundary estimate crossed the band is replayed per item from a
-        pre-feed snapshot, reproducing the per-item switch sequence
-        exactly (including ring restarts and their RNG draws).
-        """
-        items, deltas = _unpack_chunk(items, deltas)
-        items, deltas = as_batch_arrays(items, deltas)
-        if len(items) == 0:
-            return
-        if len(items) <= REPLAY_LEAF:
-            for item, delta in zip(items.tolist(), deltas.tolist()):
-                self.update(item, delta)
-            return
-        snapshot = self._snapshot()
-        for s in self._sketches:
-            s.update_batch(items, deltas)
-        active = self._sketches[self._rho % len(self._sketches)]
-        if self._within_band(active.query()):
-            return
-        # The band was crossed somewhere inside this chunk: restore the
-        # pre-chunk state and bisect, so only the leaf-sized run around
-        # the crossing is replayed per item and switches land exactly
-        # where the per-item protocol puts them.
-        self._restore(snapshot)
-        mid = len(items) // 2
-        self.update_chunk(items[:mid], deltas[:mid])
-        self.update_chunk(items[mid:], deltas[mid:])
-
-    def update_batch(self, items, deltas=None) -> None:
-        """Sketch-contract alias for :meth:`update_chunk`."""
-        self.update_chunk(items, deltas)
-
-    def _snapshot(self):
-        return (
-            [s.snapshot() for s in self._sketches],
-            self._rho,
-            self._published,
-            self.switches,
-            copy.deepcopy(self._fresh_rng),
+        super().__init__(
+            factory, copies, eps, rng,
+            band=MultiplicativeBand(eps),
+            restart=restart, on_exhausted=on_exhausted,
         )
 
-    def _restore(self, snapshot) -> None:
-        sketches, rho, published, switches, fresh_rng = snapshot
-        self._sketches = sketches
-        self._rho = rho
-        self._published = published
-        self.switches = switches
-        self._fresh_rng = fresh_rng
 
-    def _within_band(self, y: float) -> bool:
-        """Is the published value inside (1 ± eps/2) of the active estimate?"""
-        return within_band(self._published, y, self.eps)
-
-    def _replacement_rng(self) -> np.random.Generator:
-        """Derive the next restarted copy's RNG from the fresh-randomness pool.
-
-        Uses the same ``spawn_rngs`` derivation that seeded the initial
-        copies, keeping the independence argument (Lemma 3.6) uniform
-        across original and restarted instances.  The engine's parallel
-        driver calls this on the coordinator so the RNG sequence — and
-        therefore every restarted copy — is bit-for-bit the serial one.
-        """
-        return spawn_rngs(self._fresh_rng, 1)[0]
-
-    def _advance(self) -> None:
-        if self.restart:
-            burned = self._rho % len(self._sketches)
-            self._sketches[burned] = self._factory(self._replacement_rng())
-            self._rho += 1
-            return
-        if self._rho + 1 >= len(self._sketches):
-            if self.on_exhausted == "raise":
-                raise SketchExhaustedError(
-                    f"all {len(self._sketches)} copies burned after "
-                    f"{self.switches} switches; flip-number budget exceeded"
-                )
-            return  # clamp: keep using the last copy
-        self._rho += 1
-
-    def query(self) -> float:
-        return self._published
-
-    def space_bits(self) -> int:
-        return sum(s.space_bits() for s in self._sketches) + 128
-
-
-class AdditiveSwitchingEstimator(Sketch):
+class AdditiveSwitchingEstimator(SwitchingEstimator):
     """Sketch switching for *additively* tracked functions (entropy).
 
-    Identical protocol with the multiplicative band replaced by
-    ``|published - estimate| <= eps/2`` and rounding to multiples of
-    ``eps/2``.  Used by the robust entropy algorithm, where the paper's
-    multiplicative machinery is applied to ``g = 2^H`` — additive eps on H
-    is exactly multiplicative ``2^(+-eps)`` on g, so the flip-number bound
-    of Proposition 7.2 carries over.
+    Back-compat alias of ``SwitchingEstimator(band=AdditiveBand)``: the
+    identical protocol with ``|published - estimate| <= eps/2`` and
+    rounding to multiples of ``eps/2``.  Used by the robust entropy
+    algorithm, where the paper's multiplicative machinery is applied to
+    ``g = 2^H`` — additive eps on H is exactly multiplicative
+    ``2^(±eps)`` on g, so the flip-number bound of Proposition 7.2
+    carries over.
     """
 
     def __init__(
@@ -302,84 +313,207 @@ class AdditiveSwitchingEstimator(Sketch):
         rng: np.random.Generator,
         on_exhausted: str = "raise",
     ):
-        if copies < 1:
-            raise ValueError(f"copies must be >= 1, got {copies}")
-        if eps <= 0:
-            raise ValueError(f"eps must be positive, got {eps}")
-        if on_exhausted not in ("raise", "clamp"):
-            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
-        self.eps = eps
-        self.on_exhausted = on_exhausted
-        self._sketches = [factory(r) for r in spawn_rngs(rng, copies)]
-        self.supports_deletions = all(
-            s.supports_deletions for s in self._sketches
+        super().__init__(
+            factory, copies, eps, rng,
+            band=AdditiveBand(eps),
+            on_exhausted=on_exhausted,
         )
-        self._rho = 0
-        self._published = 0.0
-        self.switches = 0
 
-    @property
-    def copies(self) -> int:
-        return len(self._sketches)
 
-    def update(self, item: int, delta: int = 1) -> None:
-        for s in self._sketches:
-            s.update(item, delta)
-        y = self._sketches[min(self._rho, len(self._sketches) - 1)].query()
-        if abs(self._published - y) <= self.eps / 2:
-            return
-        step = self.eps / 2
-        self._published = round(y / step) * step
-        self.switches += 1
-        if self._rho + 1 >= len(self._sketches):
-            if self.on_exhausted == "raise":
-                raise SketchExhaustedError(
-                    f"all {len(self._sketches)} copies burned after "
-                    f"{self.switches} switches"
-                )
-        else:
-            self._rho += 1
+# ----------------------------------------------------------------------
+# The switching protocol driver (shared by serial chunking and engines)
+# ----------------------------------------------------------------------
 
-    def update_chunk(self, items, deltas=None) -> None:
-        """Batched ingestion with the additive band checked per chunk.
 
-        Same discipline as :meth:`SketchSwitchingEstimator.update_chunk`:
-        batch-feed all copies, check ``|published - estimate| <= eps/2``
-        at the boundary, and replay the crossing chunk per item from a
-        snapshot.  Entropy is not monotone, so a transient band exit that
-        fully reverts within a chunk is coalesced; oblivious replay
-        accepts this (the adversarial game stays per item).
+class SwitchingProtocol:
+    """The chunk discipline of Algorithm 1 over a copy backend.
+
+    Owns the protocol state transitions (published value, switch count,
+    copy advancement) on the coordinator; the backend owns the copies —
+    in-process (:class:`~repro.core.copies.LocalCopyBackend`, used by
+    ``update_chunk``) or sharded across forked workers
+    (:mod:`repro.engine.executor`).  Every band decision reads only the
+    active copy, so the driver probes *it* first and touches the other
+    copies exactly once per clean chunk (or once per switch segment on a
+    crossing chunk).
+
+    The optional *hoists* — pre-aggregating each chunk once instead of
+    once per copy, and dropping items every live copy has already seen —
+    are supplied by the engine's shard planner, which verifies the inner
+    sketches license them (``aggregation_invariant`` /
+    ``duplicate_insensitive``); the serial ``update_chunk`` path runs
+    with hoists off.
+    """
+
+    def __init__(
+        self,
+        estimator: SwitchingEstimator,
+        backend,
+        seen_filter=None,
+        aggregate_once: bool = False,
+        unique_hint: bool = False,
+    ):
+        self._sw = estimator
+        self._band = estimator.band
+        self._copies = estimator._copies
+        self._backend = backend
+        self._seen = seen_filter
+        self._aggregate_once = aggregate_once
+        self._unique_hint = unique_hint
+        self._items: np.ndarray | None = None
+        self._deltas: np.ndarray | None = None
+
+    def _active(self) -> int:
+        return self._copies.active_index
+
+    # -- feeding --------------------------------------------------------
+
+    def feed(self, items, deltas=None, aggregated=None) -> None:
+        """Ingest one chunk.
+
+        ``aggregated`` optionally passes a precomputed
+        ``aggregate_batch(items, deltas)`` result so a caller feeding the
+        same chunk to several protocol instances (the epoch session) pays
+        the aggregation once; it is only consulted on the aggregate-once
+        probe path and ignored when the chunk must be split.
         """
         items, deltas = _unpack_chunk(items, deltas)
         items, deltas = as_batch_arrays(items, deltas)
-        if len(items) == 0:
-            return
-        if len(items) <= REPLAY_LEAF:
-            for item, delta in zip(items.tolist(), deltas.tolist()):
-                self.update(item, delta)
-            return
-        snapshot = (
-            [s.snapshot() for s in self._sketches],
-            self._rho,
-            self._published,
-            self.switches,
-        )
-        for s in self._sketches:
-            s.update_batch(items, deltas)
-        y = self._sketches[min(self._rho, len(self._sketches) - 1)].query()
-        if abs(self._published - y) <= self.eps / 2:
-            return
-        self._sketches, self._rho, self._published, self.switches = snapshot
-        mid = len(items) // 2
-        self.update_chunk(items[:mid], deltas[:mid])
-        self.update_chunk(items[mid:], deltas[mid:])
+        cap = self._backend.capacity
+        if len(items) > cap:
+            aggregated = None  # splits invalidate the precomputed aggregate
+        for lo in range(0, len(items), cap):
+            self._feed_one(items[lo:lo + cap], deltas[lo:lo + cap],
+                           aggregated)
 
-    def update_batch(self, items, deltas=None) -> None:
-        """Sketch-contract alias for :meth:`update_chunk`."""
-        self.update_chunk(items, deltas)
+    def _feed_one(
+        self, items: np.ndarray, deltas: np.ndarray, aggregated=None
+    ) -> None:
+        count = len(items)
+        if count == 0:
+            return
+        sw = self._sw
+        self._backend.stage(items, deltas)
+        self._items, self._deltas = items, deltas
+        if count <= REPLAY_LEAF:
+            # Tiny chunks replay per item with the band checked every
+            # update (no chunk-level coalescing), like the per-item path.
+            self._drive_raw(0, count)
+            return
+        active = self._active()
+        uniq = None
+        probed_sub = True
+        if self._seen is not None and int(deltas.min()) > 0:
+            uniq = np.unique(items)
+            fresh = self._seen.fresh(uniq)
+            if len(fresh) == 0:
+                # Every live copy has seen every item here: no copy's
+                # state — hence no band check — can change.
+                return
+            y = self._backend.probe_sub(fresh, None, True, active)
+        elif self._aggregate_once:
+            agg_items, agg_deltas = (
+                aggregated if aggregated is not None
+                else aggregate_batch(items, deltas)
+            )
+            y = self._backend.probe_sub(
+                agg_items, agg_deltas, self._unique_hint, active
+            )
+        else:
+            probed_sub = False
+            y = self._backend.probe_raw(active)
+        if self._band.within(sw._published, y):
+            # Clean chunk (the common case): the active copy already has
+            # it; give the others the same pre-processed feed.
+            self._backend.keep_active(active)
+            if probed_sub:
+                self._backend.feed_others_sub(active)
+            else:
+                self._backend.feed_others_raw(active)
+            if uniq is not None:
+                self._seen.mark(uniq)
+            return
+        # Crossed somewhere inside: rewind the active copy and resolve
+        # the switch positions exactly on the raw updates.
+        self._backend.roll_active(active)
+        self._drive_raw(0, count)
 
-    def query(self) -> float:
-        return self._published
+    def _drive_raw(self, lo: int, hi: int) -> None:
+        """Resolve [lo, hi) exactly: locate each switch via the active
+        copy, then batch the remaining copies up to it.
 
-    def space_bits(self) -> int:
-        return sum(s.space_bits() for s in self._sketches) + 128
+        On entry no copy has seen [lo, hi).  The active copy advances
+        through :meth:`_search`; after each located switch the other
+        copies catch up to the switch position in one feed and the
+        protocol continues with the next active copy.
+        """
+        sw = self._sw
+        switches_before = sw.switches
+        pos = lo
+        while pos < hi:
+            active = self._active()
+            crossing = self._search(pos, hi, active)
+            if crossing is None:
+                self._backend.catch_up(pos, hi, active)
+                break
+            cpos, y = crossing
+            self._backend.catch_up(pos, cpos + 1, active)
+            sw._published = self._band.publish(y)
+            sw.switches += 1
+            self._copies.advance(sw.switches, replace=self._backend.replace)
+            pos = cpos + 1
+        if self._seen is not None and sw.switches != switches_before:
+            # A switch invalidates the filter: the replacement (or newly
+            # active) copy was born mid-chunk and must re-see later
+            # occurrences of items the older copies already absorbed.
+            self._seen.reset()
+
+    def _search(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
+        """First band crossing in [lo, hi), probing the active copy only.
+
+        The first item is stepped **per item**, exactly as the protocol
+        would: right after a switch the new active copy's estimate can
+        sit outside the just-published band (independent copies
+        disagree), and the per-item protocol switches again immediately
+        — an exit a batch probe would coalesce once the estimate moves
+        back into the band.  The rest of the range goes through snapshot
+        bisection of the active copy, treating an in-band cell boundary
+        as a clean prefix.  For a *bisectable* band (multiplicative or
+        epoch over a monotone tracked quantity) that treatment is exact:
+        after one in-band check every later crossing is one-sided and
+        unique, so bisection pins the per-item switch position.  For a
+        non-bisectable band (additive/entropy — H oscillates) it is the
+        documented coalescing rule applied at bisect-cell granularity: a
+        transient excursion that enters and fully exits the band inside
+        a cell whose boundary lands in band is coalesced, just as at
+        chunk boundaries; for trajectories monotone across each cell the
+        result is still per-item exact (the band is an interval).
+        Crossing chunks are rare, and only the active copy pays the
+        search.
+
+        Returns ``(position, estimate)`` with the active copy fed
+        through ``position`` (or through ``hi - 1`` if no crossing).
+        """
+        sw = self._sw
+        y = self._backend.step_active(lo, active)
+        if self._band.crossed(sw._published, y):
+            return lo, y
+        if lo + 1 >= hi:
+            return None
+        return self._bisect(lo + 1, hi, active)
+
+    def _bisect(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
+        """Bisect for the unique one-sided crossing; leaves scan per item."""
+        sw = self._sw
+        if hi - lo <= REPLAY_LEAF:
+            return self._backend.scan_active(
+                lo, hi, active, sw._published, self._band
+            )
+        mid = (lo + hi) // 2
+        self._backend.snap_active(active)
+        y = self._backend.feed_active(lo, mid, active)
+        if self._band.within(sw._published, y):
+            self._backend.keep_active(active)
+            return self._bisect(mid, hi, active)
+        self._backend.roll_active(active)
+        return self._bisect(lo, mid, active)

@@ -1,12 +1,18 @@
 """Parallel execution engine: sharded multi-copy ingestion.
 
 Sketch switching's robustness budget is paid in *copies* — many
-independent instances of a static sketch, every one fed every update.
-This package turns that multiplied work into a sharded execution plan:
+independent instances of a static sketch, every one fed every update —
+and since the band-policy refactor the same is true of every robustness
+scheme in the repo: multiplicative (F0/Fp/L2), additive (entropy), and
+the heavy-hitters epoch construction all drive the one switching
+protocol in :mod:`repro.core.sketch_switching`.  This package turns that
+multiplied work into a sharded execution plan:
 
 * :mod:`repro.engine.shards` — decide the decomposition (per-copy for
-  switching estimators, per-partial for mergeable sketches, serial
-  fallback otherwise) and the shared-work hoists it licenses;
+  switching estimators under *any* :class:`~repro.core.bands.BandPolicy`,
+  an epoch plan for the heavy-hitters wrapper, per-partial for mergeable
+  sketches, explicit serial fallback otherwise) and the shared-work
+  hoists it licenses;
 * :mod:`repro.engine.executor` — run the plan on this process
   (:class:`SerialEngine`) or across forked workers over shared-memory
   chunk buffers (:class:`ProcessEngine`), bit-for-bit equivalent to the
@@ -32,6 +38,8 @@ from repro.engine.executor import (
 )
 from repro.engine.prefetch import DEFAULT_DEPTH, prefetch_chunks
 from repro.engine.shards import (
+    CopyHoists,
+    EpochShardPlan,
     MergeShardPlan,
     SeenFilter,
     SerialPlan,
@@ -41,9 +49,11 @@ from repro.engine.shards import (
 )
 
 __all__ = [
+    "CopyHoists",
     "DEFAULT_CHUNK_CAPACITY",
     "DEFAULT_DEPTH",
     "EngineError",
+    "EpochShardPlan",
     "ExecutionEngine",
     "IngestSession",
     "MergeShardPlan",

@@ -18,43 +18,32 @@ plans of :mod:`repro.engine.shards` two ways:
   anywhere ``fork`` is unavailable the engine degrades to the serial
   path, bit-for-bit.
 
-Both engines drive the *same* coordinator (:class:`_SwitchingDriver`)
-for switching estimators.  Its central observation: every publish-band
-decision of Algorithm 1 reads only the **active** copy's estimate, so
+Both engines drive the **same**
+:class:`~repro.core.sketch_switching.SwitchingProtocol` that serial
+chunked ingestion (``update_chunk``) uses — the coordinator asks the
+estimator's :class:`~repro.core.bands.BandPolicy` whether the boundary
+estimate ``band.crossed(...)`` the publish band, and the protocol
+resolves crossings by snapshot bisection of the active copy — per-item
+exact for bisectable bands, cell-granularity coalescing for the
+additive band (see :mod:`repro.core.bands`).  The engines
+differ from ``update_chunk`` only in *where the copies live* (a
+:class:`~repro.core.copies.LocalCopyBackend` versus forked workers) and
+in the shard plan's shared-work hoists; published outputs, switch
+counts, and restart RNG draws agree across serial chunked, SerialEngine,
+and ProcessEngine by construction — one drive loop, one band
+implementation, one coordinator-side replacement-RNG derivation.  This
+covers every band policy: multiplicative (F0/Fp/L2), additive (entropy,
+previously stuck on the serial path), and the heavy-hitters epoch
+construction (:class:`EpochShardPlan`: the inner L2 switcher is driven
+through the switching protocol while the CountSketch ring fans out as a
+uniform feed with the epoch clock on the coordinator).
 
-* the boundary check probes the active copy first and feeds the other
-  copies only once the chunk is known clean (the overwhelmingly common
-  case — no snapshots, no rollbacks, one batch feed per copy);
-* a crossing chunk is resolved by a bisection *of the active copy
-  alone* (snapshot/feed/rollback one copy instead of all ``lambda`` of
-  them) down to a per-item leaf scan that pins the exact switch
-  position, after which the remaining copies batch-catch-up to the
-  switch point in one feed and the protocol continues with the next
-  copy.
-
-For the monotone tracked quantities the switching framework targets
-(F0/Fp/L2 — the band edges only move toward the published value), this
-reproduces the per-item protocol exactly: published outputs, switch
-counts, and restart RNG draws match the serial estimator bit for bit
-whenever the inner sketches' ``update_batch`` reproduces per-item state
-exactly (true for the exact-state sketches; float accumulators match up
-to summation order).  Non-monotone trackers coalesce transient band
-exits at chunk granularity — the same caveat the serial chunked path
-documents.
-
-One alignment caveat on switch *handoffs*: right after a switch the new
-active copy's estimate can itself sit outside the just-published band
-(independent copies disagree), and the per-item protocol switches again
-at the very next update.  Inside a chunk both this engine and the
-serial ``update_chunk`` resolve that handoff per item.  At a block
-boundary they may coalesce differently: ``update_chunk`` checks next at
-its bisect-cell boundary, this driver steps the first item of the next
-segment per item (following the per-item protocol more closely).  A
-divergence therefore needs a switch to land exactly on the last update
-of a replay block *and* the handoff exit to revert before the next
-boundary — possible in principle, not observed on the seeded test and
-benchmark streams, and SerialEngine/ProcessEngine always agree with
-each other by construction (same driver).
+Bit-for-bit caveats are inherited from the chunked pipeline, not added
+by the engines: exact-state sketches reproduce the per-item protocol
+exactly; float accumulators match up to summation order; non-monotone
+trackers (entropy) coalesce a transient band exit that fully reverts
+within one clean chunk — the same oblivious-replay semantics the serial
+``update_chunk`` documents.
 
 The adversarial game is untouched: it stays per item, per update, on one
 process — adaptivity requires round granularity.  Engines are an
@@ -71,17 +60,13 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.core.rounding import round_to_power
-from repro.core.sketch_switching import (
-    REPLAY_LEAF,
-    SketchExhaustedError,
-    SketchSwitchingEstimator,
-    within_band,
-)
+from repro.core.copies import CopyManager, LocalCopyBackend
+from repro.core.sketch_switching import REPLAY_LEAF, SwitchingProtocol
 from repro.engine.shards import (
+    EpochShardPlan,
     MergeShardPlan,
-    SerialPlan,
     SwitchingShardPlan,
+    partition_copies,
     plan_shards,
 )
 from repro.sketches.base import Sketch, aggregate_batch, as_batch_arrays
@@ -97,111 +82,8 @@ class EngineError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
-# Backends: where the sketch copies live and how they are fed
+# Process backend: where sharded copies live and how they are fed
 # ----------------------------------------------------------------------
-
-
-class _LocalSwitchingBackend:
-    """Copies stay in-process; feeds and snapshots act on them directly."""
-
-    def __init__(self, plan: SwitchingShardPlan):
-        self._sw = plan.switcher
-        self._unique_hint = plan.unique_hint
-        self._items: np.ndarray | None = None
-        self._deltas: np.ndarray | None = None
-        self._sub: tuple[np.ndarray, np.ndarray | None] | None = None
-        self._sub_unique = False
-        self._active_stack: list[Sketch] = []
-
-    @property
-    def capacity(self) -> int:
-        return 1 << 62  # no buffer to overflow
-
-    def stage(self, items: np.ndarray, deltas: np.ndarray) -> None:
-        self._items, self._deltas = items, deltas
-
-    def _feed_one(self, sketch: Sketch, items, deltas, assume_unique) -> None:
-        if assume_unique and self._unique_hint:
-            sketch.update_batch(items, deltas, assume_unique=True)
-        else:
-            sketch.update_batch(items, deltas)
-
-    # -- active-copy probe/search ops -----------------------------------
-
-    def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
-        self._sub = (items, deltas)
-        self._sub_unique = assume_unique
-        sk = self._sw._sketches[active]
-        self._active_stack.append(sk.snapshot())
-        self._feed_one(sk, items, deltas, assume_unique)
-        return sk.query()
-
-    def probe_raw(self, active: int) -> float:
-        self._sub = None
-        sk = self._sw._sketches[active]
-        self._active_stack.append(sk.snapshot())
-        sk.update_batch(self._items, self._deltas)
-        return sk.query()
-
-    def keep_active(self, active: int) -> None:
-        self._active_stack.pop()
-
-    def roll_active(self, active: int) -> None:
-        self._sw._sketches[active] = self._active_stack.pop()
-
-    def snap_active(self, active: int) -> None:
-        self._active_stack.append(self._sw._sketches[active].snapshot())
-
-    def feed_active(self, lo: int, hi: int, active: int) -> float:
-        sk = self._sw._sketches[active]
-        sk.update_batch(self._items[lo:hi], self._deltas[lo:hi])
-        return sk.query()
-
-    def step_active(self, pos: int, active: int) -> float:
-        sk = self._sw._sketches[active]
-        sk.update(int(self._items[pos]), int(self._deltas[pos]))
-        return sk.query()
-
-    def scan_active(
-        self, lo: int, hi: int, active: int, published: float
-    ) -> tuple[int, float] | None:
-        sk = self._sw._sketches[active]
-        eps = self._sw.eps
-        items = self._items[lo:hi].tolist()
-        deltas = self._deltas[lo:hi].tolist()
-        for off, (item, delta) in enumerate(zip(items, deltas)):
-            sk.update(item, delta)
-            y = sk.query()
-            if not within_band(published, y, eps):
-                return lo + off, y
-        return None
-
-    # -- non-active copies ----------------------------------------------
-
-    def feed_others_sub(self, exclude: int) -> None:
-        items, deltas = self._sub
-        for idx, s in enumerate(self._sw._sketches):
-            if idx != exclude:
-                self._feed_one(s, items, deltas, self._sub_unique)
-
-    def feed_others_raw(self, exclude: int) -> None:
-        self.catch_up(0, len(self._items), exclude)
-
-    def catch_up(self, lo: int, hi: int, exclude: int) -> None:
-        items, deltas = self._items[lo:hi], self._deltas[lo:hi]
-        for idx, s in enumerate(self._sw._sketches):
-            if idx != exclude:
-                s.update_batch(items, deltas)
-
-    def replace(self, idx: int, rng: np.random.Generator) -> None:
-        self._sw._sketches[idx] = self._sw._factory(rng)
-
-    def collect_into(self, sw: SketchSwitchingEstimator) -> None:
-        pass  # copies never left the estimator
-
-    def close(self) -> None:
-        self._active_stack.clear()
-        self._items = self._deltas = self._sub = None
 
 
 def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
@@ -212,6 +94,9 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
     views over the shared-memory buffers.  Commands arrive in order per
     pipe, which is the only ordering the protocol relies on; commands
     about the *active* copy only ever reach the worker that owns it.
+    Band policies arrive inside the scan command (small frozen
+    dataclasses), so the worker resolves a per-item crossing with the
+    coordinator's exact predicate.
     """
 
     def lookup(idx):
@@ -231,7 +116,8 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
             op = msg[0]
             if op == "feed":
                 # Feed every owned copy except `exclude` (the active one,
-                # which took the same updates through probe/search ops).
+                # which took the same updates through probe/search ops;
+                # exclude=-1 feeds all, the uniform-ring case).
                 _, region, lo, hi, unit, assume_unique, exclude = msg
                 its, dts = slice_of(region, lo, hi, unit)
                 for i, s in copies:
@@ -272,7 +158,7 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
                 sk.update(int(items[pos]), int(deltas[pos]))
                 conn.send(("ok", sk.query()))
             elif op == "ascan":
-                _, lo, hi, active, published, eps = msg
+                _, lo, hi, active, published, band = msg
                 sk = lookup(active)[1]
                 its, dts = slice_of("raw", lo, hi, False)
                 result = None
@@ -281,13 +167,16 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
                 ):
                     sk.update(item, delta)
                     y = sk.query()
-                    if not within_band(published, y, eps):
+                    if band.crossed(published, y):
                         result = (lo + off, y)
                         break
                 conn.send(("ok", result))
             elif op == "replace":
                 _, idx, rng = msg
                 lookup(idx)[1] = factory(rng)
+            elif op == "get":
+                _, idx = msg
+                conn.send(("ok", lookup(idx)[1]))
             elif op == "sync":
                 conn.send(("ok", None))
             elif op == "collect":
@@ -379,15 +268,26 @@ class _SharedBuffers:
         self._blocks = {}
 
 
-class _ProcessSwitchingBackend:
-    """Copies sharded across forked workers over shared chunk buffers."""
+class _ProcessCopyBackend:
+    """Copies of one :class:`CopyManager` sharded across forked workers.
 
-    def __init__(self, plan: SwitchingShardPlan, workers: int, capacity: int):
-        sw = plan.switcher
-        self._sw = sw
+    The process twin of :class:`~repro.core.copies.LocalCopyBackend`:
+    same interface, driven by the same
+    :class:`~repro.core.sketch_switching.SwitchingProtocol`, with the
+    copies living in worker address spaces and chunks travelling through
+    shared-memory buffers.
+    """
+
+    def __init__(
+        self,
+        copies: CopyManager,
+        shards: list[list[int]],
+        unique_hint: bool,
+        capacity: int,
+    ):
+        self._copies = copies
         self._buffers = _SharedBuffers(capacity)
         ctx = mp.get_context("fork")
-        shards = plan.shards(workers)
         self._owner: dict[int, int] = {}
         self._conns = []
         self._procs = []
@@ -398,11 +298,11 @@ class _ProcessSwitchingBackend:
         self._sub_unique = False
         for w, indices in enumerate(shards):
             parent, child = ctx.Pipe()
-            owned = [[i, sw._sketches[i]] for i in indices]
+            owned = [[i, copies.sketches[i]] for i in indices]
             proc = ctx.Process(
                 target=_switching_worker,
-                args=(child, owned, sw._factory, self._buffers.views,
-                      plan.unique_hint),
+                args=(child, owned, copies.factory, self._buffers.views,
+                      unique_hint),
                 daemon=True,
             )
             proc.start()
@@ -411,6 +311,10 @@ class _ProcessSwitchingBackend:
                 self._owner[i] = w
             self._conns.append(parent)
             self._procs.append(proc)
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
 
     @property
     def capacity(self) -> int:
@@ -438,6 +342,17 @@ class _ProcessSwitchingBackend:
         self._sub_unit = True
         self._sub_unique = False
 
+    def stage_sub(self, items, deltas, assume_unique: bool) -> None:
+        """Stage a pre-processed feed without probing (uniform fan-outs).
+
+        Safe to call right after :meth:`stage` (which fenced the previous
+        chunk); the subsequent ``feed_others_sub(-1)`` then fans the
+        staged arrays to every copy.
+        """
+        self._sub_len = self._buffers.write("sub", items, deltas)
+        self._sub_unit = deltas is None
+        self._sub_unique = assume_unique
+
     def _owner_conn(self, active: int):
         return self._conns[self._owner[active]]
 
@@ -445,9 +360,7 @@ class _ProcessSwitchingBackend:
 
     def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
         self._barrier()
-        self._sub_len = self._buffers.write("sub", items, deltas)
-        self._sub_unit = deltas is None
-        self._sub_unique = assume_unique
+        self.stage_sub(items, deltas, assume_unique)
         conn = self._owner_conn(active)
         _send(conn, ("probe", "sub", 0, self._sub_len, self._sub_unit,
                    assume_unique, active))
@@ -482,10 +395,10 @@ class _ProcessSwitchingBackend:
         return self._recv(conn)
 
     def scan_active(
-        self, lo: int, hi: int, active: int, published: float
+        self, lo: int, hi: int, active: int, published: float, band
     ) -> tuple[int, float] | None:
         conn = self._owner_conn(active)
-        _send(conn, ("ascan", lo, hi, active, published, self._sw.eps))
+        _send(conn, ("ascan", lo, hi, active, published, band))
         got = self._recv(conn)
         return None if got is None else tuple(got)
 
@@ -509,13 +422,20 @@ class _ProcessSwitchingBackend:
         _send(self._conns[self._owner[idx]], ("replace", idx, rng))
         self._dirty = True
 
-    def collect_into(self, sw: SketchSwitchingEstimator) -> None:
+    def fetch(self, idx: int) -> Sketch:
+        """Pull one copy's current state (epoch snapshot publishing)."""
+        self._barrier()
+        conn = self._conns[self._owner[idx]]
+        _send(conn, ("get", idx))
+        return self._recv(conn)
+
+    def collect_into(self, copies: CopyManager) -> None:
         self._barrier()
         for conn in self._conns:
             _send(conn, ("collect",))
         for conn in self._conns:
             for idx, sketch in self._recv(conn):
-                sw._sketches[idx] = sketch
+                copies.sketches[idx] = sketch
 
     def close(self) -> None:
         for conn in self._conns:
@@ -532,175 +452,6 @@ class _ProcessSwitchingBackend:
             conn.close()
         self._conns, self._procs = [], []
         self._buffers.close(unlink=True)
-
-
-# ----------------------------------------------------------------------
-# The switching coordinator (shared by both backends)
-# ----------------------------------------------------------------------
-
-
-class _SwitchingDriver:
-    """Algorithm 1's chunk discipline over a sharded copy backend.
-
-    Owns the protocol state (published value, active index rho, switch
-    count, fresh randomness) on the coordinator; the backend owns the
-    copies.  Every band decision reads only the active copy, so the
-    driver probes *it* first and touches the other copies exactly once
-    per clean chunk (or once per switch segment on a crossing chunk) —
-    see the module docstring for the equivalence argument.
-    """
-
-    def __init__(self, plan: SwitchingShardPlan, backend):
-        self._plan = plan
-        self._sw = plan.switcher
-        self._backend = backend
-        self._seen = plan.make_seen_filter() if plan.filter_duplicates else None
-        self._items: np.ndarray | None = None
-        self._deltas: np.ndarray | None = None
-
-    def _active(self) -> int:
-        return self._sw._rho % self._sw.copies
-
-    # -- feeding --------------------------------------------------------
-
-    def feed(self, items, deltas=None) -> None:
-        items, deltas = as_batch_arrays(items, deltas)
-        cap = self._backend.capacity
-        for lo in range(0, len(items), cap):
-            self._feed_one(items[lo:lo + cap], deltas[lo:lo + cap])
-
-    def _feed_one(self, items: np.ndarray, deltas: np.ndarray) -> None:
-        count = len(items)
-        if count == 0:
-            return
-        sw = self._sw
-        self._backend.stage(items, deltas)
-        self._items, self._deltas = items, deltas
-        if count <= REPLAY_LEAF:
-            # Mirror the serial path: tiny chunks replay per item with the
-            # band checked every update (no chunk-level coalescing).
-            self._drive_raw(0, count)
-            return
-        active = self._active()
-        uniq = None
-        probed_sub = True
-        if self._seen is not None and int(deltas.min()) > 0:
-            uniq = np.unique(items)
-            fresh = self._seen.fresh(uniq)
-            if len(fresh) == 0:
-                # Every live copy has seen every item here: no copy's
-                # state — hence no band check — can change.
-                return
-            y = self._backend.probe_sub(fresh, None, True, active)
-        elif self._plan.aggregate_once:
-            agg_items, agg_deltas = aggregate_batch(items, deltas)
-            y = self._backend.probe_sub(
-                agg_items, agg_deltas, self._plan.unique_hint, active
-            )
-        else:
-            probed_sub = False
-            y = self._backend.probe_raw(active)
-        if sw._within_band(y):
-            # Clean chunk (the common case): the active copy already has
-            # it; give the others the same pre-processed feed.
-            self._backend.keep_active(active)
-            if probed_sub:
-                self._backend.feed_others_sub(active)
-            else:
-                self._backend.feed_others_raw(active)
-            if uniq is not None:
-                self._seen.mark(uniq)
-            return
-        # Crossed somewhere inside: rewind the active copy and resolve
-        # the switch positions exactly on the raw updates.
-        self._backend.roll_active(active)
-        self._drive_raw(0, count)
-
-    def _drive_raw(self, lo: int, hi: int) -> None:
-        """Resolve [lo, hi) exactly: locate each switch via the active
-        copy, then batch the remaining copies up to it.
-
-        On entry no copy has seen [lo, hi).  The active copy advances
-        through :meth:`_search`; after each located switch the other
-        copies catch up to the switch position in one feed and the
-        protocol continues with the next active copy.
-        """
-        sw = self._sw
-        switches_before = sw.switches
-        pos = lo
-        while pos < hi:
-            active = self._active()
-            crossing = self._search(pos, hi, active)
-            if crossing is None:
-                self._backend.catch_up(pos, hi, active)
-                break
-            cpos, y = crossing
-            self._backend.catch_up(pos, cpos + 1, active)
-            sw._published = round_to_power(y, sw.eps / 2) if y != 0 else 0.0
-            sw.switches += 1
-            self._advance()
-            pos = cpos + 1
-        if self._seen is not None and sw.switches != switches_before:
-            # A switch invalidates the filter: the replacement (or newly
-            # active) copy was born mid-chunk and must re-see later
-            # occurrences of items the older copies already absorbed.
-            self._seen.reset()
-
-    def _search(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
-        """First band crossing in [lo, hi), probing the active copy only.
-
-        The first item is stepped **per item**, exactly as the protocol
-        would: right after a switch the new active copy's estimate can
-        sit *below* the just-published value (independent copies
-        disagree), and the per-item protocol switches again immediately
-        — a low-side exit a batch probe would coalesce once the estimate
-        grows back into the band.  For a monotone tracked quantity a
-        low-side exit is only possible at such a handoff, so once one
-        check passes in band every later crossing is high-side and
-        unique, and the batch bisection below finds it exactly.
-
-        Returns ``(position, estimate)`` with the active copy fed
-        through ``position`` (or through ``hi - 1`` if no crossing).
-        """
-        sw = self._sw
-        y = self._backend.step_active(lo, active)
-        if not sw._within_band(y):
-            return lo, y
-        if lo + 1 >= hi:
-            return None
-        return self._bisect(lo + 1, hi, active)
-
-    def _bisect(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
-        """Bisect for the unique high-side crossing; leaves scan per item."""
-        sw = self._sw
-        if hi - lo <= REPLAY_LEAF:
-            return self._backend.scan_active(lo, hi, active, sw._published)
-        mid = (lo + hi) // 2
-        self._backend.snap_active(active)
-        y = self._backend.feed_active(lo, mid, active)
-        if sw._within_band(y):
-            self._backend.keep_active(active)
-            return self._bisect(mid, hi, active)
-        self._backend.roll_active(active)
-        return self._bisect(lo, mid, active)
-
-    def _advance(self) -> None:
-        """Burn-and-advance, mirroring ``SketchSwitchingEstimator._advance``
-        with the replacement built wherever the burned copy lives."""
-        sw = self._sw
-        if sw.restart:
-            burned = sw._rho % sw.copies
-            self._backend.replace(burned, sw._replacement_rng())
-            sw._rho += 1
-            return
-        if sw._rho + 1 >= sw.copies:
-            if sw.on_exhausted == "raise":
-                raise SketchExhaustedError(
-                    f"all {sw.copies} copies burned after "
-                    f"{sw.switches} switches; flip-number budget exceeded"
-                )
-            return
-        sw._rho += 1
 
 
 # ----------------------------------------------------------------------
@@ -747,6 +498,10 @@ class IngestSession(abc.ABC):
     #: Human-readable execution mode, recorded by IngestReport/benchmarks.
     mode: str = "serial"
 
+    #: Band-policy name driving this session, if any ("multiplicative",
+    #: "additive", "epoch") — surfaced by IngestReport.
+    policy: str | None = None
+
     @abc.abstractmethod
     def feed(self, items, deltas=None) -> None:
         """Ingest one chunk."""
@@ -786,28 +541,105 @@ class _PlainSession(IngestSession):
 
 
 class _SwitchingSession(IngestSession):
-    """Per-copy fan-out session for sketch-switching estimators."""
+    """Per-copy fan-out session for switching estimators (any band)."""
 
     def __init__(self, estimator, plan: SwitchingShardPlan, backend, mode: str):
         self._est = estimator
         self._plan = plan
         self._backend = backend
-        self._driver = _SwitchingDriver(plan, backend)
+        self._protocol = SwitchingProtocol(
+            plan.switcher, backend,
+            seen_filter=plan.hoists.make_seen_filter(),
+            aggregate_once=plan.aggregate_once,
+            unique_hint=plan.unique_hint,
+        )
         self.mode = mode
+        self.policy = plan.band.name
 
     def feed(self, items, deltas=None) -> None:
-        self._driver.feed(items, deltas)
+        self._protocol.feed(items, deltas)
 
     def query(self) -> float:
         # The published value is coordinator state; no worker round trip.
         return self._est.query()
 
     def finalize(self) -> None:
-        self._backend.collect_into(self._plan.switcher)
+        self._backend.collect_into(self._plan.switcher._copies)
         self._backend.close()
 
     def close(self) -> None:
         self._backend.close()
+
+
+class _EpochSession(IngestSession):
+    """Theorem 6.5 fan-out: L2 switching protocol + uniform ring feeds.
+
+    The inner robust L2 tracker runs through the same switching protocol
+    as any other switching estimator (its own backend); the point-query
+    ring is fed every chunk uniformly through a copy backend of its own
+    (aggregated once when the ring licenses it).  The epoch clock — the
+    wrapper's :class:`~repro.core.bands.EpochBand` over the published L2
+    estimate — ticks on the coordinator at chunk boundaries, exactly as
+    the wrapper's own ``update_batch`` does, so published snapshots,
+    epoch counts, and ring restarts agree with the direct chunked path.
+    """
+
+    def __init__(self, plan: EpochShardPlan, l2_backend, ring_backend, mode):
+        self._wrapper = plan.wrapper
+        self._plan = plan
+        self._l2_backend = l2_backend
+        self._ring_backend = ring_backend
+        self._l2_protocol = SwitchingProtocol(
+            plan.l2_plan.switcher, l2_backend,
+            seen_filter=plan.l2_plan.hoists.make_seen_filter(),
+            aggregate_once=plan.l2_plan.aggregate_once,
+            unique_hint=plan.l2_plan.unique_hint,
+        )
+        self.mode = mode
+        self.policy = "epoch"
+
+    def feed(self, items, deltas=None) -> None:
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return
+        cap = min(self._l2_backend.capacity, self._ring_backend.capacity)
+        for lo in range(0, len(items), cap):
+            self._feed_one(items[lo:lo + cap], deltas[lo:lo + cap])
+        # The epoch clock ticks once per *caller* chunk, after any
+        # capacity splits, exactly where the wrapper's own update_batch
+        # ticks it; the session only supplies the hooks that reach
+        # copies living in worker processes.
+        self._wrapper._tick_epoch_clock(fetch=self._ring_backend.fetch,
+                                        replace=self._ring_backend.replace)
+
+    def _feed_one(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        hoists = self._plan.ring_hoists
+        # Both the L2 probe and the ring feed want the same aggregated
+        # chunk; compute it once for whichever of them is licensed.
+        aggregated = None
+        if hoists.aggregate_once or self._plan.l2_plan.aggregate_once:
+            aggregated = aggregate_batch(items, deltas)
+        self._l2_protocol.feed(items, deltas, aggregated=aggregated)
+        ring = self._ring_backend
+        ring.stage(items, deltas)
+        if hoists.aggregate_once:
+            ring.stage_sub(aggregated[0], aggregated[1], hoists.unique_hint)
+            ring.feed_others_sub(-1)
+        else:
+            ring.feed_others_raw(-1)
+
+    def query(self) -> float:
+        # Published snapshots and the L2 estimate are coordinator state.
+        return self._wrapper.query()
+
+    def finalize(self) -> None:
+        self._ring_backend.collect_into(self._plan.ring)
+        self._l2_backend.collect_into(self._plan.l2_plan.switcher._copies)
+        self.close()
+
+    def close(self) -> None:
+        self._ring_backend.close()
+        self._l2_backend.close()
 
 
 class _ProcessMergeSession(IngestSession):
@@ -935,8 +767,18 @@ class SerialEngine(ExecutionEngine):
     def session(self, estimator: Sketch) -> IngestSession:
         plan = plan_shards(estimator)
         if isinstance(plan, SwitchingShardPlan):
-            return _SwitchingSession(
-                estimator, plan, _LocalSwitchingBackend(plan), mode="serial"
+            backend = LocalCopyBackend(
+                plan.switcher._copies, plan.unique_hint
+            )
+            return _SwitchingSession(estimator, plan, backend, mode="serial")
+        if isinstance(plan, EpochShardPlan):
+            return _EpochSession(
+                plan,
+                LocalCopyBackend(
+                    plan.l2_plan.switcher._copies, plan.l2_plan.unique_hint
+                ),
+                LocalCopyBackend(plan.ring, plan.ring_hoists.unique_hint),
+                mode="serial",
             )
         return _PlainSession(estimator)
 
@@ -972,19 +814,48 @@ class ProcessEngine(ExecutionEngine):
             )
         self.chunk_capacity = chunk_capacity
 
+    def _process_backend(
+        self, copies: CopyManager, unique_hint: bool
+    ) -> _ProcessCopyBackend:
+        return _ProcessCopyBackend(
+            copies,
+            partition_copies(copies.count, self.workers),
+            unique_hint,
+            self.chunk_capacity,
+        )
+
     def session(self, estimator: Sketch) -> IngestSession:
         plan = plan_shards(estimator)
         parallel = self.workers > 1 and fork_available()
         if isinstance(plan, SwitchingShardPlan):
             if parallel and plan.switcher.copies > 1:
-                backend = _ProcessSwitchingBackend(
-                    plan, self.workers, self.chunk_capacity
+                backend = self._process_backend(
+                    plan.switcher._copies, plan.unique_hint
                 )
-                mode = f"process[{len(backend._procs)}]"
+                mode = f"process[{backend.workers}]"
                 return _SwitchingSession(estimator, plan, backend, mode)
             return _SwitchingSession(
-                estimator, plan, _LocalSwitchingBackend(plan), mode="serial"
+                estimator, plan,
+                LocalCopyBackend(plan.switcher._copies, plan.unique_hint),
+                mode="serial",
             )
+        if isinstance(plan, EpochShardPlan):
+            l2_backend = LocalCopyBackend(
+                plan.l2_plan.switcher._copies, plan.l2_plan.unique_hint
+            )
+            if parallel and plan.ring.count > 1:
+                # The ring carries the bulk of the copies; the (smaller)
+                # L2 tracker stays on the coordinator.
+                ring_backend = self._process_backend(
+                    plan.ring, plan.ring_hoists.unique_hint
+                )
+                mode = f"process[{ring_backend.workers}]"
+            else:
+                ring_backend = LocalCopyBackend(
+                    plan.ring, plan.ring_hoists.unique_hint
+                )
+                mode = "serial"
+            return _EpochSession(plan, l2_backend, ring_backend, mode)
         if isinstance(plan, MergeShardPlan) and parallel:
             return _ProcessMergeSession(
                 plan, self.workers, self.chunk_capacity

@@ -3,19 +3,35 @@
 Sketch switching derives robustness from many independent copies of a
 static sketch — a workload that is embarrassingly parallel *per copy*:
 every copy must see every update, but no copy's state depends on any
-other's, and the publish-band decision reads only the active copy.  A
-single mergeable sketch parallelises differently — *per partial*: the
-stream is sliced, each worker folds its slice into a private partial, and
-partials combine through :meth:`repro.sketches.base.Sketch.merge`.
+other's, and the publish-band decision reads only the active copy.  That
+holds for **every** band policy (multiplicative, additive, epoch); the
+policy only changes how the coordinator resolves a boundary check, so
+the planner is band-agnostic and simply carries the estimator's
+:class:`~repro.core.bands.BandPolicy` into the plan.  A single mergeable
+sketch parallelises differently — *per partial*: the stream is sliced,
+each worker folds its slice into a private partial, and partials combine
+through :meth:`repro.sketches.base.Sketch.merge`.
 
 :func:`plan_shards` inspects an estimator and picks the plan:
 
-* :class:`SwitchingShardPlan` — a :class:`SketchSwitchingEstimator`
-  (possibly wrapped by a robust wrapper exposing ``_switcher``): copies
-  fan out across workers, the coordinator keeps the protocol state.
+* :class:`SwitchingShardPlan` — a
+  :class:`~repro.core.sketch_switching.SwitchingEstimator` (possibly
+  wrapped by a robust wrapper exposing ``_switcher``): copies fan out
+  across workers, the coordinator keeps the protocol state.  This now
+  includes the additive/entropy band — its crossing-chunk bisection
+  coalesces transient excursions at cell granularity rather than being
+  per-item exact (see :mod:`repro.core.bands`), a coordinator concern
+  the plan doesn't care about.
+* :class:`EpochShardPlan` — the heavy-hitters construction (Theorem
+  6.5): a switching plan for the inner robust L2 tracker plus a ring of
+  point-query copies fed uniformly, with the epoch clock on the
+  coordinator.
 * :class:`MergeShardPlan` — a mergeable sketch: per-partial sharding.
 * :class:`SerialPlan` — everything else: the deterministic fallback
-  (plain ``update_batch`` on the calling process).
+  (plain ``update_batch`` on the calling process).  Wrapped estimators
+  whose inner switcher is absent or malformed land here *explicitly*
+  (with a reason) rather than being driven through active-copy
+  assumptions that don't hold for them.
 
 The switching plan also carries the *shared-work hoists* that make the
 sharded path cheaper than feeding each copy independently, even before
@@ -29,17 +45,19 @@ any process parallelism:
   move any boundary band check).  The :class:`SeenFilter` tracking this
   must be reset whenever a switch replaces or burns a copy, because a
   restarted copy is born blank and re-occurrences are first occurrences
-  *to it*; the engine drivers do exactly that.
+  *to it*; the protocol driver does exactly that.
 """
 
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.sketch_switching import SketchSwitchingEstimator
+from repro.core.bands import BandPolicy
+from repro.core.copies import CopyManager
+from repro.core.sketch_switching import SwitchingEstimator
 from repro.sketches.base import Sketch
 
 #: Above this universe size the seen-filter switches from a dense boolean
@@ -132,27 +150,84 @@ def _accepts_assume_unique(sketch: Sketch) -> bool:
 
 
 @dataclass
-class SwitchingShardPlan:
-    """Per-copy fan-out for a sketch-switching estimator."""
+class CopyHoists:
+    """The shared-work hoists a set of uniform copies licenses."""
 
-    switcher: SketchSwitchingEstimator
     #: Universe-size hint for the seen-filter (dense mask when small).
     universe: int | None = None
-    #: All inner copies are duplicate-insensitive: first-occurrence
-    #: filtering is exact.
+    #: All copies are duplicate-insensitive: first-occurrence filtering
+    #: is exact.
     filter_duplicates: bool = False
-    #: All inner copies are aggregation-invariant: the chunk can be
-    #: aggregated once on the coordinator instead of once per copy.
+    #: All copies are aggregation-invariant: the chunk can be aggregated
+    #: once on the coordinator instead of once per copy.
     aggregate_once: bool = False
     #: ``update_batch`` accepts ``assume_unique=True`` (KMV): pre-deduped
     #: feeds skip the per-copy dedup entirely.
     unique_hint: bool = False
 
+    @classmethod
+    def licensed_by(cls, sketches, universe: int | None) -> "CopyHoists":
+        return cls(
+            universe=universe,
+            filter_duplicates=all(s.duplicate_insensitive for s in sketches),
+            aggregate_once=all(s.aggregation_invariant for s in sketches),
+            unique_hint=all(_accepts_assume_unique(s) for s in sketches),
+        )
+
+    def make_seen_filter(self) -> SeenFilter | None:
+        return SeenFilter(self.universe) if self.filter_duplicates else None
+
+
+@dataclass
+class SwitchingShardPlan:
+    """Per-copy fan-out for a switching estimator (any band policy)."""
+
+    switcher: SwitchingEstimator
+    hoists: CopyHoists
+
+    @property
+    def band(self) -> BandPolicy:
+        return self.switcher.band
+
+    @property
+    def unique_hint(self) -> bool:
+        return self.hoists.unique_hint
+
+    @property
+    def aggregate_once(self) -> bool:
+        return self.hoists.aggregate_once
+
+    @property
+    def filter_duplicates(self) -> bool:
+        return self.hoists.filter_duplicates
+
+    @property
+    def universe(self) -> int | None:
+        return self.hoists.universe
+
     def shards(self, workers: int) -> list[list[int]]:
         return partition_copies(self.switcher.copies, workers)
 
-    def make_seen_filter(self) -> SeenFilter:
-        return SeenFilter(self.universe)
+
+@dataclass
+class EpochShardPlan:
+    """Theorem 6.5 fan-out: inner L2 switching plan + point-query ring.
+
+    The wrapper (``RobustHeavyHitters``) keeps the epoch clock and the
+    published snapshot on the coordinator; the ring copies are fed every
+    chunk uniformly (no band probing) and one of them is fetched and
+    frozen at each epoch boundary.  ``ring_hoists`` mirrors the
+    switching hoists for the ring feeds (CountSketch is
+    aggregation-invariant, so chunks aggregate once for the whole ring).
+    """
+
+    wrapper: Sketch
+    l2_plan: SwitchingShardPlan
+    ring: CopyManager
+    ring_hoists: CopyHoists
+
+    def ring_shards(self, workers: int) -> list[list[int]]:
+        return partition_copies(self.ring.count, workers)
 
 
 @dataclass
@@ -181,29 +256,60 @@ class SerialPlan:
     reason: str = "estimator is neither a switching estimator nor mergeable"
 
 
-ShardPlan = SwitchingShardPlan | MergeShardPlan | SerialPlan
+ShardPlan = SwitchingShardPlan | EpochShardPlan | MergeShardPlan | SerialPlan
+
+
+def _switching_plan(switcher: SwitchingEstimator, universe) -> SwitchingShardPlan:
+    return SwitchingShardPlan(
+        switcher=switcher,
+        hoists=CopyHoists.licensed_by(switcher._sketches, universe),
+    )
 
 
 def plan_shards(estimator: Sketch) -> ShardPlan:
     """Pick the sharding decomposition for ``estimator``.
 
     Robust wrappers built on sketch switching expose their inner
-    :class:`SketchSwitchingEstimator` as ``_switcher``; the planner
-    unwraps it so e.g. ``RobustDistinctElements`` fans out per copy.
-    Additive switching (entropy) has a non-monotone band and stays on
-    the serial fallback.
+    :class:`SwitchingEstimator` as ``_switcher`` (and delegate their
+    entire ingestion to it); the planner unwraps it so e.g.
+    ``RobustDistinctElements`` and ``RobustEntropy`` fan out per copy.
+    The heavy-hitters wrapper exposes an inner L2 tracker (``_l2``) and
+    a point-query ring (``_ring``) and gets the epoch plan.  A wrapper
+    whose inner switcher is absent or malformed — a disabled tracker, a
+    duck-typed stand-in without the switching contract — falls back to
+    an explicit :class:`SerialPlan` instead of being driven through
+    active-copy assumptions that no longer hold.
     """
+    universe = getattr(estimator, "n", None)
+    # Epoch wrappers first: they contain an L2 switcher one level deeper,
+    # and must not be mistaken for a plain switching delegator.
+    ring = getattr(estimator, "_ring", None)
+    if isinstance(ring, CopyManager):
+        l2 = getattr(estimator, "_l2", None)
+        inner = getattr(l2, "_switcher", None)
+        if not isinstance(inner, SwitchingEstimator):
+            return SerialPlan(
+                estimator=estimator,
+                reason="epoch wrapper without a switching L2 tracker",
+            )
+        return EpochShardPlan(
+            wrapper=estimator,
+            l2_plan=_switching_plan(inner, getattr(l2, "n", universe)),
+            ring=ring,
+            ring_hoists=CopyHoists.licensed_by(ring.sketches, universe),
+        )
     switcher = estimator if isinstance(
-        estimator, SketchSwitchingEstimator
+        estimator, SwitchingEstimator
     ) else getattr(estimator, "_switcher", None)
-    if isinstance(switcher, SketchSwitchingEstimator):
-        inner = switcher._sketches
-        return SwitchingShardPlan(
-            switcher=switcher,
-            universe=getattr(estimator, "n", None),
-            filter_duplicates=all(s.duplicate_insensitive for s in inner),
-            aggregate_once=all(s.aggregation_invariant for s in inner),
-            unique_hint=all(_accepts_assume_unique(s) for s in inner),
+    if isinstance(switcher, SwitchingEstimator):
+        return _switching_plan(switcher, universe)
+    if hasattr(estimator, "_switcher"):
+        # The wrapper advertises a switching delegate but it isn't one
+        # (absent, disabled, or a stand-in): explicit serial fallback.
+        return SerialPlan(
+            estimator=estimator,
+            reason="wrapper's inner switcher is absent or not a "
+                   "SwitchingEstimator",
         )
     if isinstance(estimator, Sketch) and estimator.mergeable:
         return MergeShardPlan(sketch=estimator)

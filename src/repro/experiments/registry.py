@@ -30,6 +30,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "E.Crypto": theorems.e_crypto_space,
     "E.Switch": theorems.e_framework_crossover,
     "E.Switch.runoff": theorems.e_framework_runoff,
+    "E.Engine": theorems.e_engine_bands,
 }
 
 

@@ -1,5 +1,5 @@
 """Theorem-level experiments: the attack, update time, flip numbers,
-crypto space, and the framework ablation."""
+crypto space, the framework ablation, and the band-policy engine check."""
 
 from __future__ import annotations
 
@@ -241,4 +241,50 @@ def e_framework_runoff(scale: Scale) -> ExperimentResult:
                        f"{stats.seconds:.1f}")
         result.metrics[f"{name}/worst"] = stats.worst_error
         result.metrics[f"{name}/bits"] = float(stats.space_bits)
+    return result
+
+
+def e_engine_bands(scale: Scale) -> ExperimentResult:
+    """Band-policy engine check: every policy, engine vs direct, same bits.
+
+    One stream per policy — multiplicative (robust F0), additive (robust
+    entropy), epoch (robust heavy hitters) — replayed twice: the direct
+    chunked path and a SerialEngine session.  Asserting identical
+    published outputs is the point: after the band-policy refactor all
+    three run the same switching protocol, so the engine is available to
+    every robustness scheme, not just the multiplicative one.
+    """
+    from repro.api import ingest, robust_estimator
+    from repro.engine import SerialEngine
+
+    rng = np.random.default_rng(scale.seed)
+    items = rng.integers(0, scale.n, size=scale.m)
+    chunk = max(256, scale.m // 8)
+    result = ExperimentResult(
+        "E.Engine", "Band-policy engine equivalence (serial engine)",
+        ["policy", "problem", "direct out", "engine out", "identical"],
+    )
+    cases = [
+        ("distinct", dict()),
+        ("entropy", dict(copies=32)),
+        ("heavy-hitters", dict()),
+    ]
+    for problem, kwargs in cases:
+        direct = robust_estimator(problem, n=scale.n, m=scale.m,
+                                  eps=scale.eps, seed=scale.seed, **kwargs)
+        engined = robust_estimator(problem, n=scale.n, m=scale.m,
+                                   eps=scale.eps, seed=scale.seed, **kwargs)
+        r0 = ingest(direct, items, chunk_size=chunk)
+        r1 = ingest(engined, items, chunk_size=chunk, engine=SerialEngine())
+        same = r0.final_estimate == r1.final_estimate
+        result.add_row(r1.policy, problem, r0.final_estimate,
+                       r1.final_estimate, str(same))
+        result.metrics[f"{problem}/identical"] = float(same)
+        if not same:  # pragma: no cover - equivalence regression
+            result.add_note(f"DIVERGED on {problem}: {r0} vs {r1}")
+    result.add_note(
+        f"m={scale.m}, n={scale.n}, chunk={chunk}; engine sessions replay "
+        "the identical switching protocol (core/bands.py policies), so "
+        "outputs match bit for bit on every policy"
+    )
     return result

@@ -31,8 +31,9 @@ from repro.core.computation_paths import (
     ComputationPathsEstimator,
     required_log2_delta0,
 )
+from repro.core.bands import MultiplicativeBand
 from repro.core.flip_number import monotone_flip_number_bound
-from repro.core.sketch_switching import SketchSwitchingEstimator, restart_ring_size
+from repro.core.sketch_switching import SwitchingEstimator, restart_ring_size
 from repro.sketches.base import Sketch
 from repro.sketches.fast_f0 import FastF0Sketch
 from repro.sketches.kmv import KMVSketch
@@ -77,8 +78,9 @@ class RobustDistinctElements(Sketch):
                 eps0, delta0, child, constant=kmv_constant
             )
 
-        self._switcher = SketchSwitchingEstimator(
-            factory, copies=copies, eps=eps, rng=rng, restart=restart
+        self._switcher = SwitchingEstimator(
+            factory, copies=copies, rng=rng,
+            band=MultiplicativeBand(eps), restart=restart,
         )
 
     @property

@@ -6,11 +6,18 @@ applies with the flip-number bound of Proposition 7.2 (``O~(eps^-3 log^3)``
 — each (1 ± eps) change of ``2^H`` forces the stream's L1 mass to grow by
 a (1 + Theta~(eps^2/log^2 n)) factor).
 
-We run the switching protocol *additively on H directly*
-(:class:`~repro.core.sketch_switching.AdditiveSwitchingEstimator`), which
-is the same discipline expressed in the exponent.  The base static
-estimator is the Clifford–Cosma skewed-stable sketch; with a random oracle
-this is the ``O~(eps^-2)`` estimator of [23]/[11] the theorem consumes.
+We run the switching protocol *additively on H directly* — the generic
+:class:`~repro.core.sketch_switching.SwitchingEstimator` under an
+:class:`~repro.core.bands.AdditiveBand`, which is the same discipline
+expressed in the exponent.  The base static estimator is the
+Clifford–Cosma skewed-stable sketch; with a random oracle this is the
+``O~(eps^-2)`` estimator of [23]/[11] the theorem consumes.  Because the
+band is a policy rather than a separate loop, this estimator runs
+through the execution engine (``api.ingest(engine=...)``) like any other
+switching wrapper: entropy's crossing chunks are resolved by bisection
+of the active copy (coalescing transient excursions at cell granularity
+— the additive band is not bisect-exact since H is not monotone), and
+clean chunks are aggregated once for all copies.
 
 The paper-faithful copy count (``paper_copies``) is astronomically
 conservative for laptop streams; the default budget covers the measured
@@ -23,8 +30,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bands import AdditiveBand
 from repro.core.flip_number import entropy_flip_number_bound
-from repro.core.sketch_switching import AdditiveSwitchingEstimator
+from repro.core.sketch_switching import SwitchingEstimator
 from repro.sketches.base import Sketch
 from repro.sketches.entropy import CliffordCosmaSketch
 
@@ -66,8 +74,9 @@ class RobustEntropy(Sketch):
                 eps / 4, delta0, child, constant=cc_constant, base=base
             )
 
-        self._switcher = AdditiveSwitchingEstimator(
-            factory, copies=copies, eps=eps, rng=rng, on_exhausted=on_exhausted
+        self._switcher = SwitchingEstimator(
+            factory, copies=copies, rng=rng,
+            band=AdditiveBand(eps), on_exhausted=on_exhausted,
         )
 
     @property

@@ -17,6 +17,17 @@ The construction of Section 6:
    adversary learns nothing about the live copies — the switching argument
    verbatim.
 
+The epoch machinery is not hand-rolled here: the epoch clock is an
+:class:`~repro.core.bands.EpochBand` (Definition 3.1 rounding of the
+robust L2 estimate — ``crossed``/``publish`` are the band's rules) and
+the CountSketch ring is a :class:`~repro.core.copies.CopyManager` in
+restart mode, whose burn-and-advance and replacement-RNG derivation are
+the same code every switching estimator uses.  That is also what lets
+the execution engine drive this wrapper (:class:`repro.engine.shards`
+plans it as an :class:`~repro.engine.shards.EpochShardPlan`): the L2
+tracker runs through the shared switching protocol, the ring fans out
+across workers, and the epoch clock ticks on the coordinator.
+
 ``heavy_hitters()`` returns items whose frozen estimate clears
 ``(3/4) eps R_t`` against the robust L2 estimate ``R_t``, implementing the
 Definition 6.1 guarantee; ``point_query`` exposes the Definition 6.2
@@ -27,7 +38,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.rounding import RoundedSequence
+from repro.core.bands import EpochBand
+from repro.core.copies import CopyManager
 from repro.core.sketch_switching import restart_ring_size
 from repro.robust.moments import RobustFpSwitching
 from repro.sketches.base import PointQuerySketch, spawn_rngs
@@ -73,6 +85,9 @@ class RobustHeavyHitters(PointQuerySketch):
         self.m = m
         self.eps = eps
         self.report_factor = report_factor
+        # Three spawn slots for seeding stability with earlier revisions
+        # (slot 1 previously seeded ad-hoc ring restarts, now owned by
+        # the ring CopyManager's fresh-randomness pool).
         rngs = spawn_rngs(rng, 3)
         if copies is None:
             copies = restart_ring_size(eps, constant=1.0)
@@ -88,8 +103,11 @@ class RobustHeavyHitters(PointQuerySketch):
             restart=True, track="norm", copies=l2_copies,
             eps0_fraction=0.3, stable_constant=2.0,
         )
-        self._epoch_rounder = RoundedSequence(eps / 2)
-        self._cs_rng = rngs[1]
+        # Epoch clock: Definition 3.1 rounding of the robust L2 estimate.
+        # None = no epoch opened yet; the first observation always
+        # publishes (EpochBand treats None as an immediate crossing).
+        self._epoch_band = EpochBand(eps / 2)
+        self._epoch_published: float | None = None
         delta0 = delta / (2 * max(copies, 1))
 
         def make_cs(child: np.random.Generator) -> CountSketch:
@@ -98,9 +116,7 @@ class RobustHeavyHitters(PointQuerySketch):
                 width_constant=cs_width_constant,
             )
 
-        self._make_cs = make_cs
-        self._ring = [make_cs(r) for r in spawn_rngs(rngs[2], copies)]
-        self._next_slot = 0
+        self._ring = CopyManager(make_cs, copies, rngs[2], restart=True)
         self._published: dict[int, float] = {}
         self.epochs = 0
 
@@ -110,45 +126,49 @@ class RobustHeavyHitters(PointQuerySketch):
 
     def update(self, item: int, delta: int = 1) -> None:
         self._l2.update(item, delta)
-        for cs in self._ring:
+        for cs in self._ring.sketches:
             cs.update(item, delta)
-        r_t = self._l2.query()
-        before = self._epoch_rounder.current
-        after = self._epoch_rounder.push(r_t)
-        if after != before:
-            self._advance_epoch()
+        self._tick_epoch_clock()
 
     def update_batch(self, items, deltas=None) -> None:
         """Chunked oblivious ingestion: epoch clock ticks per chunk.
 
         The L2 tracker and every CountSketch copy consume the chunk
-        vectorized; the epoch rounder observes the robust estimate once
+        vectorized; the epoch band observes the robust estimate once
         per chunk boundary, so epochs that open and close inside a chunk
         are coalesced — within an epoch the published snapshot is frozen
         anyway, so oblivious replay only loses intermediate snapshots, not
         the guarantee.  The adversarial game runs per item as always.
         """
         self._l2.update_batch(items, deltas)
-        for cs in self._ring:
+        for cs in self._ring.sketches:
             cs.update_batch(items, deltas)
-        before = self._epoch_rounder.current
-        after = self._epoch_rounder.push(self._l2.query())
-        if after != before:
-            self._advance_epoch()
+        self._tick_epoch_clock()
 
-    def _advance_epoch(self) -> None:
-        """Snapshot the least-recently-restarted copy, then restart it."""
-        slot = self._next_slot % len(self._ring)
-        cs = self._ring[slot]
-        threshold = 0.0  # snapshot everything the copy tracked
+    def _tick_epoch_clock(self, fetch=None, replace=None) -> None:
+        """One Definition 3.1 observation of the robust L2 estimate.
+
+        On an epoch boundary: freeze the least-recently-restarted copy's
+        point estimates as the published vector, then restart that copy.
+        This is the *only* implementation of the epoch discipline; the
+        engine's epoch session calls it with its backend's ``fetch`` /
+        ``replace`` hooks so the snapshot is read from (and the
+        replacement installed into) whichever process owns the copy.
+        """
+        r_t = self._l2.query()
+        if self._epoch_band.crossed(self._epoch_published, r_t):
+            self._epoch_published = self._epoch_band.publish(r_t)
+            slot = self._ring.active_index
+            cs = self._ring.sketches[slot] if fetch is None else fetch(slot)
+            self._publish_snapshot(cs)
+            self._ring.advance(self.epochs, replace=replace)
+            self.epochs += 1
+
+    def _publish_snapshot(self, cs: CountSketch) -> None:
+        """Freeze one copy's point estimates as the published vector."""
         self._published = {
-            i: cs.point_query(i) for i in cs.heavy_hitters(threshold)
+            i: cs.point_query(i) for i in cs.heavy_hitters(0.0)
         }
-        self._ring[slot] = self._make_cs(
-            np.random.default_rng(int(self._cs_rng.integers(0, 2**62)))
-        )
-        self._next_slot += 1
-        self.epochs += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -179,6 +199,6 @@ class RobustHeavyHitters(PointQuerySketch):
         return float(len(self.heavy_hitters()))
 
     def space_bits(self) -> int:
-        ring = sum(cs.space_bits() for cs in self._ring)
+        ring = sum(cs.space_bits() for cs in self._ring.sketches)
         published = len(self._published) * 128
         return self._l2.space_bits() + ring + published + 128

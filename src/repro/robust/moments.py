@@ -31,7 +31,8 @@ from repro.core.flip_number import (
     lp_norm_flip_number_bound,
     monotone_flip_number_bound,
 )
-from repro.core.sketch_switching import SketchSwitchingEstimator, restart_ring_size
+from repro.core.bands import MultiplicativeBand
+from repro.core.sketch_switching import SwitchingEstimator, restart_ring_size
 from repro.core.tracking import MedianTracker
 from repro.sketches.base import Sketch
 from repro.sketches.fp_high import HighMomentSketch
@@ -101,8 +102,9 @@ class RobustFpSwitching(Sketch):
                 p, eps0, delta0, child, constant=stable_constant,
             )
 
-        self._switcher = SketchSwitchingEstimator(
-            factory, copies=copies, eps=eps_norm, rng=rng, restart=restart
+        self._switcher = SwitchingEstimator(
+            factory, copies=copies, rng=rng,
+            band=MultiplicativeBand(eps_norm), restart=restart,
         )
 
     @property

@@ -75,6 +75,11 @@ class CliffordCosmaSketch(Sketch):
     """
 
     supports_deletions = True
+    # update_batch aggregates per distinct item internally (the linear
+    # map consumes integer delta sums), so pre-aggregated chunks land in
+    # bit-identical state — licensing the engine's aggregate-once hoist,
+    # the shared-work win behind the entropy engine path.
+    aggregation_invariant = True
 
     def __init__(self, k: int, seed: int, base: float = 2.0,
                  cache_columns: bool = True):

@@ -121,6 +121,11 @@ class PStableSketch(Sketch):
     """
 
     supports_deletions = True
+    # update_batch aggregates per distinct item internally, so feeding a
+    # pre-aggregated chunk lands in bit-identical state (integer delta
+    # sums scale each column exactly once either way) — licensing the
+    # engine's aggregate-once hoist.
+    aggregation_invariant = True
 
     def __init__(
         self,

@@ -23,7 +23,7 @@ from repro.streams.model import (
     chunk_updates,
     iter_updates,
 )
-from repro.streams.store import ColumnarStreamStore, write_stream
+from repro.streams.store import ColumnarStreamStore, StreamWriter, write_stream
 from repro.streams.validators import (
     StreamValidationError,
     check_bounded_deletion,
@@ -35,6 +35,7 @@ from repro.streams.validators import (
 
 __all__ = [
     "ColumnarStreamStore",
+    "StreamWriter",
     "FrequencyVector",
     "write_stream",
     "bounded_deletion_stream",

@@ -17,11 +17,17 @@ generators: a 10^9-update stream replays through ``api.ingest`` (or the
 engine) without ever materialising per-update Python objects *or* the
 whole array in RAM.
 
-Writing streams incrementally (:func:`write_stream` accepts any stream
-form the chunk adapters accept, including generators) keeps peak memory
-at one chunk.  Deltas are elided while every delta seen so far is ``+1``
-and the file is backfilled the moment a non-unit delta appears, so
-insertion-only stores cost half the bytes with no caller involvement.
+Writing streams incrementally keeps peak memory at one chunk:
+:class:`StreamWriter` appends chunk after chunk and seals the header on
+close, and :func:`write_stream` is the one-shot convenience over it
+(accepting any stream form the chunk adapters accept, including
+generators).  ``api.ingest(..., spill_store=path)`` tees a live replay
+through a :class:`StreamWriter` while feeding the estimator, so a
+generated or remote stream becomes a replayable on-disk store as a side
+effect of ingesting it.  Deltas are elided while every delta seen so far
+is ``+1`` and the file is backfilled the moment a non-unit delta
+appears, so insertion-only stores cost half the bytes with no caller
+involvement.
 """
 
 from __future__ import annotations
@@ -49,6 +55,119 @@ class StoreFormatError(ValueError):
     """The on-disk layout is not a readable columnar stream store."""
 
 
+class StreamWriter:
+    """Incremental columnar writer: append chunks, seal the header on close.
+
+    The write-side twin of :class:`ColumnarStreamStore`: column files are
+    appended chunk by chunk (peak memory = one chunk) and the header —
+    which makes the directory a readable store — is written by
+    :meth:`close`.  Closing after an interrupted ingest still yields a
+    valid store containing everything appended so far.  Usable as a
+    context manager; :func:`write_stream` is the one-shot convenience and
+    ``api.ingest(spill_store=...)`` the live-tee entry point.
+    """
+
+    #: Backfill granularity when a late non-unit delta forces a deltas
+    #: column into existence.
+    _BACKFILL = DEFAULT_CHUNK_SIZE
+
+    def __init__(
+        self,
+        path,
+        params: StreamParameters | None = None,
+        metadata: dict | None = None,
+    ):
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._params = params
+        self._metadata = metadata
+        self.updates = 0
+        self.unit_deltas = True
+        self._items_f = open(self.path / ITEMS_FILE, "wb")
+        self._deltas_f = None
+        self._closed = False
+
+    def append(self, items, deltas=None) -> int:
+        """Append one chunk (arrays or a StreamChunk); returns its length."""
+        if self._closed:
+            raise ValueError(f"StreamWriter for {self.path} is closed")
+        if deltas is None and hasattr(items, "items") and hasattr(items, "deltas"):
+            items, deltas = items.items, items.deltas
+        items = np.ascontiguousarray(items, dtype=_DTYPE)
+        self._items_f.write(items.tobytes())
+        if deltas is None:
+            deltas = np.ones(len(items), dtype=np.int64)
+        deltas = np.ascontiguousarray(deltas, dtype=_DTYPE)
+        if self.unit_deltas and not np.all(deltas == 1):
+            self._start_deltas_column()
+        if self._deltas_f is not None:
+            self._deltas_f.write(deltas.tobytes())
+        self.updates += len(items)
+        return len(items)
+
+    def _start_deltas_column(self) -> None:
+        """First non-unit delta: backfill ones for everything already
+        written, then start recording deltas."""
+        self.unit_deltas = False
+        self._deltas_f = open(self.path / DELTAS_FILE, "wb")
+        ones = np.ones(min(self.updates, self._BACKFILL) or 1, dtype=_DTYPE)
+        remaining = self.updates
+        while remaining > 0:
+            take = min(remaining, len(ones))
+            self._deltas_f.write(ones[:take].tobytes())
+            remaining -= take
+
+    def abort(self) -> None:
+        """Close the column files *without* writing a header.
+
+        The directory stays unreadable (``ColumnarStreamStore`` raises
+        :class:`StoreFormatError`), which is how a failed one-shot
+        ``write_stream`` stays detectable.  The spill tee deliberately
+        chooses :meth:`close` instead: a partially ingested replay is
+        still worth keeping.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._close_files()
+
+    def _close_files(self) -> None:
+        self._items_f.close()
+        if self._deltas_f is not None:
+            self._deltas_f.close()
+
+    def close(self) -> "ColumnarStreamStore":
+        """Seal the store: flush columns, write the header, return it."""
+        if self._closed:
+            return ColumnarStreamStore(self.path)
+        self._closed = True
+        self._close_files()
+        deltas_path = self.path / DELTAS_FILE
+        if self.unit_deltas and deltas_path.exists():
+            deltas_path.unlink()  # overwrite of a previously-turnstile store
+        header = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "dtype": _DTYPE,
+            "updates": self.updates,
+            "unit_deltas": self.unit_deltas,
+        }
+        if self._params is not None:
+            header["params"] = {
+                "n": self._params.n, "m": self._params.m, "M": self._params.M,
+            }
+        if self._metadata:
+            header["metadata"] = self._metadata
+        (self.path / HEADER_FILE).write_text(json.dumps(header, indent=2) + "\n")
+        return ColumnarStreamStore(self.path)
+
+    def __enter__(self) -> "StreamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def write_stream(
     path,
     stream,
@@ -64,58 +183,21 @@ def write_stream(
     which are consumed incrementally).  ``params`` embeds the ``(n, m,
     M)`` regime in the header so a reader can validate or size
     estimators without rescanning the data.
+
+    A source that raises mid-stream leaves the directory *header-less*
+    (unreadable, so the failure stays detectable) rather than sealing a
+    silently truncated store; the live-tee path
+    (``api.ingest(spill_store=...)``) makes the opposite choice and
+    seals what was drawn.
     """
-    path = pathlib.Path(path)
-    path.mkdir(parents=True, exist_ok=True)
-    items_path = path / ITEMS_FILE
-    deltas_path = path / DELTAS_FILE
-    updates = 0
-    unit_deltas = True
-    with open(items_path, "wb") as items_f:
-        deltas_f = None
-        try:
-            for chunk in chunk_updates(stream, chunk_size):
-                items_f.write(
-                    np.ascontiguousarray(chunk.items, dtype=_DTYPE).tobytes()
-                )
-                if unit_deltas and not np.all(chunk.deltas == 1):
-                    # First non-unit delta: backfill ones for everything
-                    # already written, then start recording deltas.
-                    unit_deltas = False
-                    deltas_f = open(deltas_path, "wb")
-                    ones = np.ones(
-                        min(updates, chunk_size) or 1, dtype=_DTYPE
-                    )
-                    remaining = updates
-                    while remaining > 0:
-                        take = min(remaining, len(ones))
-                        deltas_f.write(ones[:take].tobytes())
-                        remaining -= take
-                if deltas_f is not None:
-                    deltas_f.write(
-                        np.ascontiguousarray(
-                            chunk.deltas, dtype=_DTYPE
-                        ).tobytes()
-                    )
-                updates += len(chunk)
-        finally:
-            if deltas_f is not None:
-                deltas_f.close()
-    if unit_deltas and deltas_path.exists():
-        deltas_path.unlink()  # overwrite of a previously-turnstile store
-    header = {
-        "format": _FORMAT,
-        "version": _VERSION,
-        "dtype": _DTYPE,
-        "updates": updates,
-        "unit_deltas": unit_deltas,
-    }
-    if params is not None:
-        header["params"] = {"n": params.n, "m": params.m, "M": params.M}
-    if metadata:
-        header["metadata"] = metadata
-    (path / HEADER_FILE).write_text(json.dumps(header, indent=2) + "\n")
-    return ColumnarStreamStore(path)
+    writer = StreamWriter(path, params=params, metadata=metadata)
+    try:
+        for chunk in chunk_updates(stream, chunk_size):
+            writer.append(chunk)
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.close()
 
 
 class ColumnarStreamStore:

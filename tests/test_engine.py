@@ -29,6 +29,7 @@ from repro.engine import (
     resolve_engine,
 )
 from repro.engine.shards import (
+    EpochShardPlan,
     MergeShardPlan,
     SerialPlan,
     SwitchingShardPlan,
@@ -199,6 +200,62 @@ class TestSwitchingEquivalence:
         assert direct.switches == engined.switches
 
 
+class TestAdditiveEngine:
+    """RobustEntropy (additive band, float CC copies) through the engine."""
+
+    def _entropy(self, seed=3):
+        return RobustEntropy(n=256, m=20_000, eps=0.5,
+                             rng=np.random.default_rng(seed), copies=16)
+
+    def test_serial_engine_matches_direct_and_per_item(self):
+        items = _uniform(20_000, 256, seed=8)
+        per_item = self._entropy()
+        for item in items.tolist():
+            per_item.update(item, 1)
+        direct = self._entropy()
+        engined = self._entropy()
+        t0 = _boundary_trace(direct, items, 4096, None)
+        t1 = _boundary_trace(engined, items, 4096, SerialEngine())
+        assert t0 == t1
+        assert direct.switches == engined.switches
+        # The uniform ramp is monotone between boundary checks on this
+        # stream: the chunked paths reproduce the per-item protocol.
+        assert per_item.query() == direct.query()
+        assert per_item.switches == direct.switches
+
+    @needs_fork
+    def test_process_engine_matches_direct(self):
+        items = _uniform(20_000, 256, seed=9)
+        direct = self._entropy(seed=4)
+        engined = self._entropy(seed=4)
+        t0 = _boundary_trace(direct, items, 4096, None)
+        t1 = _boundary_trace(engined, items, 4096, ProcessEngine(workers=3))
+        assert t0 == t1
+        assert direct.switches == engined.switches
+
+    def test_ingest_reports_additive_policy(self):
+        est = self._entropy(seed=5)
+        report = ingest(est, _uniform(4_000, 256, seed=5), chunk_size=1024,
+                        engine="serial")
+        assert report.policy == "additive"
+        assert report.mode == "serial"
+
+    def test_ingest_reports_epoch_policy(self):
+        from repro.robust.heavy_hitters import RobustHeavyHitters
+
+        est = RobustHeavyHitters(n=256, m=4_000, eps=0.3,
+                                 rng=np.random.default_rng(2))
+        report = ingest(est, _uniform(4_000, 256, seed=6), chunk_size=1024,
+                        engine="serial")
+        assert report.policy == "epoch"
+        # the direct path resolves the policy from the estimator itself
+        est2 = RobustHeavyHitters(n=256, m=4_000, eps=0.3,
+                                  rng=np.random.default_rng(2))
+        report2 = ingest(est2, _uniform(4_000, 256, seed=6), chunk_size=1024)
+        assert report2.policy == "epoch"
+        assert report2.mode == "direct"
+
+
 class TestMergeContract:
     """Sketch.merge: partials combine to the serial state."""
 
@@ -351,12 +408,66 @@ class TestPlanner:
         assert all(p is not plan.sketch for p in partials)
         assert all(p.query() == 0.0 for p in partials)  # pure deltas
 
-    def test_serial_fallback_plan(self):
-        # Additive switching (entropy) has a non-monotone band: serial.
+    def test_entropy_plans_per_copy_with_additive_band(self):
+        # The additive (entropy) band fans out per copy like any other
+        # switching estimator; the plan carries the band policy.
         est = RobustEntropy(n=256, m=2_000, eps=0.5,
                             rng=np.random.default_rng(0))
-        assert isinstance(plan_shards(est), SerialPlan)
+        plan = plan_shards(est)
+        assert isinstance(plan, SwitchingShardPlan)
+        assert plan.band.name == "additive"
+        assert not plan.band.bisectable
         assert isinstance(plan_shards(MisraGries(8)), SerialPlan)
+
+    def test_heavy_hitters_gets_epoch_plan(self):
+        from repro.robust.heavy_hitters import RobustHeavyHitters
+
+        est = RobustHeavyHitters(n=512, m=4_000, eps=0.3,
+                                 rng=np.random.default_rng(0))
+        plan = plan_shards(est)
+        assert isinstance(plan, EpochShardPlan)
+        assert plan.l2_plan.band.name == "multiplicative"
+        assert plan.ring.count == est._ring.count
+
+    def test_wrapper_with_absent_switcher_falls_back_serial(self):
+        # Regression (ISSUE 3 satellite): a wrapper advertising a
+        # switching delegate that is absent/disabled must get an
+        # explicit SerialPlan, not silent active-copy assumptions.
+        class _Disabled(MisraGries):
+            def __init__(self):
+                super().__init__(8)
+                self._switcher = None
+
+        plan = plan_shards(_Disabled())
+        assert isinstance(plan, SerialPlan)
+        assert "absent" in plan.reason
+
+        # The serial fallback must still ingest correctly end to end.
+        est = _Disabled()
+        items = _uniform(2_000, 128, seed=3)
+        report = ingest(est, items, chunk_size=512, engine="serial")
+        assert report.updates == 2_000
+        assert report.policy is None
+
+    def test_epoch_wrapper_without_switching_l2_falls_back_serial(self):
+        from repro.robust.heavy_hitters import RobustHeavyHitters
+
+        est = RobustHeavyHitters(n=256, m=2_000, eps=0.4,
+                                 rng=np.random.default_rng(1))
+
+        class _FlatTracker:
+            """Duck-typed L2 stand-in without a switching core."""
+
+            def query(self):
+                return 1.0
+
+            def update_batch(self, items, deltas=None):
+                pass
+
+        est._l2 = _FlatTracker()
+        plan = plan_shards(est)
+        assert isinstance(plan, SerialPlan)
+        assert "epoch wrapper" in plan.reason
 
     def test_partition_copies(self):
         assert partition_copies(5, 2) == [[0, 1, 2], [3, 4]]

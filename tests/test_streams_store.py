@@ -19,6 +19,7 @@ from repro.streams.model import StreamChunk, StreamParameters, Update
 from repro.streams.store import (
     ColumnarStreamStore,
     StoreFormatError,
+    StreamWriter,
     write_stream,
 )
 
@@ -138,6 +139,61 @@ class TestFormat:
             list(store.chunks(0))
 
 
+class TestStreamWriter:
+    """The incremental write side behind write_stream and spill_store."""
+
+    def test_incremental_appends_match_one_shot(self, tmp_path):
+        rng = np.random.default_rng(4)
+        items = rng.integers(0, 128, size=5_000)
+        one_shot = write_stream(tmp_path / "a", StreamChunk.insertions(items))
+        with StreamWriter(tmp_path / "b") as writer:
+            for lo in range(0, len(items), 777):
+                writer.append(items[lo:lo + 777])
+        incremental = ColumnarStreamStore(tmp_path / "b")
+        assert incremental.updates == one_shot.updates
+        assert np.array_equal(incremental.items, one_shot.items)
+        assert incremental.unit_deltas
+
+    def test_mid_stream_turnstile_backfills(self, tmp_path):
+        writer = StreamWriter(tmp_path / "s")
+        writer.append(np.arange(100))                      # unit so far
+        writer.append(np.arange(10), -np.ones(10, dtype=np.int64))
+        store = writer.close()
+        assert not store.unit_deltas
+        assert np.all(store.deltas[:100] == 1)             # backfilled
+        assert np.all(store.deltas[100:] == -1)
+
+    def test_close_is_idempotent_and_seals_partial_streams(self, tmp_path):
+        writer = StreamWriter(tmp_path / "s",
+                              params=StreamParameters(n=64, m=1000))
+        writer.append(np.arange(50))
+        store = writer.close()
+        assert store.updates == 50
+        assert store.params.n == 64
+        again = writer.close()
+        assert again.updates == 50
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(np.arange(5))
+
+    def test_accepts_stream_chunks(self, tmp_path):
+        with StreamWriter(tmp_path / "s") as writer:
+            writer.append(StreamChunk.insertions(np.arange(10)))
+        assert ColumnarStreamStore(tmp_path / "s").updates == 10
+
+    def test_write_stream_failure_leaves_no_readable_store(self, tmp_path):
+        # One-shot writes stay fail-loud: a source that dies mid-stream
+        # must not seal a silently truncated store (contrast with the
+        # spill tee, which seals deliberately).
+        def dying():
+            yield StreamChunk.insertions(np.arange(10))
+            raise RuntimeError("source died")
+
+        with pytest.raises(RuntimeError, match="source died"):
+            write_stream(tmp_path / "s", dying())
+        with pytest.raises(StoreFormatError):
+            ColumnarStreamStore(tmp_path / "s")
+
+
 class TestIngestIntegration:
     def test_ingest_replays_store_directly(self, tmp_path):
         rng = np.random.default_rng(3)
@@ -149,3 +205,57 @@ class TestIngestIntegration:
         report = ingest(replayed, store, chunk_size=4096, prefetch=2)
         assert report.updates == len(items)
         assert np.array_equal(direct._table, replayed._table)
+
+    def test_spill_store_round_trip(self, tmp_path):
+        """ISSUE 3 satellite: tee a live stream into a store while
+        feeding, then replay the store into a fresh estimator and get
+        the identical state."""
+        rng = np.random.default_rng(9)
+        items = rng.integers(0, 512, size=15_000)
+        live = CountMinSketch(128, 3, np.random.default_rng(2))
+        report = ingest(
+            live, StreamChunk.insertions(items), chunk_size=2048,
+            spill_store=tmp_path / "spill",
+            spill_params=StreamParameters(n=512, m=15_000),
+        )
+        assert report.spill_path == str(tmp_path / "spill")
+        store = ColumnarStreamStore(tmp_path / "spill")
+        assert store.updates == 15_000
+        assert store.params.m == 15_000
+        assert store.header["metadata"]["source"] == "api.ingest"
+        replayed = CountMinSketch(128, 3, np.random.default_rng(2))
+        ingest(replayed, store, chunk_size=2048)
+        assert np.array_equal(live._table, replayed._table)
+
+    def test_spill_store_with_engine_session(self, tmp_path):
+        from repro.robust.distinct import RobustDistinctElements
+
+        items = np.random.default_rng(5).integers(0, 256, size=8_000)
+        est = RobustDistinctElements(n=256, m=8_000, eps=0.3,
+                                     rng=np.random.default_rng(1))
+        report = ingest(est, items, chunk_size=1024, engine="serial",
+                        spill_store=tmp_path / "spill")
+        assert report.mode == "serial"
+        est2 = RobustDistinctElements(n=256, m=8_000, eps=0.3,
+                                      rng=np.random.default_rng(1))
+        report2 = ingest(est2, ColumnarStreamStore(tmp_path / "spill"),
+                         chunk_size=1024, engine="serial")
+        assert report2.final_estimate == report.final_estimate
+        assert est2.switches == est.switches
+
+    def test_spill_store_seals_on_mid_stream_failure(self, tmp_path):
+        class _Fragile(CountMinSketch):
+            def update_batch(self, items, deltas=None):
+                if getattr(self, "_fed", 0) >= 2:
+                    raise RuntimeError("estimator died")
+                self._fed = getattr(self, "_fed", 0) + 1
+                super().update_batch(items, deltas)
+
+        est = _Fragile(64, 2, np.random.default_rng(0))
+        items = np.arange(5_000)
+        with pytest.raises(RuntimeError, match="estimator died"):
+            ingest(est, items, chunk_size=1000,
+                   spill_store=tmp_path / "spill")
+        # Everything drawn before the failure is sealed and replayable.
+        store = ColumnarStreamStore(tmp_path / "spill")
+        assert store.updates == 3_000
