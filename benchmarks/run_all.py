@@ -42,17 +42,18 @@ PARALLEL_REPORT_PATH = REPO_ROOT / "BENCH_parallel.json"
 
 #: The headline benchmarks; --quick/--engine run only one of them.
 QUICK = ("bench_ingest.py",)
-ENGINE = ("bench_parallel.py",)
+ENGINE = ("bench_parallel.py", "bench_dp.py")
 
 def report_key(name: str) -> str:
     """Which repo-root report a benchmark file or payload feeds.
 
-    One rule for both: engine benchmarks are ``bench_parallel*.py`` and
-    emit ``parallel*`` payloads; everything else is ingest/accuracy.
+    One rule for both: engine benchmarks are ``bench_parallel*.py`` /
+    ``bench_dp.py`` and emit ``parallel*`` payloads; everything else is
+    ingest/accuracy.
     """
     return (
         "parallel"
-        if name.startswith(("parallel", "bench_parallel"))
+        if name.startswith(("parallel", "bench_parallel", "bench_dp"))
         else "ingest"
     )
 

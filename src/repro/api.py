@@ -10,9 +10,11 @@ problem               algorithm                      paper
 "distinct"            sketch switching over KMV      Theorem 5.1
 "distinct-fast"       computation paths over Alg 2   Theorem 5.4
 "distinct-crypto"     PRP preprocessing              Theorem 10.1
+"distinct-dp"         DP aggregate over KMV copies   Hassidim et al. '20
 "fp"                  switching over p-stable        Theorem 4.1
 "fp-small-delta"      computation paths, p-stable    Theorem 4.2
 "fp-high"             computation paths, level sets  Theorem 4.4
+"f2-dp"               DP aggregate over p-stable     Hassidim et al. '20
 "heavy-hitters"       epoch-frozen CountSketch ring  Theorem 6.5
 "entropy"             additive switching over CC     Theorem 7.3
 "bounded-deletion"    computation paths, turnstile   Theorem 8.3
@@ -34,11 +36,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.disciplines import resolve_discipline
 from repro.engine.executor import resolve_engine
 from repro.engine.prefetch import prefetch_chunks
 from repro.engine.shards import EpochShardPlan, SwitchingShardPlan, plan_shards
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.dp import RobustDPDistinctElements, RobustDPF2
 from repro.robust.distinct import (
     FastRobustDistinctElements,
     RobustDistinctElements,
@@ -58,9 +62,11 @@ PROBLEMS = (
     "distinct",
     "distinct-fast",
     "distinct-crypto",
+    "distinct-dp",
     "fp",
     "fp-small-delta",
     "fp-high",
+    "f2-dp",
     "heavy-hitters",
     "entropy",
     "bounded-deletion",
@@ -111,6 +117,11 @@ def robust_estimator(
     if problem == "distinct-crypto":
         return CryptoRobustDistinctElements(n=n, eps=eps, rng=rng,
                                             delta=delta, **kwargs)
+    if problem == "distinct-dp":
+        return RobustDPDistinctElements(n=n, m=m, eps=eps, rng=rng,
+                                        delta=delta, **kwargs)
+    if problem == "f2-dp":
+        return RobustDPF2(n=n, m=m, eps=eps, rng=rng, delta=delta, **kwargs)
     if problem == "fp":
         if p > 2:
             raise ValueError("use problem='fp-high' for p > 2")
@@ -157,6 +168,15 @@ class IngestReport:
     #: ("multiplicative", "additive", "epoch"), or None when the
     #: estimator has no switching core.
     policy: str | None = None
+    #: Probe-discipline name driving the switching protocol
+    #: ("active-copy", "private-aggregate"), or None without one.
+    discipline: str | None = None
+    #: Sparse-vector budget state after the replay (publications, spent,
+    #: remaining, generations) — only for budgeted disciplines (DP).
+    dp_budget: dict | None = None
+    #: Why the planner fell back to plain serial feeding, if it did
+    #: (engine paths only; the direct path never plans).
+    fallback_reason: str | None = None
     #: Directory the replay was teed into (``spill_store=``), if any.
     spill_path: str | None = None
 
@@ -178,12 +198,35 @@ def band_policy_name(estimator: Sketch) -> str | None:
     return None
 
 
+def _unwrap_switcher(estimator: Sketch):
+    """The switching core the planner would drive, or None."""
+    plan = plan_shards(estimator)
+    if isinstance(plan, SwitchingShardPlan):
+        return plan.switcher
+    return None
+
+
+def discipline_state(estimator: Sketch) -> tuple[str | None, dict | None]:
+    """(discipline name, budget state) of an estimator's switching core.
+
+    Unwraps through the shard planner like :func:`band_policy_name`;
+    estimators without a switching core — including the heavy-hitters
+    epoch wrapper, whose inner L2 tracker always runs active-copy —
+    report ``(None, None)``.
+    """
+    switcher = _unwrap_switcher(estimator)
+    if switcher is None:
+        return None, None
+    return switcher.discipline.name, switcher.discipline.budget_state()
+
+
 def ingest(
     estimator: Sketch,
     stream,
     chunk_size: int = 65536,
     engine=None,
     prefetch: int = 0,
+    discipline=None,
     spill_store=None,
     spill_params: StreamParameters | None = None,
 ) -> IngestReport:
@@ -207,6 +250,16 @@ def ingest(
     ``2`` = double buffering) overlaps chunk generation or disk reads
     with ingestion.
 
+    ``discipline`` installs a probe discipline on the estimator's
+    switching core before the replay (``"active"``, ``"private"``/
+    ``"dp"``, or a :class:`repro.core.disciplines.ProbeDiscipline`
+    instance): the DP private-aggregate discipline publishes a noisy
+    median over all copies under a sparse-vector budget instead of
+    burning the active copy.  Requires a fresh estimator whose planner
+    resolves to a switching core; the report's ``discipline`` and
+    ``dp_budget`` fields record what ran and what the budget looked like
+    afterwards.
+
     ``spill_store`` tees the replay into a columnar on-disk store at the
     given directory while feeding the estimator: every chunk drawn from
     the source is appended through a
@@ -222,6 +275,15 @@ def ingest(
     keeps per-update round granularity by design.
     """
     resolved = resolve_engine(engine)
+    wanted = resolve_discipline(discipline)
+    if wanted is not None:
+        switcher = _unwrap_switcher(estimator)
+        if switcher is None:
+            raise ValueError(
+                f"{type(estimator).__name__} has no switching core to "
+                f"apply a probe discipline to"
+            )
+        switcher.set_discipline(wanted)
     if hasattr(stream, "chunks") and not isinstance(stream, Sketch):
         # Chunked sources (ColumnarStreamStore) slice themselves.
         chunk_iter = stream.chunks(chunk_size)
@@ -241,6 +303,7 @@ def ingest(
     chunks = 0
     mode = "direct"
     policy = None
+    fallback = None
     start = time.perf_counter()
     try:
         if resolved is None:
@@ -257,6 +320,7 @@ def ingest(
             with resolved.session(estimator) as session:
                 mode = session.mode
                 policy = session.policy
+                fallback = session.fallback_reason
                 for chunk in chunk_iter:
                     if writer is not None:
                         writer.append(chunk.items, chunk.deltas)
@@ -267,6 +331,7 @@ def ingest(
         if writer is not None:
             writer.close()
     secs = time.perf_counter() - start
+    disc_name, budget = discipline_state(estimator)
     return IngestReport(
         updates=count,
         chunks=chunks,
@@ -275,5 +340,8 @@ def ingest(
         final_estimate=estimator.query(),
         mode=mode,
         policy=policy,
+        discipline=disc_name,
+        dp_budget=budget,
+        fallback_reason=fallback,
         spill_path=None if spill_store is None else str(writer.path),
     )

@@ -3,8 +3,10 @@
 The switching framework is layered: :mod:`repro.core.bands` owns the
 publish-band policies (multiplicative, additive, epoch),
 :mod:`repro.core.copies` the copy lifecycle (allocation, burn, restart
-ring), and :mod:`repro.core.sketch_switching` composes them into the one
-switching protocol every robust wrapper and execution engine drives.
+ring, retirement), :mod:`repro.core.disciplines` the probe disciplines
+(active-copy probe-and-burn vs the DP private aggregate over all
+copies), and :mod:`repro.core.sketch_switching` composes them into the
+one switching protocol every robust wrapper and execution engine drives.
 """
 
 from repro.core.bands import (
@@ -33,6 +35,15 @@ from repro.core.flip_number import (
     monotone_flip_number_bound,
 )
 from repro.core.copies import CopyManager, LocalCopyBackend
+from repro.core.disciplines import (
+    ActiveCopyDiscipline,
+    PrivacyBudgetExhaustedError,
+    PrivateAggregateDiscipline,
+    ProbeDiscipline,
+    default_switch_budget,
+    dp_copy_count,
+    resolve_discipline,
+)
 from repro.core.rounding import RoundedSequence, num_rounded_values, round_to_power
 from repro.core.sketch_switching import (
     AdditiveSwitchingEstimator,
@@ -46,9 +57,16 @@ from repro.core.sketch_switching import (
 from repro.core.tracking import MedianTracker, median_copies, union_bound_delta
 
 __all__ = [
+    "ActiveCopyDiscipline",
     "AdditiveBand",
     "BandPolicy",
     "CopyManager",
+    "PrivacyBudgetExhaustedError",
+    "PrivateAggregateDiscipline",
+    "ProbeDiscipline",
+    "default_switch_budget",
+    "dp_copy_count",
+    "resolve_discipline",
     "EpochBand",
     "L2Band",
     "LocalCopyBackend",

@@ -89,6 +89,19 @@ class BandPolicy(abc.ABC):
     def publish(self, estimate: float) -> float:
         """Round a fresh estimate for publication (information hiding)."""
 
+    def publish_aggregate(self, estimate: float) -> float:
+        """Rounding for *privately aggregated* publications.
+
+        The DP probe discipline publishes a noisy aggregate over all
+        copies; rounding is free post-processing under DP and keeps the
+        flip-number accounting identical to the active-copy path, so the
+        default is the band's own :meth:`publish`.  Bands whose rounding
+        assumes a sign (the multiplicative/epoch power rounding over
+        monotone non-negative quantities) clamp the Laplace tail that
+        can push a near-zero aggregate negative.
+        """
+        return self.publish(estimate)
+
 
 @dataclass(frozen=True)
 class MultiplicativeBand(BandPolicy):
@@ -113,6 +126,16 @@ class MultiplicativeBand(BandPolicy):
         if estimate == 0:
             return 0.0
         return round_to_power(estimate, self.eps / 2)
+
+    def publish_aggregate(self, estimate: float) -> float:
+        """Power rounding with the negative Laplace tail clamped to 0.
+
+        The multiplicative band is applied to monotone non-negative
+        quantities (F0, Fp, L2); a noisy aggregate that lands below zero
+        carries no signal and publishes as 0 rather than as a signed
+        power.
+        """
+        return self.publish(max(0.0, estimate))
 
 
 @dataclass(frozen=True)
@@ -172,6 +195,10 @@ class EpochBand(BandPolicy):
         if estimate == 0:
             return 0.0
         return round_to_power(estimate, self.eps)
+
+    def publish_aggregate(self, estimate: float) -> float:
+        """Same clamp as the multiplicative band (monotone L2 track)."""
+        return self.publish(max(0.0, estimate))
 
 
 #: The Section 6 construction tracks the L2 norm; alias for discoverability.

@@ -105,6 +105,48 @@ class CopyManager:
         """
         return spawn_rngs(self._fresh_rng, 1)[0]
 
+    def estimate_all(self, indices=None) -> list[float]:
+        """Query a set of copies (default: all), in index order.
+
+        The probe surface of the aggregate disciplines: the DP framework
+        reads every copy's estimate per decision instead of the active
+        one's.  In-process only; the engines read sharded copies through
+        their backend's probe ops.
+        """
+        if indices is None:
+            indices = range(len(self.sketches))
+        return [self.sketches[i].query() for i in indices]
+
+    def retire(self, idx: int, replace=None) -> None:
+        """Retire one copy: replace it with a freshly seeded instance.
+
+        The DP disciplines' lifecycle primitive — unlike
+        :meth:`advance`, retirement does not move the active cursor or
+        consume the plain-mode flip budget; the slot is simply reborn.
+        ``replace(index, rng)`` installs the rebuilt copy wherever it
+        lives (the engines pass their backend's replace); the RNG is
+        always derived here, on the coordinator.
+        """
+        rng = self.replacement_rng()
+        if replace is None:
+            self.sketches[idx] = self.factory(rng)
+        else:
+            replace(idx, rng)
+
+    def refresh(self, indices=None, replace=None) -> None:
+        """Retire a set of copies (default: all), in index order.
+
+        Used by :class:`~repro.core.disciplines.PrivateAggregateDiscipline`
+        when the sparse-vector budget is exhausted: the whole copy set is
+        reborn and the guarantee window restarts.  Deterministic across
+        execution modes because each retirement draws its RNG through
+        :meth:`replacement_rng` in index order.
+        """
+        if indices is None:
+            indices = range(len(self.sketches))
+        for idx in indices:
+            self.retire(idx, replace=replace)
+
     def advance(self, switches: int, replace=None) -> None:
         """Burn the active copy and activate the next.
 
@@ -140,9 +182,14 @@ class LocalCopyBackend:
     One of the two realisations of the copy-backend interface the
     switching protocol drives (the other lives in
     :mod:`repro.engine.executor` and shards the copies across forked
-    workers).  Methods come in two groups: *active-copy probe/search*
-    ops, which snapshot/feed/step only the active instance, and
-    *non-active* fan-out feeds.
+    workers).  Methods come in two groups: *probed-copy probe/search*
+    ops, which snapshot/feed/step the copies the estimator's probe
+    discipline reads (the active copy alone under
+    :class:`~repro.core.disciplines.ActiveCopyDiscipline`, every copy
+    under the private-aggregate discipline) — ``probes`` is always a
+    tuple of copy indices — and *non-probed* fan-out feeds, whose
+    ``exclude`` is the same tuple (empty for uniform fan-outs such as
+    the heavy-hitters ring).
     """
 
     def __init__(self, copies: CopyManager, unique_hint: bool = False):
@@ -152,7 +199,8 @@ class LocalCopyBackend:
         self._deltas: np.ndarray | None = None
         self._sub: tuple[np.ndarray, np.ndarray | None] | None = None
         self._sub_unique = False
-        self._active_stack: list[Sketch] = []
+        #: Stack of per-probe snapshot lists: [[(idx, snapshot), ...], ...]
+        self._snap_stack: list[list[tuple[int, Sketch]]] = []
 
     @property
     def capacity(self) -> int:
@@ -164,8 +212,8 @@ class LocalCopyBackend:
     def stage_sub(self, items, deltas, assume_unique: bool) -> None:
         """Stage a pre-processed (deduped/aggregated) feed without probing.
 
-        Used by uniform fan-outs that have no active copy to probe (the
-        heavy-hitters ring): ``feed_others_sub(-1)`` then feeds every
+        Used by uniform fan-outs that have no copy to probe (the
+        heavy-hitters ring): ``feed_others_sub(())`` then feeds every
         copy the staged arrays.
         """
         self._sub = (items, deltas)
@@ -177,47 +225,76 @@ class LocalCopyBackend:
         else:
             sketch.update_batch(items, deltas)
 
-    # -- active-copy probe/search ops -----------------------------------
+    # -- probed-copy probe/search ops -----------------------------------
 
-    def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
+    def probe_sub(
+        self, items, deltas, assume_unique: bool, probes: tuple[int, ...]
+    ) -> list[float]:
         self._sub = (items, deltas)
         self._sub_unique = assume_unique
-        sk = self._copies.sketches[active]
-        self._active_stack.append(sk.snapshot())
-        self._feed_one(sk, items, deltas, assume_unique)
-        return sk.query()
+        snaps, ys = [], []
+        for idx in probes:
+            sk = self._copies.sketches[idx]
+            snaps.append((idx, sk.snapshot()))
+            self._feed_one(sk, items, deltas, assume_unique)
+            ys.append(sk.query())
+        self._snap_stack.append(snaps)
+        return ys
 
-    def probe_raw(self, active: int) -> float:
+    def probe_raw(self, probes: tuple[int, ...]) -> list[float]:
         self._sub = None
-        sk = self._copies.sketches[active]
-        self._active_stack.append(sk.snapshot())
-        sk.update_batch(self._items, self._deltas)
-        return sk.query()
+        snaps, ys = [], []
+        for idx in probes:
+            sk = self._copies.sketches[idx]
+            snaps.append((idx, sk.snapshot()))
+            sk.update_batch(self._items, self._deltas)
+            ys.append(sk.query())
+        self._snap_stack.append(snaps)
+        return ys
 
-    def keep_active(self, active: int) -> None:
-        self._active_stack.pop()
+    def keep_probed(self, probes: tuple[int, ...]) -> None:
+        self._snap_stack.pop()
 
-    def roll_active(self, active: int) -> None:
-        self._copies.sketches[active] = self._active_stack.pop()
+    def roll_probed(self, probes: tuple[int, ...]) -> None:
+        for idx, snap in self._snap_stack.pop():
+            self._copies.sketches[idx] = snap
 
-    def snap_active(self, active: int) -> None:
-        self._active_stack.append(self._copies.sketches[active].snapshot())
+    def snap_probed(self, probes: tuple[int, ...]) -> None:
+        self._snap_stack.append(
+            [(idx, self._copies.sketches[idx].snapshot()) for idx in probes]
+        )
 
-    def feed_active(self, lo: int, hi: int, active: int) -> float:
-        sk = self._copies.sketches[active]
-        sk.update_batch(self._items[lo:hi], self._deltas[lo:hi])
-        return sk.query()
+    def feed_probed(
+        self, lo: int, hi: int, probes: tuple[int, ...]
+    ) -> list[float]:
+        items, deltas = self._items[lo:hi], self._deltas[lo:hi]
+        ys = []
+        for idx in probes:
+            sk = self._copies.sketches[idx]
+            sk.update_batch(items, deltas)
+            ys.append(sk.query())
+        return ys
 
-    def step_active(self, pos: int, active: int) -> float:
-        sk = self._copies.sketches[active]
-        sk.update(int(self._items[pos]), int(self._deltas[pos]))
-        return sk.query()
+    def step_probed(self, pos: int, probes: tuple[int, ...]) -> list[float]:
+        item, delta = int(self._items[pos]), int(self._deltas[pos])
+        ys = []
+        for idx in probes:
+            sk = self._copies.sketches[idx]
+            sk.update(item, delta)
+            ys.append(sk.query())
+        return ys
 
-    def scan_active(
-        self, lo: int, hi: int, active: int, published: float, band
+    def scan_probed(
+        self, lo: int, hi: int, probe: int, published: float, band
     ) -> tuple[int, float] | None:
-        """Per-item scan for the first band crossing in [lo, hi)."""
-        sk = self._copies.sketches[active]
+        """Per-item scan for the first band crossing in [lo, hi).
+
+        Single-probe fast path (identity-decide disciplines only): the
+        band predicate is applied where the copy lives, with no
+        round-trip per item.  Aggregating disciplines scan through
+        :meth:`step_probed` with the decision made by the protocol.
+        """
+        sk = self._copies.sketches[probe]
         items = self._items[lo:hi].tolist()
         deltas = self._deltas[lo:hi].tolist()
         for off, (item, delta) in enumerate(zip(items, deltas)):
@@ -227,21 +304,23 @@ class LocalCopyBackend:
                 return lo + off, y
         return None
 
-    # -- non-active copies ----------------------------------------------
+    # -- non-probed copies ----------------------------------------------
 
-    def feed_others_sub(self, exclude: int) -> None:
+    def feed_others_sub(self, exclude: tuple[int, ...]) -> None:
         items, deltas = self._sub
+        excluded = set(exclude)
         for idx, s in enumerate(self._copies.sketches):
-            if idx != exclude:
+            if idx not in excluded:
                 self._feed_one(s, items, deltas, self._sub_unique)
 
-    def feed_others_raw(self, exclude: int) -> None:
+    def feed_others_raw(self, exclude: tuple[int, ...]) -> None:
         self.catch_up(0, len(self._items), exclude)
 
-    def catch_up(self, lo: int, hi: int, exclude: int) -> None:
+    def catch_up(self, lo: int, hi: int, exclude: tuple[int, ...]) -> None:
         items, deltas = self._items[lo:hi], self._deltas[lo:hi]
+        excluded = set(exclude)
         for idx, s in enumerate(self._copies.sketches):
-            if idx != exclude:
+            if idx not in excluded:
                 s.update_batch(items, deltas)
 
     def replace(self, idx: int, rng: np.random.Generator) -> None:
@@ -255,5 +334,5 @@ class LocalCopyBackend:
         pass  # copies never left the manager
 
     def close(self) -> None:
-        self._active_stack.clear()
+        self._snap_stack.clear()
         self._items = self._deltas = self._sub = None

@@ -1,0 +1,336 @@
+"""Probe disciplines: *how* a publish decision reads the copies.
+
+The band policies of :mod:`repro.core.bands` decide *when* to switch and
+*what* to publish; the copy manager of :mod:`repro.core.copies` owns the
+copy lifecycle.  A :class:`ProbeDiscipline` is the third orthogonal axis
+of the switching protocol: which copies a publish decision reads, how
+their estimates collapse into one decision estimate, and what happens to
+the copies when a publication occurs.
+
+* :class:`ActiveCopyDiscipline` — the paper's Algorithm 1: the decision
+  reads exactly the *active* copy, and every publication **burns** it
+  (its randomness is now correlated with the adversary's view) and
+  activates the next.  The robustness budget is paid linearly: one copy
+  per switch (or a Theorem 4.1 restart-ring slot).
+
+* :class:`PrivateAggregateDiscipline` — the differential-privacy
+  framework of Hassidim et al. 2020 ("Adversarially Robust Streaming
+  Algorithms via Differential Privacy"), sharpened by Attias et al. 2022
+  via difference estimators: the decision reads **all** live copies and
+  publishes a *privately aggregated* estimate (a noisy median behind a
+  sparse-vector/AboveThreshold epoch discipline).  No copy is burned on
+  a switch — the Laplace noise, not retirement, hides each copy's
+  randomness — so the same number of switches is supported by
+  ``O(sqrt(lambda))`` copies instead of ``Theta(lambda)``: with ``k``
+  copies, advanced composition lets each copy participate in ``~k^2``
+  eps-DP aggregate answers before its privacy budget is exhausted.  The
+  discipline accounts that budget explicitly and *retires* the copy set
+  (refreshing every instance from the coordinator's replacement pool)
+  only when the budget runs out — which a stream respecting the flip
+  bound the budget was sized for never triggers.
+
+The protocol driver (:class:`~repro.core.sketch_switching
+.SwitchingProtocol`) is discipline-agnostic: it asks the discipline
+which copies a probe (and a crossing search) may read, collapses their
+estimates through :meth:`ProbeDiscipline.decide`, and hands publication
+side effects to :meth:`ProbeDiscipline.on_publish`.  Determinism across
+execution paths (per-item, serial chunked, SerialEngine, ProcessEngine)
+holds by the same argument as for bands and copies: every noise draw and
+every replacement RNG derivation happens on the coordinator, keyed to
+the publication count, which all paths agree on.
+
+Reproduction notes on the DP mechanism
+--------------------------------------
+The sparse-vector discipline is implemented with *per-epoch* noise: one
+relative Laplace perturbation ``nu ~ Lap(noise_scale)`` is drawn at each
+publication (the AboveThreshold reset) and held fixed until the next —
+the decision estimate within an epoch is ``median(copies) * (1 + nu)``.
+Holding the comparison noise fixed between publications is what makes
+the decision trajectory a deterministic function of the stream within an
+epoch, so the chunked bisection machinery (and its band-policy
+exactness/coalescing contract) applies to the DP path unchanged; it is
+the standard SVT threshold-noise sharing, with the per-comparison noise
+folded into the band width.  Post-processing (the band's publication
+rounding) is free under DP.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bands import BandPolicy
+from repro.core.copies import CopyManager
+
+__all__ = [
+    "ActiveCopyDiscipline",
+    "PrivacyBudgetExhaustedError",
+    "PrivateAggregateDiscipline",
+    "ProbeDiscipline",
+    "default_switch_budget",
+    "dp_copy_count",
+    "resolve_discipline",
+]
+
+
+class PrivacyBudgetExhaustedError(RuntimeError):
+    """Every copy's sparse-vector budget is spent: the flip bound the
+    budget was sized for has been exceeded (``on_exhausted="raise"``)."""
+
+
+class ProbeDiscipline(abc.ABC):
+    """How the switching protocol reads copies to make publish decisions.
+
+    One discipline instance belongs to one estimator: :meth:`bind` is
+    called once when the estimator is built (or when a discipline is
+    installed through ``api.ingest(discipline=...)``) and pins the
+    discipline to that estimator's :class:`CopyManager`.
+    """
+
+    #: Short discipline name, surfaced by shard plans and ingest reports.
+    name: str = "discipline"
+
+    #: True when ``decide([y]) == y`` — a single-copy probe needs no
+    #: coordinator-side aggregation, so the backend may resolve a
+    #: per-item crossing scan where the copy lives (the worker-side
+    #: ``ascan`` fast path).  Aggregating disciplines return their
+    #: estimates to the coordinator instead.
+    identity_decide: bool = True
+
+    def bind(self, copies: CopyManager) -> None:
+        """Attach to one estimator's copy manager (idempotent per manager)."""
+        bound = getattr(self, "_bound", None)
+        if bound is not None and bound is not copies:
+            raise ValueError(
+                f"{type(self).__name__} is already bound to another "
+                f"estimator's copies; disciplines are not shareable"
+            )
+        self._bound = copies
+
+    @abc.abstractmethod
+    def probe_indices(self, copies: CopyManager) -> tuple[int, ...]:
+        """The copy indices a publish decision — and therefore a
+        crossing search — may read."""
+
+    @abc.abstractmethod
+    def decide(self, estimates: Sequence[float]) -> float:
+        """Collapse the probed copies' estimates (aligned with
+        :meth:`probe_indices`) into the decision estimate."""
+
+    @abc.abstractmethod
+    def publish(self, band: BandPolicy, estimate: float) -> float:
+        """Round the decision estimate for publication."""
+
+    @abc.abstractmethod
+    def on_publish(
+        self, copies: CopyManager, switches: int, replace=None
+    ) -> None:
+        """Copy-lifecycle side effects of one publication.
+
+        ``replace(index, rng)`` installs a rebuilt copy wherever it
+        lives (possibly a worker process); RNGs are always derived on
+        the coordinator via :meth:`CopyManager.replacement_rng`.
+        """
+
+    def budget_state(self) -> dict | None:
+        """Budget introspection for :class:`repro.api.IngestReport`
+        (None for budget-free disciplines)."""
+        return None
+
+
+class ActiveCopyDiscipline(ProbeDiscipline):
+    """Algorithm 1's discipline: probe the active copy, burn it on a switch.
+
+    Bit-for-bit the pre-discipline protocol: the decision estimate *is*
+    the active copy's estimate, publication applies the band's rounding,
+    and every publication advances the copy manager (plain burn or
+    Theorem 4.1 ring restart).
+    """
+
+    name = "active-copy"
+    identity_decide = True
+
+    def probe_indices(self, copies: CopyManager) -> tuple[int, ...]:
+        return (copies.active_index,)
+
+    def decide(self, estimates: Sequence[float]) -> float:
+        return estimates[0]
+
+    def publish(self, band: BandPolicy, estimate: float) -> float:
+        return band.publish(estimate)
+
+    def on_publish(
+        self, copies: CopyManager, switches: int, replace=None
+    ) -> None:
+        copies.advance(switches, replace=replace)
+
+
+def default_switch_budget(copies: int) -> int:
+    """Publications ``copies`` instances support before SVT exhaustion.
+
+    The advanced-composition accounting of Hassidim et al.: answering
+    ``T`` adaptive eps0-DP aggregate queries costs each copy
+    ``~sqrt(T) * eps0`` of budget, so ``k`` copies sized for per-answer
+    privacy ``eps0 ~ 1/k`` support ``T ~ k^2`` publications — the
+    inverse of the ``copies ~ sqrt(flips)`` sizing rule.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    return copies * copies
+
+
+class PrivateAggregateDiscipline(ProbeDiscipline):
+    """DP aggregate publishing: noisy median over all copies, SVT budget.
+
+    Parameters
+    ----------
+    noise_scale:
+        Relative Laplace scale ``b`` of the per-epoch perturbation: the
+        decision estimate is ``median(copy estimates) * (1 + nu)`` with
+        ``nu ~ Lap(b)`` redrawn at each publication.  Must sit well
+        inside the band's inner accuracy budget (the DP wrappers default
+        to ``eps/12``); a tail draw merely triggers one extra switch.
+    switch_budget:
+        Publications the copy set supports before the sparse-vector
+        budget is exhausted.  Size it to the tracked function's flip
+        bound; defaults to :func:`default_switch_budget` (``copies^2``)
+        at bind time.
+    on_exhausted:
+        ``"retire"`` (default): on exhaustion, retire the whole copy set
+        — every instance is refreshed from the coordinator's replacement
+        pool — reset the budget, and open a new generation.  The
+        guarantee window restarts (the estimate dips until the refreshed
+        copies regrow their state), which is the documented degradation
+        mode for streams that out-flip the provisioned budget.
+        ``"raise"``: raise :class:`PrivacyBudgetExhaustedError` instead.
+    rng:
+        Coordinator-side noise generator.  Defaults (at bind) to a child
+        spawned from the copy manager's fresh-randomness pool, so the
+        noise stream — like replacement RNGs — is a pure function of the
+        estimator's seed and its publication count.
+    """
+
+    name = "private-aggregate"
+    identity_decide = False
+
+    def __init__(
+        self,
+        noise_scale: float = 0.05,
+        switch_budget: int | None = None,
+        on_exhausted: str = "retire",
+        rng: np.random.Generator | None = None,
+    ):
+        if noise_scale <= 0:
+            raise ValueError(f"noise_scale must be positive, got {noise_scale}")
+        if switch_budget is not None and switch_budget < 1:
+            raise ValueError(
+                f"switch_budget must be >= 1, got {switch_budget}"
+            )
+        if on_exhausted not in ("retire", "raise"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.noise_scale = noise_scale
+        self.switch_budget = switch_budget
+        self.on_exhausted = on_exhausted
+        self._rng = rng
+        self._noise: float | None = None
+        self.publications = 0
+        self.generations = 0
+        self._bound: CopyManager | None = None
+
+    def bind(self, copies: CopyManager) -> None:
+        rebind = getattr(self, "_bound", None) is copies
+        super().bind(copies)
+        if rebind:
+            return
+        if self.switch_budget is None:
+            self.switch_budget = default_switch_budget(copies.count)
+        if self._rng is None:
+            # One child from the fresh pool; subsequent replacement
+            # draws stay on the pool's own derivation chain.
+            self._rng = copies.replacement_rng()
+        self._noise = float(self._rng.laplace(0.0, self.noise_scale))
+
+    def probe_indices(self, copies: CopyManager) -> tuple[int, ...]:
+        return tuple(range(copies.count))
+
+    def decide(self, estimates: Sequence[float]) -> float:
+        if self._noise is None:
+            raise RuntimeError(
+                "PrivateAggregateDiscipline used before bind(); construct "
+                "the estimator with discipline=... or call set_discipline"
+            )
+        return float(np.median(np.asarray(estimates, dtype=np.float64))) * (
+            1.0 + self._noise
+        )
+
+    def publish(self, band: BandPolicy, estimate: float) -> float:
+        return band.publish_aggregate(estimate)
+
+    def on_publish(
+        self, copies: CopyManager, switches: int, replace=None
+    ) -> None:
+        # AboveThreshold reset: fresh epoch noise, one budget step spent
+        # by every copy (they all contributed to the released aggregate).
+        self.publications += 1
+        self._noise = float(self._rng.laplace(0.0, self.noise_scale))
+        if self.publications - self.generations * self.switch_budget \
+                < self.switch_budget:
+            return
+        if self.on_exhausted == "raise":
+            raise PrivacyBudgetExhaustedError(
+                f"sparse-vector budget exhausted after {self.publications} "
+                f"publications (switch_budget={self.switch_budget}); the "
+                f"stream out-flipped the provisioned bound"
+            )
+        copies.refresh(replace=replace)
+        self.generations += 1
+
+    def budget_state(self) -> dict:
+        budget = self.switch_budget
+        in_generation = (
+            self.publications - self.generations * budget
+            if budget is not None
+            else self.publications
+        )
+        spent = in_generation / budget if budget else 0.0
+        return {
+            "discipline": self.name,
+            "noise_scale": self.noise_scale,
+            "switch_budget": budget,
+            "publications": self.publications,
+            "budget_spent": round(spent, 6),
+            "budget_remaining": round(max(0.0, 1.0 - spent), 6),
+            "generations": self.generations,
+        }
+
+
+def dp_copy_count(flips: int, constant: float = 2.0, floor: int = 4) -> int:
+    """The DP framework's copy count ``O(sqrt(lambda))`` for flip bound
+    ``lambda`` — versus sketch switching's ``Theta(lambda)``."""
+    if flips < 1:
+        raise ValueError(f"flip bound must be >= 1, got {flips}")
+    return max(floor, math.ceil(constant * math.sqrt(flips)))
+
+
+def resolve_discipline(spec) -> ProbeDiscipline | None:
+    """Normalise a discipline spec: None, name string, or instance.
+
+    ``None`` passes through (keep the estimator's own discipline);
+    ``"active"``/``"active-copy"`` and ``"private"``/
+    ``"private-aggregate"``/``"dp"`` build the named discipline with
+    defaults; a :class:`ProbeDiscipline` instance passes through.
+    """
+    if spec is None or isinstance(spec, ProbeDiscipline):
+        return spec
+    if isinstance(spec, str):
+        if spec in ("active", "active-copy"):
+            return ActiveCopyDiscipline()
+        if spec in ("private", "private-aggregate", "dp"):
+            return PrivateAggregateDiscipline()
+    raise ValueError(
+        f"unknown probe discipline {spec!r}; expected None, 'active', "
+        f"'private', or a ProbeDiscipline instance"
+    )

@@ -10,7 +10,7 @@ the already-published value, so each instance faces an (adaptively
 chosen but) fixed stream, to which its static tracking guarantee
 applies; the flip number bounds how many switches can ever happen.
 
-This module implements that loop **once**, layered over two orthogonal
+This module implements that loop **once**, layered over three orthogonal
 pieces:
 
 * :mod:`repro.core.bands` — the :class:`~repro.core.bands.BandPolicy`
@@ -20,14 +20,21 @@ pieces:
   driving the heavy-hitters construction;
 * :mod:`repro.core.copies` — the :class:`~repro.core.copies.CopyManager`
   owning the copy lifecycle: allocation, burn-and-advance, the
-  Theorem 4.1 restart ring, and replacement-RNG derivation.
+  Theorem 4.1 restart ring, retirement, and replacement-RNG derivation;
+* :mod:`repro.core.disciplines` — the
+  :class:`~repro.core.disciplines.ProbeDiscipline` deciding *which
+  copies* a publish decision reads and what a publication does to them:
+  Algorithm 1's active-copy probe-and-burn, or the DP framework's
+  private aggregate over all copies (Hassidim et al. 2020) with
+  sparse-vector budget accounting.
 
-:class:`SwitchingEstimator` composes ``band + copies`` into the paper's
-estimator; :class:`SketchSwitchingEstimator` (multiplicative) and
-:class:`AdditiveSwitchingEstimator` (additive) survive as thin aliases.
-A new robustness scheme — DP aggregation over all copies (Hassidim et
-al. 2020), importance sampling — is one new :class:`BandPolicy` (plus,
-where needed, an aggregation hook), not a fifth hand-rolled loop.
+:class:`SwitchingEstimator` composes ``band + copies + discipline`` into
+the paper's estimator; :class:`SketchSwitchingEstimator`
+(multiplicative) and :class:`AdditiveSwitchingEstimator` (additive)
+survive as thin aliases.  A new robustness scheme — DP aggregation over
+all copies, importance sampling — is one new :class:`BandPolicy` and/or
+one new :class:`~repro.core.disciplines.ProbeDiscipline`, not a fifth
+hand-rolled loop (:mod:`repro.robust.dp` is the existence proof).
 
 Two copy-budget modes:
 
@@ -42,11 +49,12 @@ Two copy-budget modes:
 
 Batched ingestion (``update_chunk`` / ``update_batch``) drives the same
 :class:`SwitchingProtocol` the execution engine uses, over an in-process
-:class:`~repro.core.copies.LocalCopyBackend`: the *active* copy is
-probed first (every band decision reads only it), the publish band is
-checked once at the chunk boundary, and the other copies receive one
-batch feed per clean chunk.  A crossing chunk is rolled back and
-resolved on the raw updates by snapshot bisection of the active copy —
+:class:`~repro.core.copies.LocalCopyBackend`: the discipline's *probe
+set* is probed first (the active copy alone for Algorithm 1, every copy
+for the DP aggregate), the publish band is checked once at the chunk
+boundary, and the remaining copies receive one batch feed per clean
+chunk.  A crossing chunk is rolled back and
+resolved on the raw updates by snapshot bisection of the probed copies —
 per-item exact for bisectable bands (multiplicative/epoch over monotone
 quantities), cell-granularity coalescing for the additive band (see
 :mod:`repro.core.bands`) — after which the remaining copies
@@ -85,6 +93,7 @@ from repro.core.copies import (
     LocalCopyBackend,
     SketchExhaustedError,
 )
+from repro.core.disciplines import ActiveCopyDiscipline, ProbeDiscipline
 from repro.sketches.base import Sketch, SketchFactory, aggregate_batch, as_batch_arrays
 
 __all__ = [
@@ -153,6 +162,11 @@ class SwitchingEstimator(Sketch):
     band:
         The :class:`~repro.core.bands.BandPolicy` deciding switches and
         publications.  Defaults to ``MultiplicativeBand(eps)``.
+    discipline:
+        The :class:`~repro.core.disciplines.ProbeDiscipline` deciding
+        which copies a publish decision reads and what a publication
+        does to them.  Defaults to the Algorithm 1
+        :class:`~repro.core.disciplines.ActiveCopyDiscipline`.
     restart, on_exhausted:
         Copy-lifecycle knobs, forwarded to the
         :class:`~repro.core.copies.CopyManager` (int form only).
@@ -165,6 +179,7 @@ class SwitchingEstimator(Sketch):
         eps: float | None = None,
         rng: np.random.Generator | None = None,
         band: BandPolicy | None = None,
+        discipline: ProbeDiscipline | None = None,
         restart: bool = False,
         on_exhausted: str = "raise",
     ):
@@ -184,12 +199,35 @@ class SwitchingEstimator(Sketch):
             self._copies = CopyManager(
                 factory, copies, rng, restart=restart, on_exhausted=on_exhausted
             )
+        self.discipline = discipline if discipline is not None \
+            else ActiveCopyDiscipline()
+        self.discipline.bind(self._copies)
         self.supports_deletions = (
             all(s.supports_deletions for s in self._copies.sketches)
             and not self._copies.restart
         )
         self._published = 0.0
         self.switches = 0
+        #: Any update ingested yet?  Guards set_discipline: a switch-free
+        #: prefix still carries copy state (and observable publications)
+        #: the new discipline's accounting would not cover.
+        self._ingested = False
+
+    def set_discipline(self, discipline: ProbeDiscipline) -> None:
+        """Install a probe discipline (``api.ingest(discipline=...)``).
+
+        Must happen before any updates: a mid-stream discipline change
+        would mix two protocols' published-value semantics — and for the
+        DP discipline, start the privacy-budget accounting over a
+        history it never covered.
+        """
+        if self._ingested or self.switches or self._published:
+            raise ValueError(
+                "cannot change the probe discipline mid-stream; build the "
+                "estimator with discipline=... instead"
+            )
+        discipline.bind(self._copies)
+        self.discipline = discipline
 
     # -- compatibility / introspection surfaces --------------------------
 
@@ -230,16 +268,19 @@ class SwitchingEstimator(Sketch):
     # -- the per-item protocol -------------------------------------------
 
     def update(self, item: int, delta: int = 1) -> None:
+        self._ingested = True
         for s in self._copies.sketches:
             s.update(item, delta)
-        y = self._copies.active.query()
+        d = self.discipline
+        y = d.decide(self._copies.estimate_all(d.probe_indices(self._copies)))
         if self.band.within(self._published, y):
             return
-        # Publish the rounded fresh estimate from the (now burned) active
-        # copy, then advance.
-        self._published = self.band.publish(y)
+        # Publish the rounded decision estimate, then apply the
+        # discipline's copy-lifecycle consequence (burn-and-advance for
+        # the active-copy discipline, budget accounting for DP).
+        self._published = d.publish(self.band, y)
         self.switches += 1
-        self._copies.advance(self.switches)
+        d.on_publish(self._copies, self.switches)
 
     # -- chunked ingestion (the shared protocol, in-process) -------------
 
@@ -329,13 +370,15 @@ class SwitchingProtocol:
     """The chunk discipline of Algorithm 1 over a copy backend.
 
     Owns the protocol state transitions (published value, switch count,
-    copy advancement) on the coordinator; the backend owns the copies —
-    in-process (:class:`~repro.core.copies.LocalCopyBackend`, used by
-    ``update_chunk``) or sharded across forked workers
-    (:mod:`repro.engine.executor`).  Every band decision reads only the
-    active copy, so the driver probes *it* first and touches the other
-    copies exactly once per clean chunk (or once per switch segment on a
-    crossing chunk).
+    copy lifecycle consequences) on the coordinator; the backend owns
+    the copies — in-process (:class:`~repro.core.copies.LocalCopyBackend`,
+    used by ``update_chunk``) or sharded across forked workers
+    (:mod:`repro.engine.executor`).  The estimator's
+    :class:`~repro.core.disciplines.ProbeDiscipline` names the copies a
+    band decision reads — the active copy alone for Algorithm 1, every
+    copy for the DP private aggregate — so the driver probes *those*
+    first and touches the remaining copies exactly once per clean chunk
+    (or once per switch segment on a crossing chunk).
 
     The optional *hoists* — pre-aggregating each chunk once instead of
     once per copy, and dropping items every live copy has already seen —
@@ -355,6 +398,7 @@ class SwitchingProtocol:
     ):
         self._sw = estimator
         self._band = estimator.band
+        self._disc = estimator.discipline
         self._copies = estimator._copies
         self._backend = backend
         self._seen = seen_filter
@@ -363,8 +407,8 @@ class SwitchingProtocol:
         self._items: np.ndarray | None = None
         self._deltas: np.ndarray | None = None
 
-    def _active(self) -> int:
-        return self._copies.active_index
+    def _probes(self) -> tuple[int, ...]:
+        return self._disc.probe_indices(self._copies)
 
     # -- feeding --------------------------------------------------------
 
@@ -393,6 +437,7 @@ class SwitchingProtocol:
         if count == 0:
             return
         sw = self._sw
+        sw._ingested = True
         self._backend.stage(items, deltas)
         self._items, self._deltas = items, deltas
         if count <= REPLAY_LEAF:
@@ -400,7 +445,7 @@ class SwitchingProtocol:
             # update (no chunk-level coalescing), like the per-item path.
             self._drive_raw(0, count)
             return
-        active = self._active()
+        probes = self._probes()
         uniq = None
         probed_sub = True
         if self._seen is not None and int(deltas.min()) > 0:
@@ -410,110 +455,149 @@ class SwitchingProtocol:
                 # Every live copy has seen every item here: no copy's
                 # state — hence no band check — can change.
                 return
-            y = self._backend.probe_sub(fresh, None, True, active)
+            ys = self._backend.probe_sub(fresh, None, True, probes)
         elif self._aggregate_once:
             agg_items, agg_deltas = (
                 aggregated if aggregated is not None
                 else aggregate_batch(items, deltas)
             )
-            y = self._backend.probe_sub(
-                agg_items, agg_deltas, self._unique_hint, active
+            ys = self._backend.probe_sub(
+                agg_items, agg_deltas, self._unique_hint, probes
             )
         else:
             probed_sub = False
-            y = self._backend.probe_raw(active)
-        if self._band.within(sw._published, y):
-            # Clean chunk (the common case): the active copy already has
-            # it; give the others the same pre-processed feed.
-            self._backend.keep_active(active)
-            if probed_sub:
-                self._backend.feed_others_sub(active)
-            else:
-                self._backend.feed_others_raw(active)
+            ys = self._backend.probe_raw(probes)
+        if self._band.within(sw._published, self._disc.decide(ys)):
+            # Clean chunk (the common case): the probed copies already
+            # have it; give the others the same pre-processed feed.  An
+            # all-copy probe (the DP discipline) leaves no others — skip
+            # the guaranteed no-op rather than pay one feed command per
+            # worker for it.
+            self._backend.keep_probed(probes)
+            if len(probes) < self._copies.count:
+                if probed_sub:
+                    self._backend.feed_others_sub(probes)
+                else:
+                    self._backend.feed_others_raw(probes)
             if uniq is not None:
                 self._seen.mark(uniq)
             return
-        # Crossed somewhere inside: rewind the active copy and resolve
+        # Crossed somewhere inside: rewind the probed copies and resolve
         # the switch positions exactly on the raw updates.
-        self._backend.roll_active(active)
+        self._backend.roll_probed(probes)
         self._drive_raw(0, count)
 
     def _drive_raw(self, lo: int, hi: int) -> None:
-        """Resolve [lo, hi) exactly: locate each switch via the active
-        copy, then batch the remaining copies up to it.
+        """Resolve [lo, hi) exactly: locate each switch via the probed
+        copies, then batch the remaining copies up to it.
 
-        On entry no copy has seen [lo, hi).  The active copy advances
+        On entry no copy has seen [lo, hi).  The probed copies advance
         through :meth:`_search`; after each located switch the other
         copies catch up to the switch position in one feed and the
-        protocol continues with the next active copy.
+        protocol continues with the discipline's (possibly changed)
+        probe set.
         """
         sw = self._sw
         switches_before = sw.switches
         pos = lo
         while pos < hi:
-            active = self._active()
-            crossing = self._search(pos, hi, active)
+            probes = self._probes()
+            all_probed = len(probes) == self._copies.count
+            crossing = self._search(pos, hi, probes)
             if crossing is None:
-                self._backend.catch_up(pos, hi, active)
+                if not all_probed:
+                    self._backend.catch_up(pos, hi, probes)
                 break
             cpos, y = crossing
-            self._backend.catch_up(pos, cpos + 1, active)
-            sw._published = self._band.publish(y)
+            if not all_probed:
+                self._backend.catch_up(pos, cpos + 1, probes)
+            sw._published = self._disc.publish(self._band, y)
             sw.switches += 1
-            self._copies.advance(sw.switches, replace=self._backend.replace)
+            self._disc.on_publish(
+                self._copies, sw.switches, replace=self._backend.replace
+            )
             pos = cpos + 1
         if self._seen is not None and sw.switches != switches_before:
-            # A switch invalidates the filter: the replacement (or newly
+            # A switch invalidates the filter: a replacement (or newly
             # active) copy was born mid-chunk and must re-see later
             # occurrences of items the older copies already absorbed.
             self._seen.reset()
 
-    def _search(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
-        """First band crossing in [lo, hi), probing the active copy only.
+    def _search(
+        self, lo: int, hi: int, probes: tuple[int, ...]
+    ) -> tuple[int, float] | None:
+        """First band crossing in [lo, hi), reading only the probe set.
 
         The first item is stepped **per item**, exactly as the protocol
-        would: right after a switch the new active copy's estimate can
-        sit outside the just-published band (independent copies
-        disagree), and the per-item protocol switches again immediately
-        — an exit a batch probe would coalesce once the estimate moves
-        back into the band.  The rest of the range goes through snapshot
-        bisection of the active copy, treating an in-band cell boundary
-        as a clean prefix.  For a *bisectable* band (multiplicative or
-        epoch over a monotone tracked quantity) that treatment is exact:
-        after one in-band check every later crossing is one-sided and
-        unique, so bisection pins the per-item switch position.  For a
-        non-bisectable band (additive/entropy — H oscillates) it is the
-        documented coalescing rule applied at bisect-cell granularity: a
-        transient excursion that enters and fully exits the band inside
-        a cell whose boundary lands in band is coalesced, just as at
-        chunk boundaries; for trajectories monotone across each cell the
+        would: right after a switch the new decision estimate can sit
+        outside the just-published band (independent copies disagree;
+        fresh SVT noise shifts the aggregate), and the per-item protocol
+        switches again immediately — an exit a batch probe would
+        coalesce once the estimate moves back into the band.  The rest
+        of the range goes through snapshot bisection of the probed
+        copies, treating an in-band cell boundary as a clean prefix.
+        For a *bisectable* band (multiplicative or epoch over a monotone
+        tracked quantity) that treatment is exact: after one in-band
+        check every later crossing is one-sided and unique, so bisection
+        pins the per-item switch position — and it stays exact under the
+        private-aggregate discipline, whose within-epoch decision
+        estimate (a fixed-noise scaling of the median of monotone copy
+        estimates) is itself monotone.  For a non-bisectable band
+        (additive/entropy — H oscillates) it is the documented
+        coalescing rule applied at bisect-cell granularity: a transient
+        excursion that enters and fully exits the band inside a cell
+        whose boundary lands in band is coalesced, just as at chunk
+        boundaries; for trajectories monotone across each cell the
         result is still per-item exact (the band is an interval).
-        Crossing chunks are rare, and only the active copy pays the
+        Crossing chunks are rare, and only the probed copies pay the
         search.
 
-        Returns ``(position, estimate)`` with the active copy fed
+        Returns ``(position, estimate)`` with the probed copies fed
         through ``position`` (or through ``hi - 1`` if no crossing).
         """
         sw = self._sw
-        y = self._backend.step_active(lo, active)
+        y = self._disc.decide(self._backend.step_probed(lo, probes))
         if self._band.crossed(sw._published, y):
             return lo, y
         if lo + 1 >= hi:
             return None
-        return self._bisect(lo + 1, hi, active)
+        return self._bisect(lo + 1, hi, probes)
 
-    def _bisect(self, lo: int, hi: int, active: int) -> tuple[int, float] | None:
+    def _bisect(
+        self, lo: int, hi: int, probes: tuple[int, ...]
+    ) -> tuple[int, float] | None:
         """Bisect for the unique one-sided crossing; leaves scan per item."""
         sw = self._sw
         if hi - lo <= REPLAY_LEAF:
-            return self._backend.scan_active(
-                lo, hi, active, sw._published, self._band
-            )
+            return self._scan(lo, hi, probes)
         mid = (lo + hi) // 2
-        self._backend.snap_active(active)
-        y = self._backend.feed_active(lo, mid, active)
+        self._backend.snap_probed(probes)
+        y = self._disc.decide(self._backend.feed_probed(lo, mid, probes))
         if self._band.within(sw._published, y):
-            self._backend.keep_active(active)
-            return self._bisect(mid, hi, active)
-        self._backend.roll_active(active)
-        return self._bisect(lo, mid, active)
+            self._backend.keep_probed(probes)
+            return self._bisect(mid, hi, probes)
+        self._backend.roll_probed(probes)
+        return self._bisect(lo, mid, probes)
+
+    def _scan(
+        self, lo: int, hi: int, probes: tuple[int, ...]
+    ) -> tuple[int, float] | None:
+        """Per-item scan of a bisection leaf.
+
+        Identity-decide disciplines with a single probed copy resolve
+        the scan where the copy lives (one command, no per-item round
+        trips); aggregating disciplines step the probe set per item and
+        decide on the coordinator — leaves are at most ``REPLAY_LEAF``
+        updates and crossing chunks are rare, so the round trips are
+        bounded.
+        """
+        sw = self._sw
+        if len(probes) == 1 and self._disc.identity_decide:
+            return self._backend.scan_probed(
+                lo, hi, probes[0], sw._published, self._band
+            )
+        for pos in range(lo, hi):
+            y = self._disc.decide(self._backend.step_probed(pos, probes))
+            if self._band.crossed(sw._published, y):
+                return pos, y
+        return None

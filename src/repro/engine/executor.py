@@ -92,8 +92,11 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
     ``copies`` is a list of ``[global_index, sketch]`` pairs inherited
     through fork; ``views`` maps region name -> (items, deltas) NumPy
     views over the shared-memory buffers.  Commands arrive in order per
-    pipe, which is the only ordering the protocol relies on; commands
-    about the *active* copy only ever reach the worker that owns it.
+    pipe, which is the only ordering the protocol relies on; probe/search
+    commands name the *probed* copies this worker owns (the active copy
+    under the active-copy discipline, this worker's whole shard under the
+    DP all-copy probe) and replies carry ``(index, estimate)`` pairs so
+    the coordinator can reassemble the probe set in discipline order.
     Band policies arrive inside the scan command (small frozen
     dataclasses), so the worker resolves a per-item crossing with the
     coordinator's exact predicate.
@@ -109,54 +112,69 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
         items, deltas = views[region]
         return items[lo:hi], (None if unit else deltas[lo:hi])
 
-    active_stack: list = []  # snapshots of this worker's active copy
+    # Stack of probed-copy snapshot lists: [[(idx, snapshot), ...], ...]
+    snap_stack: list = []
     try:
         while True:
             msg = conn.recv()
             op = msg[0]
             if op == "feed":
-                # Feed every owned copy except `exclude` (the active one,
-                # which took the same updates through probe/search ops;
-                # exclude=-1 feeds all, the uniform-ring case).
+                # Feed every owned copy except the probed `exclude` set
+                # (which took the same updates through probe/search ops;
+                # an empty exclude feeds all, the uniform-ring case).
                 _, region, lo, hi, unit, assume_unique, exclude = msg
                 its, dts = slice_of(region, lo, hi, unit)
+                excluded = set(exclude)
                 for i, s in copies:
-                    if i == exclude:
+                    if i in excluded:
                         continue
                     if assume_unique and unique_hint:
                         s.update_batch(its, dts, assume_unique=True)
                     else:
                         s.update_batch(its, dts)
             elif op == "probe":
-                _, region, lo, hi, unit, assume_unique, active = msg
-                slot = lookup(active)
-                active_stack.append(slot[1].snapshot())
+                _, region, lo, hi, unit, assume_unique, probed = msg
                 its, dts = slice_of(region, lo, hi, unit)
-                if assume_unique and unique_hint:
-                    slot[1].update_batch(its, dts, assume_unique=True)
-                else:
-                    slot[1].update_batch(its, dts)
-                conn.send(("ok", slot[1].query()))
+                snaps, out = [], []
+                for idx in probed:
+                    slot = lookup(idx)
+                    snaps.append((idx, slot[1].snapshot()))
+                    if assume_unique and unique_hint:
+                        slot[1].update_batch(its, dts, assume_unique=True)
+                    else:
+                        slot[1].update_batch(its, dts)
+                    out.append((idx, slot[1].query()))
+                snap_stack.append(snaps)
+                conn.send(("ok", out))
             elif op == "akeep":
-                active_stack.pop()
+                snap_stack.pop()
             elif op == "aroll":
-                _, active = msg
-                lookup(active)[1] = active_stack.pop()
+                for idx, snap in snap_stack.pop():
+                    lookup(idx)[1] = snap
             elif op == "asnap":
-                _, active = msg
-                active_stack.append(lookup(active)[1].snapshot())
+                _, probed = msg
+                snap_stack.append(
+                    [(idx, lookup(idx)[1].snapshot()) for idx in probed]
+                )
             elif op == "afeed":
-                _, lo, hi, active = msg
-                slot = lookup(active)
+                _, lo, hi, probed = msg
                 its, dts = slice_of("raw", lo, hi, False)
-                slot[1].update_batch(its, dts)
-                conn.send(("ok", slot[1].query()))
+                out = []
+                for idx in probed:
+                    slot = lookup(idx)
+                    slot[1].update_batch(its, dts)
+                    out.append((idx, slot[1].query()))
+                conn.send(("ok", out))
             elif op == "astep":
-                _, pos, active = msg
-                sk = lookup(active)[1]
+                _, pos, probed = msg
                 items, deltas = views["raw"]
-                sk.update(int(items[pos]), int(deltas[pos]))
-                conn.send(("ok", sk.query()))
+                item, delta = int(items[pos]), int(deltas[pos])
+                out = []
+                for idx in probed:
+                    sk = lookup(idx)[1]
+                    sk.update(item, delta)
+                    out.append((idx, sk.query()))
+                conn.send(("ok", out))
             elif op == "ascan":
                 _, lo, hi, active, published, band = msg
                 sk = lookup(active)[1]
@@ -346,76 +364,105 @@ class _ProcessCopyBackend:
         """Stage a pre-processed feed without probing (uniform fan-outs).
 
         Safe to call right after :meth:`stage` (which fenced the previous
-        chunk); the subsequent ``feed_others_sub(-1)`` then fans the
+        chunk); the subsequent ``feed_others_sub(())`` then fans the
         staged arrays to every copy.
         """
         self._sub_len = self._buffers.write("sub", items, deltas)
         self._sub_unit = deltas is None
         self._sub_unique = assume_unique
 
-    def _owner_conn(self, active: int):
-        return self._conns[self._owner[active]]
+    def _owner_conn(self, idx: int):
+        return self._conns[self._owner[idx]]
 
-    # -- active-copy probe/search ops -----------------------------------
+    def _group(self, probes: tuple[int, ...]) -> dict[int, list[int]]:
+        """Group probed copy indices by owning worker (insertion order)."""
+        groups: dict[int, list[int]] = {}
+        for idx in probes:
+            groups.setdefault(self._owner[idx], []).append(idx)
+        return groups
 
-    def probe_sub(self, items, deltas, assume_unique: bool, active: int) -> float:
+    def _gather(self, groups: dict[int, list[int]], probes) -> list[float]:
+        """Collect (index, estimate) replies and order them like probes."""
+        by_index: dict[int, float] = {}
+        for worker in groups:
+            for idx, y in self._recv(self._conns[worker]):
+                by_index[idx] = y
+        return [by_index[idx] for idx in probes]
+
+    # -- probed-copy probe/search ops -----------------------------------
+
+    def probe_sub(
+        self, items, deltas, assume_unique: bool, probes: tuple[int, ...]
+    ) -> list[float]:
         self._barrier()
         self.stage_sub(items, deltas, assume_unique)
-        conn = self._owner_conn(active)
-        _send(conn, ("probe", "sub", 0, self._sub_len, self._sub_unit,
-                   assume_unique, active))
-        return self._recv(conn)
+        groups = self._group(probes)
+        for worker, owned in groups.items():
+            _send(self._conns[worker],
+                  ("probe", "sub", 0, self._sub_len, self._sub_unit,
+                   assume_unique, owned))
+        return self._gather(groups, probes)
 
-    def probe_raw(self, active: int) -> float:
+    def probe_raw(self, probes: tuple[int, ...]) -> list[float]:
         self._sub_len = 0
-        conn = self._owner_conn(active)
-        _send(conn, ("probe", "raw", 0, self._raw_len, False, False, active))
-        return self._recv(conn)
+        groups = self._group(probes)
+        for worker, owned in groups.items():
+            _send(self._conns[worker],
+                  ("probe", "raw", 0, self._raw_len, False, False, owned))
+        return self._gather(groups, probes)
 
-    def keep_active(self, active: int) -> None:
-        _send(self._owner_conn(active), ("akeep",))
+    def keep_probed(self, probes: tuple[int, ...]) -> None:
+        for worker in self._group(probes):
+            _send(self._conns[worker], ("akeep",))
         self._dirty = True
 
-    def roll_active(self, active: int) -> None:
-        _send(self._owner_conn(active), ("aroll", active))
+    def roll_probed(self, probes: tuple[int, ...]) -> None:
+        for worker in self._group(probes):
+            _send(self._conns[worker], ("aroll",))
         self._dirty = True
 
-    def snap_active(self, active: int) -> None:
-        _send(self._owner_conn(active), ("asnap", active))
+    def snap_probed(self, probes: tuple[int, ...]) -> None:
+        for worker, owned in self._group(probes).items():
+            _send(self._conns[worker], ("asnap", owned))
         self._dirty = True
 
-    def feed_active(self, lo: int, hi: int, active: int) -> float:
-        conn = self._owner_conn(active)
-        _send(conn, ("afeed", lo, hi, active))
-        return self._recv(conn)
+    def feed_probed(
+        self, lo: int, hi: int, probes: tuple[int, ...]
+    ) -> list[float]:
+        groups = self._group(probes)
+        for worker, owned in groups.items():
+            _send(self._conns[worker], ("afeed", lo, hi, owned))
+        return self._gather(groups, probes)
 
-    def step_active(self, pos: int, active: int) -> float:
-        conn = self._owner_conn(active)
-        _send(conn, ("astep", pos, active))
-        return self._recv(conn)
+    def step_probed(self, pos: int, probes: tuple[int, ...]) -> list[float]:
+        groups = self._group(probes)
+        for worker, owned in groups.items():
+            _send(self._conns[worker], ("astep", pos, owned))
+        return self._gather(groups, probes)
 
-    def scan_active(
-        self, lo: int, hi: int, active: int, published: float, band
+    def scan_probed(
+        self, lo: int, hi: int, probe: int, published: float, band
     ) -> tuple[int, float] | None:
-        conn = self._owner_conn(active)
-        _send(conn, ("ascan", lo, hi, active, published, band))
+        conn = self._owner_conn(probe)
+        _send(conn, ("ascan", lo, hi, probe, published, band))
         got = self._recv(conn)
         return None if got is None else tuple(got)
 
-    # -- non-active copies ----------------------------------------------
+    # -- non-probed copies ----------------------------------------------
 
-    def feed_others_sub(self, exclude: int) -> None:
+    def feed_others_sub(self, exclude: tuple[int, ...]) -> None:
         for conn in self._conns:
             _send(conn, ("feed", "sub", 0, self._sub_len, self._sub_unit,
-                       self._sub_unique, exclude))
+                       self._sub_unique, tuple(exclude)))
         self._dirty = True
 
-    def feed_others_raw(self, exclude: int) -> None:
+    def feed_others_raw(self, exclude: tuple[int, ...]) -> None:
         self.catch_up(0, self._raw_len, exclude)
 
-    def catch_up(self, lo: int, hi: int, exclude: int) -> None:
+    def catch_up(self, lo: int, hi: int, exclude: tuple[int, ...]) -> None:
         for conn in self._conns:
-            _send(conn, ("feed", "raw", lo, hi, False, False, exclude))
+            _send(conn, ("feed", "raw", lo, hi, False, False,
+                         tuple(exclude)))
         self._dirty = True
 
     def replace(self, idx: int, rng: np.random.Generator) -> None:
@@ -499,8 +546,14 @@ class IngestSession(abc.ABC):
     mode: str = "serial"
 
     #: Band-policy name driving this session, if any ("multiplicative",
-    #: "additive", "epoch") — surfaced by IngestReport.
+    #: "additive", "epoch") — surfaced by IngestReport.  (The probe
+    #: discipline is *not* mirrored here: IngestReport derives it from
+    #: the one authoritative surface, ``api.discipline_state``.)
     policy: str | None = None
+
+    #: Why the planner fell back to plain serial feeding, if it did —
+    #: surfaced by IngestReport so a fallback is observable, not silent.
+    fallback_reason: str | None = None
 
     @abc.abstractmethod
     def feed(self, items, deltas=None) -> None:
@@ -529,9 +582,13 @@ class IngestSession(abc.ABC):
 class _PlainSession(IngestSession):
     """Deterministic fallback: plain ``update_batch`` on this process."""
 
-    def __init__(self, estimator: Sketch, mode: str = "serial"):
+    def __init__(
+        self, estimator: Sketch, mode: str = "serial",
+        fallback_reason: str | None = None,
+    ):
         self._est = estimator
         self.mode = mode
+        self.fallback_reason = fallback_reason
 
     def feed(self, items, deltas=None) -> None:
         self._est.update_batch(items, deltas)
@@ -624,9 +681,9 @@ class _EpochSession(IngestSession):
         ring.stage(items, deltas)
         if hoists.aggregate_once:
             ring.stage_sub(aggregated[0], aggregated[1], hoists.unique_hint)
-            ring.feed_others_sub(-1)
+            ring.feed_others_sub(())
         else:
-            ring.feed_others_raw(-1)
+            ring.feed_others_raw(())
 
     def query(self) -> float:
         # Published snapshots and the L2 estimate are coordinator state.
@@ -780,7 +837,9 @@ class SerialEngine(ExecutionEngine):
                 LocalCopyBackend(plan.ring, plan.ring_hoists.unique_hint),
                 mode="serial",
             )
-        return _PlainSession(estimator)
+        return _PlainSession(
+            estimator, fallback_reason=getattr(plan, "reason", None)
+        )
 
 
 class ProcessEngine(ExecutionEngine):
@@ -860,7 +919,9 @@ class ProcessEngine(ExecutionEngine):
             return _ProcessMergeSession(
                 plan, self.workers, self.chunk_capacity
             )
-        return _PlainSession(estimator)
+        return _PlainSession(
+            estimator, fallback_reason=getattr(plan, "reason", None)
+        )
 
 
 def resolve_engine(spec) -> ExecutionEngine | None:

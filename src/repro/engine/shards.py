@@ -3,11 +3,17 @@
 Sketch switching derives robustness from many independent copies of a
 static sketch — a workload that is embarrassingly parallel *per copy*:
 every copy must see every update, but no copy's state depends on any
-other's, and the publish-band decision reads only the active copy.  That
-holds for **every** band policy (multiplicative, additive, epoch); the
-policy only changes how the coordinator resolves a boundary check, so
-the planner is band-agnostic and simply carries the estimator's
-:class:`~repro.core.bands.BandPolicy` into the plan.  A single mergeable
+other's, and the publish-band decision reads only the estimator's
+*probe set* — the active copy under
+:class:`~repro.core.disciplines.ActiveCopyDiscipline`, every copy under
+the DP :class:`~repro.core.disciplines.PrivateAggregateDiscipline`
+(whose all-copy probe step the executors fan out across whichever
+workers own the probed copies).  That holds for **every** band policy
+(multiplicative, additive, epoch) and both disciplines; they only
+change how the coordinator resolves a boundary check, so the planner is
+band- and discipline-agnostic and simply carries the estimator's
+:class:`~repro.core.bands.BandPolicy` and
+:class:`~repro.core.disciplines.ProbeDiscipline` into the plan.  A single mergeable
 sketch parallelises differently — *per partial*: the stream is sliced,
 each worker folds its slice into a private partial, and partials combine
 through :meth:`repro.sketches.base.Sketch.merge`.
@@ -180,7 +186,8 @@ class CopyHoists:
 
 @dataclass
 class SwitchingShardPlan:
-    """Per-copy fan-out for a switching estimator (any band policy)."""
+    """Per-copy fan-out for a switching estimator (any band policy and
+    any probe discipline)."""
 
     switcher: SwitchingEstimator
     hoists: CopyHoists
@@ -188,6 +195,11 @@ class SwitchingShardPlan:
     @property
     def band(self) -> BandPolicy:
         return self.switcher.band
+
+    @property
+    def discipline(self):
+        """The estimator's :class:`~repro.core.disciplines.ProbeDiscipline`."""
+        return self.switcher.discipline
 
     @property
     def unique_hint(self) -> bool:

@@ -31,6 +31,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "E.Switch": theorems.e_framework_crossover,
     "E.Switch.runoff": theorems.e_framework_runoff,
     "E.Engine": theorems.e_engine_bands,
+    "E.DP": theorems.e_dp_discipline,
 }
 
 

@@ -2,6 +2,11 @@
 
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
+from repro.robust.dp import (
+    RobustDPDistinctElements,
+    RobustDPEstimator,
+    RobustDPF2,
+)
 from repro.robust.distinct import (
     FastRobustDistinctElements,
     RobustDistinctElements,
@@ -21,6 +26,9 @@ __all__ = [
     "RobustBoundedDeletionFp",
     "CryptoRobustDistinctElements",
     "FastRobustDistinctElements",
+    "RobustDPDistinctElements",
+    "RobustDPEstimator",
+    "RobustDPF2",
     "RobustDistinctElements",
     "paper_space_bound_theorem_51",
     "paper_space_bound_theorem_54",

@@ -1,0 +1,205 @@
+"""DP-robust estimators (Hassidim et al. 2020): discipline + band, no loop.
+
+"Adversarially Robust Streaming Algorithms via Differential Privacy"
+(Hassidim, Kaplan, Mansour, Matias, Stemmer — NeurIPS 2020) replaces
+Algorithm 1's probe-and-burn with *private aggregate publishing*: every
+copy is fed every update, publish decisions read a **noisy median over
+all copies** behind a sparse-vector (AboveThreshold) budget, and no copy
+is burned on a switch — the Laplace noise, not retirement, keeps each
+copy's randomness hidden from the adversary.  By advanced composition a
+set of ``k`` copies supports ``~k^2`` published switches, so a flip
+bound of ``lambda`` costs ``O(sqrt(lambda))`` copies instead of
+Algorithm 1's ``Theta(lambda)`` — the space advantage
+:mod:`benchmarks/bench_dp.py` measures.  (For *monotone* quantities the
+paper's own Theorem 4.1 restart ring is the stronger optimization; the
+DP scheme's edge is that it never needs the ring's growth argument, so
+it composes with any static sketch the flip bound covers.)
+
+These wrappers are the refactor's existence proof: a new robustness
+scheme is **a probe discipline plus a band policy**, not a fifth
+hand-rolled loop.  Both classes below contain no protocol code at all —
+they size a copy set, pick :class:`~repro.core.bands.MultiplicativeBand`
+and :class:`~repro.core.disciplines.PrivateAggregateDiscipline`, and
+delegate everything (per-item, chunked, and both execution engines) to
+the one :class:`~repro.core.sketch_switching.SwitchingEstimator`.
+
+The adversarial layer runs against them unchanged — the per-item
+:class:`~repro.adversary.game.AdversarialGame` and the Algorithm 3 AMS
+attack only ever see published estimates
+(``tests/test_robust_dp.py`` pins survival).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bands import MultiplicativeBand
+from repro.core.disciplines import PrivateAggregateDiscipline, dp_copy_count
+from repro.core.flip_number import (
+    fp_flip_number_bound,
+    monotone_flip_number_bound,
+)
+from repro.core.sketch_switching import SwitchingEstimator
+from repro.sketches.base import Sketch
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.stable import PStableSketch
+
+__all__ = ["RobustDPDistinctElements", "RobustDPEstimator", "RobustDPF2"]
+
+
+class RobustDPEstimator(Sketch):
+    """Shared delegation shell of the DP-robust wrappers.
+
+    Subclasses size a copy factory and a flip bound in ``__init__`` and
+    call :meth:`_build`; everything else — the per-item protocol, the
+    chunked path, engine sessions, budget state — is the generic
+    switching estimator under the private-aggregate discipline.
+    """
+
+    supports_deletions = False
+
+    def _build(
+        self,
+        factory,
+        copies: int,
+        eps: float,
+        rng: np.random.Generator,
+        switch_budget: int,
+        noise_scale: float | None,
+    ) -> None:
+        discipline = PrivateAggregateDiscipline(
+            noise_scale=noise_scale if noise_scale is not None else eps / 12,
+            switch_budget=switch_budget,
+        )
+        self._switcher = SwitchingEstimator(
+            factory, copies=copies, rng=rng,
+            band=MultiplicativeBand(eps), discipline=discipline,
+        )
+
+    @property
+    def switches(self) -> int:
+        return self._switcher.switches
+
+    @property
+    def copies(self) -> int:
+        return self._switcher.copies
+
+    @property
+    def discipline(self) -> PrivateAggregateDiscipline:
+        return self._switcher.discipline
+
+    def budget_state(self) -> dict:
+        """Sparse-vector budget introspection (publications, remaining)."""
+        return self._switcher.discipline.budget_state()
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._switcher.update(item, delta)
+
+    def update_batch(self, items, deltas=None) -> None:
+        """Chunked oblivious ingestion through the shared protocol."""
+        self._switcher.update_chunk(items, deltas)
+
+    def query(self) -> float:
+        return self._switcher.query()
+
+    def space_bits(self) -> int:
+        return self._switcher.space_bits()
+
+
+class RobustDPDistinctElements(RobustDPEstimator):
+    """Robust (1 ± eps) F0 tracking by DP aggregate publishing over KMV.
+
+    The DP twin of :class:`~repro.robust.distinct.RobustDistinctElements`
+    (Theorem 5.1): same static tracker, same multiplicative band, but
+    ``O(sqrt(lambda))`` copies under the private-aggregate discipline
+    instead of ``Theta(lambda)`` burned copies.  ``paper_copies_plain``
+    records what plain Algorithm 1 would provision for the same flip
+    bound, for the space comparison the benchmark reports.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        eps: float,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+        copies: int | None = None,
+        switch_budget: int | None = None,
+        noise_scale: float | None = None,
+        eps0_fraction: float = 0.25,
+        kmv_constant: float = 3.0,
+        dp_constant: float = 2.0,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        self.n = n
+        self.m = m
+        self.eps = eps
+        # F0 <= n is monotone; switches need an (eps/2)-factor move.
+        flips = monotone_flip_number_bound(eps / 2, 1.0, float(n))
+        #: Plain Algorithm 1's live copy count for the same flip bound.
+        self.paper_copies_plain = flips + 4
+        if copies is None:
+            copies = dp_copy_count(flips, constant=dp_constant)
+        if switch_budget is None:
+            switch_budget = flips + 4  # sized to the stream class
+        eps0 = eps * eps0_fraction
+        delta0 = delta / max(copies, 1)
+
+        def factory(child: np.random.Generator) -> KMVSketch:
+            return KMVSketch.for_accuracy(
+                eps0, delta0, child, constant=kmv_constant
+            )
+
+        self._build(factory, copies, eps, rng, switch_budget, noise_scale)
+
+
+class RobustDPF2(RobustDPEstimator):
+    """Robust (1 ± eps) F2 tracking by DP aggregate publishing.
+
+    The tracker the Algorithm 3 attack experiment runs against: each
+    copy is a static 2-stable F2 sketch, the decision estimate is the
+    noisy median over all copies, and the attack — which collapses one
+    unprotected AMS sketch by probing its published estimates — only
+    ever sees the rounded private aggregate.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        eps: float,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+        copies: int | None = None,
+        switch_budget: int | None = None,
+        noise_scale: float | None = None,
+        stable_constant: float = 6.0,
+        dp_constant: float = 2.0,
+        M: int = 1 << 20,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        self.n = n
+        self.m = m
+        self.eps = eps
+        # F2 tracking on the moment scale (insertion-only: monotone).
+        flips = fp_flip_number_bound(eps / 2, n, 2.0, M)
+        self.paper_copies_plain = flips + 4
+        if copies is None:
+            copies = dp_copy_count(flips, constant=dp_constant)
+        if switch_budget is None:
+            switch_budget = flips + 4
+        # The noisy median supplies its own cross-copy amplification, so
+        # each copy runs at constant failure probability like the
+        # MedianTracker base instances do.
+        eps0 = eps / 4 / 2.0  # moment scale: halve the norm-scale budget
+
+        def factory(child: np.random.Generator) -> PStableSketch:
+            return PStableSketch.for_accuracy(
+                2.0, eps0, 0.25, child,
+                constant=stable_constant, return_moment=True,
+            )
+
+        self._build(factory, copies, eps, rng, switch_budget, noise_scale)

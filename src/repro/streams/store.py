@@ -165,7 +165,19 @@ class StreamWriter:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        """Flush-and-finalize on clean exit; fail loud on exception.
+
+        A ``with`` block that raises mid-write aborts instead of
+        sealing: the directory stays header-less (unreadable), so a
+        truncated stream can never masquerade as a complete store.  The
+        exception propagates.  Callers that *want* a partial stream
+        sealed (the ``api.ingest`` spill tee) call :meth:`close`
+        explicitly instead of relying on the context manager.
+        """
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 def write_stream(

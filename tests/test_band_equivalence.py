@@ -1,14 +1,17 @@
-"""Property tests: band-policy equivalence across execution paths.
+"""Property tests: band-policy and probe-discipline equivalence across
+execution paths.
 
-The refactor's load-bearing claim (ISSUE 3 satellite): for every
-:class:`~repro.core.bands.BandPolicy`, the per-item protocol, the serial
-chunked path (``update_chunk``), and the engine sessions publish
-identical outputs and switch counts on exact-state sketches — with the
-one *documented* exception that non-monotone trackers under the additive
-band coalesce a transient band exit that fully reverts between two
-boundary checks.  Hypothesis drives the stream shapes and chunk sizes;
-the forced mid-chunk revert case pins the coalescing behaviour
-explicitly.
+The refactor's load-bearing claim (ISSUE 3 satellite, extended by the
+ISSUE 4 discipline axis): for every
+:class:`~repro.core.bands.BandPolicy` and both
+:class:`~repro.core.disciplines.ProbeDiscipline` implementations, the
+per-item protocol, the serial chunked path (``update_chunk``), and the
+engine sessions publish identical outputs and switch counts on
+exact-state sketches — with the one *documented* exception that
+non-monotone trackers under the additive band coalesce a transient band
+exit that fully reverts between two boundary checks.  Hypothesis drives
+the stream shapes and chunk sizes; the forced mid-chunk revert case pins
+the coalescing behaviour explicitly.
 """
 
 import math
@@ -19,6 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bands import AdditiveBand, MultiplicativeBand
+from repro.core.disciplines import PrivateAggregateDiscipline
 from repro.core.sketch_switching import SwitchingEstimator
 from repro.engine import ProcessEngine, SerialEngine, fork_available
 from repro.robust.heavy_hitters import RobustHeavyHitters
@@ -111,6 +115,76 @@ class TestMultiplicativeEquivalence:
         t2 = _chunked_trace(_kmv_estimator(restart), items, chunk,
                             SerialEngine())
         assert t0 == t1 == t2
+
+    @needs_fork
+    def test_process_engine_matches(self):
+        items = [i % 200 for i in range(600)] + list(range(200, 450))
+        t1 = _chunked_trace(_kmv_estimator(True), items, 128)
+        t2 = _chunked_trace(_kmv_estimator(True), items, 128,
+                            ProcessEngine(workers=2))
+        assert t1 == t2
+
+
+def _dp_estimator(copies=7, noise=0.04, budget=None):
+    return SwitchingEstimator(
+        lambda r: KMVSketch(48, r), copies=copies,
+        rng=np.random.default_rng(7),
+        band=MultiplicativeBand(0.35),
+        discipline=PrivateAggregateDiscipline(
+            noise_scale=noise, switch_budget=budget
+        ),
+    )
+
+
+class TestPrivateAggregateEquivalence:
+    """The DP discipline through the same protocol: noisy median over
+    all copies, coordinator noise keyed to the publication count — so
+    per-item, chunked, and engine paths agree bit for bit, exactly like
+    the active-copy discipline."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 255), min_size=150, max_size=500),
+        chunk=st.sampled_from([48, 96, 200, 333]),
+    )
+    def test_per_item_chunked_engine_identical(self, items, chunk):
+        t0 = _per_item_trace(_dp_estimator(), items, chunk)
+        t1 = _chunked_trace(_dp_estimator(), items, chunk)
+        t2 = _chunked_trace(_dp_estimator(), items, chunk, SerialEngine())
+        assert t0 == t1 == t2
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 127), min_size=200, max_size=400),
+        chunk=st.sampled_from([64, 150]),
+    )
+    def test_retirement_inside_a_chunk_is_deterministic(self, items, chunk):
+        # A tiny switch budget forces whole-set retirements mid-stream;
+        # the refresh RNG draws happen on the coordinator in index
+        # order, so every path still agrees bit for bit.
+        t0 = _per_item_trace(_dp_estimator(copies=4, budget=3), items, chunk)
+        t1 = _chunked_trace(_dp_estimator(copies=4, budget=3), items, chunk)
+        t2 = _chunked_trace(_dp_estimator(copies=4, budget=3), items, chunk,
+                            SerialEngine())
+        assert t0 == t1 == t2
+
+    @needs_fork
+    def test_process_engine_matches(self):
+        # The all-copy probe step spans both workers; the coordinator
+        # reassembles the probe set in discipline order.
+        items = [i % 100 for i in range(700)] + list(range(100, 400))
+        t1 = _chunked_trace(_dp_estimator(), items, 128)
+        t2 = _chunked_trace(_dp_estimator(), items, 128,
+                            ProcessEngine(workers=3))
+        assert t1 == t2
+
+    @needs_fork
+    def test_process_engine_retirement_matches(self):
+        items = list(range(500)) + [i % 64 for i in range(400)]
+        t1 = _chunked_trace(_dp_estimator(copies=5, budget=4), items, 128)
+        t2 = _chunked_trace(_dp_estimator(copies=5, budget=4), items, 128,
+                            ProcessEngine(workers=2))
+        assert t1 == t2
 
 
 class TestAdditiveEquivalence:

@@ -1,0 +1,300 @@
+"""Unit tests for the probe-discipline layer (ISSUE 4 tentpole).
+
+The discipline axis is orthogonal to bands and copies: these tests pin
+the lifecycle contracts (bind-once, budget accounting, retirement,
+mid-stream install guard) and the api plumb-through; the cross-path
+equivalence properties live in ``tests/test_band_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import discipline_state, ingest, robust_estimator
+from repro.core.bands import EpochBand, MultiplicativeBand
+from repro.core.copies import CopyManager
+from repro.core.disciplines import (
+    ActiveCopyDiscipline,
+    PrivacyBudgetExhaustedError,
+    PrivateAggregateDiscipline,
+    default_switch_budget,
+    dp_copy_count,
+    resolve_discipline,
+)
+from repro.core.sketch_switching import SwitchingEstimator
+from repro.sketches.kmv import KMVSketch
+
+
+def _manager(copies=4, seed=0):
+    return CopyManager(
+        lambda r: KMVSketch(16, r), copies, np.random.default_rng(seed)
+    )
+
+
+def _switcher(copies=6, seed=7, disc=None, eps=0.4):
+    return SwitchingEstimator(
+        lambda r: KMVSketch(32, r), copies=copies,
+        rng=np.random.default_rng(seed),
+        band=MultiplicativeBand(eps), discipline=disc,
+    )
+
+
+class TestResolveDiscipline:
+    def test_names(self):
+        assert isinstance(resolve_discipline("active"), ActiveCopyDiscipline)
+        assert isinstance(resolve_discipline("active-copy"),
+                          ActiveCopyDiscipline)
+        for name in ("private", "private-aggregate", "dp"):
+            assert isinstance(resolve_discipline(name),
+                              PrivateAggregateDiscipline)
+
+    def test_passthrough_and_none(self):
+        disc = PrivateAggregateDiscipline(noise_scale=0.1)
+        assert resolve_discipline(disc) is disc
+        assert resolve_discipline(None) is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_discipline("median-of-medians")
+        with pytest.raises(ValueError):
+            resolve_discipline(42)
+
+
+class TestSizing:
+    def test_default_switch_budget_is_quadratic(self):
+        assert default_switch_budget(1) == 1
+        assert default_switch_budget(9) == 81
+        with pytest.raises(ValueError):
+            default_switch_budget(0)
+
+    def test_dp_copy_count_sqrt(self):
+        assert dp_copy_count(100, constant=1.0) == 10
+        assert dp_copy_count(1, constant=1.0) == 4  # floor
+        with pytest.raises(ValueError):
+            dp_copy_count(0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PrivateAggregateDiscipline(noise_scale=0.0)
+        with pytest.raises(ValueError):
+            PrivateAggregateDiscipline(switch_budget=0)
+        with pytest.raises(ValueError):
+            PrivateAggregateDiscipline(on_exhausted="explode")
+
+
+class TestActiveCopyDiscipline:
+    def test_probe_is_active_and_publish_burns(self):
+        copies = _manager()
+        disc = ActiveCopyDiscipline()
+        disc.bind(copies)
+        assert disc.probe_indices(copies) == (copies.active_index,)
+        assert disc.decide([3.5]) == 3.5
+        before = copies.active_index
+        disc.on_publish(copies, switches=1)
+        assert copies.active_index == before + 1
+        assert disc.budget_state() is None
+
+
+class TestPrivateAggregateDiscipline:
+    def test_probes_every_copy(self):
+        copies = _manager(copies=5)
+        disc = PrivateAggregateDiscipline()
+        disc.bind(copies)
+        assert disc.probe_indices(copies) == (0, 1, 2, 3, 4)
+
+    def test_bind_sets_defaults_and_is_idempotent(self):
+        copies = _manager(copies=4)
+        disc = PrivateAggregateDiscipline()
+        disc.bind(copies)
+        assert disc.switch_budget == default_switch_budget(4)
+        noise_before = disc._noise
+        disc.bind(copies)  # same manager: no re-derivation
+        assert disc._noise == noise_before
+
+    def test_bind_rejects_second_manager(self):
+        disc = PrivateAggregateDiscipline()
+        disc.bind(_manager(seed=1))
+        with pytest.raises(ValueError):
+            disc.bind(_manager(seed=2))
+
+    def test_decide_before_bind_is_loud(self):
+        with pytest.raises(RuntimeError):
+            PrivateAggregateDiscipline().decide([1.0, 2.0])
+
+    def test_decide_is_noisy_median(self):
+        copies = _manager()
+        disc = PrivateAggregateDiscipline(noise_scale=0.01)
+        disc.bind(copies)
+        med = float(np.median([1.0, 2.0, 100.0]))
+        assert disc.decide([1.0, 2.0, 100.0]) == med * (1.0 + disc._noise)
+
+    def test_noise_redrawn_per_publication(self):
+        copies = _manager()
+        disc = PrivateAggregateDiscipline(noise_scale=0.1)
+        disc.bind(copies)
+        seen = {disc._noise}
+        for s in range(1, 5):
+            disc.on_publish(copies, switches=s)
+            seen.add(disc._noise)
+        assert len(seen) == 5  # Laplace draws collide with probability 0
+
+    def test_budget_accounting_and_retirement(self):
+        copies = _manager(copies=3)
+        disc = PrivateAggregateDiscipline(switch_budget=3)
+        disc.bind(copies)
+        originals = list(copies.sketches)
+        disc.on_publish(copies, 1)
+        disc.on_publish(copies, 2)
+        assert disc.budget_state()["budget_remaining"] == pytest.approx(1 / 3)
+        assert copies.sketches == originals  # no copy touched mid-budget
+        disc.on_publish(copies, 3)  # budget exhausted: whole set retired
+        assert disc.generations == 1
+        assert all(s is not o for s, o in zip(copies.sketches, originals))
+        assert disc.budget_state()["budget_spent"] == 0.0  # new generation
+
+    def test_exhaustion_raise_mode(self):
+        copies = _manager(copies=2)
+        disc = PrivateAggregateDiscipline(switch_budget=2,
+                                          on_exhausted="raise")
+        disc.bind(copies)
+        disc.on_publish(copies, 1)
+        with pytest.raises(PrivacyBudgetExhaustedError):
+            disc.on_publish(copies, 2)
+
+    def test_publish_uses_aggregate_rounding(self):
+        disc = PrivateAggregateDiscipline()
+        disc.bind(_manager())
+        band = MultiplicativeBand(0.4)
+        # The Laplace tail can push a near-zero aggregate negative; the
+        # aggregate rounding clamps instead of publishing a signed power.
+        assert disc.publish(band, -0.3) == 0.0
+        assert disc.publish(band, 5.0) == band.publish(5.0)
+        assert EpochBand(0.4).publish_aggregate(-1.0) == 0.0
+
+
+class TestCopyManagerSurface:
+    def test_estimate_all(self):
+        copies = _manager(copies=3)
+        copies.sketches[1].update(17)
+        all_ys = copies.estimate_all()
+        assert len(all_ys) == 3
+        assert copies.estimate_all((1,)) == [copies.sketches[1].query()]
+
+    def test_refresh_draws_replacements_in_index_order(self):
+        a, b = _manager(copies=3, seed=9), _manager(copies=3, seed=9)
+        a.refresh()
+        b.refresh()
+        # Deterministic: same seed, same derivation chain, same state.
+        for sa, sb in zip(a.sketches, b.sketches):
+            sa.update(5)
+            sb.update(5)
+            assert sa.query() == sb.query()
+
+    def test_refresh_through_replace_hook(self):
+        copies = _manager(copies=2)
+        installed = []
+        copies.refresh(replace=lambda idx, rng: installed.append(idx))
+        assert installed == [0, 1]
+
+    def test_retire_single_slot(self):
+        copies = _manager(copies=3)
+        old = copies.sketches[1]
+        copies.retire(1)
+        assert copies.sketches[1] is not old
+        assert copies.rho == 0  # retirement never moves the active cursor
+
+
+class TestSwitchingEstimatorIntegration:
+    def test_default_discipline_is_active_copy(self):
+        assert isinstance(_switcher().discipline, ActiveCopyDiscipline)
+
+    def test_set_discipline_before_stream(self):
+        sw = _switcher()
+        sw.set_discipline(PrivateAggregateDiscipline())
+        assert sw.discipline.name == "private-aggregate"
+        assert sw.discipline.switch_budget == default_switch_budget(sw.copies)
+
+    def test_set_discipline_mid_stream_rejected(self):
+        sw = _switcher()
+        for item in range(200):
+            sw.update(item)
+            if sw.switches:
+                break
+        assert sw.switches > 0
+        with pytest.raises(ValueError):
+            sw.set_discipline(PrivateAggregateDiscipline())
+
+    def test_set_discipline_after_switchless_updates_rejected(self):
+        # A switch-free prefix still carries copy state the new
+        # discipline's accounting would not cover: 0 switches is not
+        # the same as 0 updates.
+        from repro.sketches.base import Sketch
+
+        class _Flat(Sketch):
+            """Estimate pinned inside the initial band: never switches."""
+
+            def __init__(self, rng=None):
+                self.seen = 0
+
+            def update(self, item, delta=1):
+                self.seen += 1
+
+            def query(self):
+                return 0.0
+
+            def space_bits(self):
+                return 64
+
+        def flat_switcher():
+            return SwitchingEstimator(
+                lambda r: _Flat(), copies=3, rng=np.random.default_rng(0),
+                band=MultiplicativeBand(0.4),
+            )
+
+        sw = flat_switcher()
+        sw.update(7)
+        assert sw.switches == 0 and sw._published == 0.0
+        with pytest.raises(ValueError):
+            sw.set_discipline(PrivateAggregateDiscipline())
+        chunked = flat_switcher()
+        chunked.update_batch(np.zeros(100, dtype=np.int64))
+        assert chunked.switches == 0
+        with pytest.raises(ValueError):
+            chunked.set_discipline(PrivateAggregateDiscipline())
+
+    def test_dp_estimator_tracks_f0(self):
+        sw = _switcher(copies=8, disc=PrivateAggregateDiscipline(
+            noise_scale=0.03))
+        items = np.random.default_rng(3).integers(0, 400, size=3000)
+        sw.update_batch(items)
+        truth = len(set(items.tolist()))
+        assert abs(sw.query() - truth) / truth <= 0.4
+
+
+class TestApiPlumbing:
+    def test_ingest_installs_discipline_and_reports_budget(self):
+        est = robust_estimator("distinct", n=512, m=4000, eps=0.4, seed=3,
+                               restart=False, copies=30)
+        items = np.random.default_rng(4).integers(0, 512, size=4000)
+        report = ingest(est, items, chunk_size=1024, discipline="private")
+        assert report.discipline == "private-aggregate"
+        assert report.dp_budget["publications"] == est.switches
+        assert report.dp_budget["switch_budget"] == default_switch_budget(30)
+
+    def test_dp_problems_exposed(self):
+        est = robust_estimator("distinct-dp", n=512, m=2000, eps=0.4, seed=1)
+        name, budget = discipline_state(est)
+        assert name == "private-aggregate"
+        assert budget["publications"] == 0
+        f2 = robust_estimator("f2-dp", n=512, m=2000, eps=0.4, seed=1)
+        assert discipline_state(f2)[0] == "private-aggregate"
+
+    def test_active_estimators_report_no_budget(self):
+        est = robust_estimator("distinct", n=512, m=1000, eps=0.4, seed=2)
+        name, budget = discipline_state(est)
+        assert name == "active-copy"
+        assert budget is None
+
+    def test_discipline_on_unswitchable_estimator_rejected(self):
+        est = robust_estimator("distinct-fast", n=512, m=100, eps=0.4)
+        with pytest.raises(ValueError):
+            ingest(est, [1, 2, 3], discipline="dp")

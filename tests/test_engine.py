@@ -442,12 +442,27 @@ class TestPlanner:
         assert isinstance(plan, SerialPlan)
         assert "absent" in plan.reason
 
-        # The serial fallback must still ingest correctly end to end.
+        # The serial fallback must still ingest correctly end to end,
+        # AND the planner's reason must be *surfaced* by the report —
+        # a fallback that only shows up as matching results is silent.
         est = _Disabled()
         items = _uniform(2_000, 128, seed=3)
         report = ingest(est, items, chunk_size=512, engine="serial")
         assert report.updates == 2_000
         assert report.policy is None
+        assert report.fallback_reason == plan.reason
+        assert "absent" in report.fallback_reason
+
+        # Same surfacing through the process engine's fallback path.
+        report = ingest(_Disabled(), items, chunk_size=512,
+                        engine=ProcessEngine(workers=2))
+        assert "absent" in report.fallback_reason
+
+        # Estimators the planner *can* shard report no fallback.
+        sharded = RobustEntropy(n=256, m=2_000, eps=0.5,
+                                rng=np.random.default_rng(0))
+        report = ingest(sharded, items, chunk_size=512, engine="serial")
+        assert report.fallback_reason is None
 
     def test_epoch_wrapper_without_switching_l2_falls_back_serial(self):
         from repro.robust.heavy_hitters import RobustHeavyHitters

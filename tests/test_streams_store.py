@@ -180,6 +180,41 @@ class TestStreamWriter:
             writer.append(StreamChunk.insertions(np.arange(10)))
         assert ColumnarStreamStore(tmp_path / "s").updates == 10
 
+    def test_context_manager_round_trips_partial_final_chunk(self, tmp_path):
+        """ISSUE 4 satellite: flush-and-finalize on exit must seal the
+        partial final chunk, not just the full ones — 2.5 chunks in,
+        2.5 chunks (and the exact tail bytes) back out."""
+        rng = np.random.default_rng(11)
+        chunk = 1024
+        items = rng.integers(0, 4096, size=2 * chunk + chunk // 2)
+        deltas = rng.integers(1, 5, size=len(items))
+        with StreamWriter(tmp_path / "s") as writer:
+            for lo in range(0, len(items), chunk):
+                writer.append(items[lo:lo + chunk], deltas[lo:lo + chunk])
+        store = ColumnarStreamStore(tmp_path / "s")
+        assert store.updates == len(items)
+        assert np.array_equal(store.items, items)
+        assert np.array_equal(store.deltas, deltas)
+        # The replayed chunking reproduces the ragged tail exactly.
+        sizes = [len(c) for c in store.chunks(chunk)]
+        assert sizes == [chunk, chunk, chunk // 2]
+        tail = list(store.chunks(chunk))[-1]
+        assert np.array_equal(tail.items, items[2 * chunk:])
+        assert np.array_equal(tail.deltas, deltas[2 * chunk:])
+
+    def test_context_manager_fails_loud_on_exception(self, tmp_path):
+        """An exception inside the ``with`` block aborts instead of
+        sealing: no header, store unreadable, exception propagated."""
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with StreamWriter(tmp_path / "s") as writer:
+                writer.append(np.arange(10))
+                raise RuntimeError("mid-write")
+        with pytest.raises(StoreFormatError):
+            ColumnarStreamStore(tmp_path / "s")
+        # The aborted writer stays closed.
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(np.arange(5))
+
     def test_write_stream_failure_leaves_no_readable_store(self, tmp_path):
         # One-shot writes stay fail-loud: a source that dies mid-stream
         # must not seal a silently truncated store (contrast with the
