@@ -1,4 +1,4 @@
-"""DP — private-aggregate publishing vs sketch switching (ISSUE 4).
+"""DP — private-aggregate and difference-ladder publishing (ISSUEs 4+5).
 
 The space claim of Hassidim et al. 2020, measured on this repo's own
 machinery: at equal target accuracy, plain Algorithm 1 sketch switching
@@ -10,19 +10,31 @@ uniform stream; the benchmark records live copy counts, measured
 ``space_bits``, and final accuracy, and asserts the DP tracker halves
 the copy count and the space at equal (in-band) accuracy.
 
-The DP tracker also runs through the execution engine (the all-copy
-probe step is part of the shard plan since the discipline refactor):
-``dp_engine_serial`` must be bit-for-bit identical to the serial batched
-path and >= MIN_DP_ENGINE_SPEEDUP over it (the shared-work hoists — the
-chunk is deduped once for the whole copy set — are discipline-agnostic).
-The process row is recorded for the trajectory but not hard-gated: the
-all-copy probe pays one extra command round per worker per chunk, which
-the 1-cpu CI container cannot amortize with real cores.
+The ISSUE 5 ladder rows measure the Attias et al. 2022 sharpening on
+top: the ``dpde`` tracker answers most publications from cheap
+difference-estimator tiers, so the strong sparse-vector budget is
+charged per *checkpoint* — the gate demands strictly more publications
+per strong charge than the plain DP discipline (which pays one charge
+per publication by construction, ratio 1.0) **and** less total space at
+equal (in-band) accuracy, with the published outputs bit-for-bit
+identical across the serial batched, SerialEngine, and ProcessEngine
+paths (the per-item path is property-tested in
+``tests/test_band_equivalence.py``).
+
+Both DP trackers also run through the execution engine (probe sets are
+part of the shard plan since the discipline refactor):
+``dp_engine_serial`` and ``dpde_engine_serial`` must be bit-for-bit
+identical to their serial batched paths and >= MIN_DP_ENGINE_SPEEDUP
+over them (the shared-work hoists — the chunk is deduped once for the
+whole copy set — are discipline-agnostic).  The process rows are
+recorded for the trajectory but not hard-gated: the probe fan-out pays
+one extra command round per worker per chunk, which the 1-cpu CI
+container cannot amortize with real cores.
 
 Emits ``out/parallel_dp.{txt,json}``; ``run_all.py`` folds the JSON into
 ``BENCH_parallel.json``, and ``benchmarks/check_regression.py``
-(--require dp_engine_serial) gates CI on the speedup column against the
-committed baseline.
+(--require dp_engine_serial --require dpde_engine_serial) gates CI on
+the speedup columns against the committed baseline.
 """
 
 import time
@@ -31,7 +43,7 @@ import numpy as np
 
 from repro.engine import ProcessEngine, SerialEngine, fork_available
 from repro.robust.distinct import RobustDistinctElements
-from repro.robust.dp import RobustDPDistinctElements
+from repro.robust.dp import RobustDPDEDistinctElements, RobustDPDistinctElements
 from repro.streams.frequency import FrequencyVector
 from repro.streams.model import StreamChunk
 from tables import emit, emit_json, format_row
@@ -50,10 +62,22 @@ WORKERS = 4
 WIDTHS = (30, 12, 10, 10, 12, 10)
 MIN_DP_ENGINE_SPEEDUP = 1.5
 MIN_SPACE_ADVANTAGE = 2.0
+#: The ladder must answer a real multiple of its publications below the
+#: strong group (plain DP's ratio is exactly 1.0 by construction).
+MIN_DPDE_PUBS_PER_CHARGE = 2.0
+#: ...and the smaller strong group must show up as total space, tiers
+#: included, against the plain DP tracker at equal accuracy.
+MIN_DPDE_SPACE_VS_DP = 1.3
 
 
 def _dp(seed=19):
     return RobustDPDistinctElements(
+        n=N, m=M, eps=EPS, rng=np.random.default_rng(seed)
+    )
+
+
+def _dpde(seed=19):
+    return RobustDPDEDistinctElements(
         n=N, m=M, eps=EPS, rng=np.random.default_rng(seed)
     )
 
@@ -111,51 +135,76 @@ def test_dp_discipline_space_and_throughput(benchmark):
             "final_relative_error": round(sw_err, 4),
         }
 
-        contenders = [("dp_pr1_serial_batched", None),
-                      ("dp_engine_serial", SerialEngine())]
-        if fork_available():
-            contenders.append(
-                (f"dp_engine_process_{WORKERS}w", ProcessEngine(WORKERS))
+        def run_family(prefix, build):
+            """Replay one tracker family over the three execution paths."""
+            contenders = [(f"{prefix}_pr1_serial_batched", None),
+                          (f"{prefix}_engine_serial", SerialEngine())]
+            if fork_available():
+                contenders.append(
+                    (f"{prefix}_engine_process_{WORKERS}w",
+                     ProcessEngine(WORKERS))
+                )
+            results = {}
+            for name, engine in contenders:
+                est = build()
+                rate = _replay(est, items, engine)
+                results[name] = (rate, est)
+                err = abs(est.query() - f0) / f0
+                state = est.budget_state()
+                speedup = rate / results[contenders[0][0]][0]
+                row = {
+                    "items_per_sec": round(rate),
+                    "speedup_vs_pr1": round(speedup, 2),
+                    "live_copies": est.copies,
+                    "space_bits": est.space_bits(),
+                    "switches": est.switches,
+                    "publications": state["publications"],
+                    "budget_spent": state["budget_spent"],
+                    "final_relative_error": round(err, 4),
+                }
+                if "strong_charges" in state:
+                    row["strong_charges"] = state["strong_charges"]
+                    row["publications_per_charge"] = state[
+                        "publications_per_charge"
+                    ]
+                payload["results"][name] = row
+                rows.append(format_row(
+                    (name, f"{rate:,.0f}", f"{speedup:.2f}x", est.switches,
+                     est.copies, f"{err:.3f}"), WIDTHS,
+                ))
+
+            # Equivalence: every path must publish the identical protocol.
+            base = results[contenders[0][0]][1]
+            for name, (_, est) in results.items():
+                assert est.query() == base.query(), (
+                    f"{name} diverged in output"
+                )
+                assert est.switches == base.switches, f"{name} switch count"
+
+            err = abs(base.query() - f0) / f0
+            assert err <= EPS, f"{prefix} tracker out of band: {err:.3f}"
+            assert base.budget_state()["generations"] == 0, (
+                f"compliant stream exhausted the {prefix} switch budget"
             )
-        results = {}
-        for name, engine in contenders:
-            est = _dp()
-            rate = _replay(est, items, engine)
-            results[name] = (rate, est)
-            err = abs(est.query() - f0) / f0
-            speedup = rate / results["dp_pr1_serial_batched"][0]
-            payload["results"][name] = {
-                "items_per_sec": round(rate),
-                "speedup_vs_pr1": round(speedup, 2),
-                "live_copies": est.copies,
-                "space_bits": est.space_bits(),
-                "switches": est.switches,
-                "publications": est.budget_state()["publications"],
-                "budget_spent": est.budget_state()["budget_spent"],
-                "final_relative_error": round(err, 4),
-            }
-            rows.append(format_row(
-                (name, f"{rate:,.0f}", f"{speedup:.2f}x", est.switches,
-                 est.copies, f"{err:.3f}"), WIDTHS,
-            ))
 
-        # Equivalence: the engines must publish the identical protocol.
-        base = results["dp_pr1_serial_batched"][1]
-        for name, (_, est) in results.items():
-            assert est.query() == base.query(), f"{name} diverged in output"
-            assert est.switches == base.switches, f"{name} switch count"
+            # Engine gate: the shared-work hoists must carry over to the
+            # family's probe discipline.
+            speedup = (results[f"{prefix}_engine_serial"][0]
+                       / results[contenders[0][0]][0])
+            assert speedup >= MIN_DP_ENGINE_SPEEDUP, (
+                f"{prefix} serial engine only {speedup:.2f}x over the "
+                f"serial batched path "
+                f"(required >= {MIN_DP_ENGINE_SPEEDUP}x)"
+            )
+            return base
 
-        # Accuracy: both schemes inside the (1 +- eps) band.
-        dp_err = abs(base.query() - f0) / f0
-        assert dp_err <= EPS, f"DP tracker out of band: {dp_err:.3f}"
+        dp_base = run_family("dp", _dp)
+        dpde_base = run_family("dpde", _dpde)
         assert sw_err <= EPS, f"switching tracker out of band: {sw_err:.3f}"
-        assert base.budget_state()["generations"] == 0, (
-            "compliant stream exhausted the switch budget"
-        )
 
-        # The headline: sqrt(lambda) live copies and the space to match.
-        copy_advantage = sw.copies / base.copies
-        space_advantage = sw.space_bits() / base.space_bits()
+        # The ISSUE 4 headline: sqrt(lambda) live copies + matching space.
+        copy_advantage = sw.copies / dp_base.copies
+        space_advantage = sw.space_bits() / dp_base.space_bits()
         payload["results"]["dp_space_advantage"] = {
             "copy_ratio": round(copy_advantage, 2),
             "space_ratio": round(space_advantage, 2),
@@ -174,13 +223,40 @@ def test_dp_discipline_space_and_throughput(benchmark):
             f"(required >= {MIN_SPACE_ADVANTAGE}x)"
         )
 
-        # Engine gate: the shared-work hoists must carry over to the
-        # all-copy probe discipline.
-        speedup = (results["dp_engine_serial"][0]
-                   / results["dp_pr1_serial_batched"][0])
-        assert speedup >= MIN_DP_ENGINE_SPEEDUP, (
-            f"DP serial engine only {speedup:.2f}x over the serial batched "
-            f"path (required >= {MIN_DP_ENGINE_SPEEDUP}x)"
+        # The ISSUE 5 headline: the ladder answers most publications
+        # below the strong group (plain DP's ratio is 1.0 by
+        # construction — every publication is a sparse-vector charge)
+        # and turns the smaller strong group into less total space at
+        # equal (in-band) accuracy.
+        dpde_state = dpde_base.budget_state()
+        # Plain DP charges the strong budget on every publication by
+        # construction, so its publications-per-charge ratio IS 1.0.
+        dp_ratio = 1.0
+        dpde_ratio = dpde_state["publications_per_charge"]
+        dpde_space = dp_base.space_bits() / dpde_base.space_bits()
+        payload["results"]["dpde_budget"] = {
+            "dp_publications_per_charge": round(dp_ratio, 3),
+            "dpde_publications_per_charge": round(dpde_ratio, 3),
+            "dpde_strong_charges": dpde_state["strong_charges"],
+            "dpde_checkpoints": dpde_state["checkpoints"],
+            "space_vs_dp": round(dpde_space, 2),
+        }
+        rows.append(format_row(
+            ("dpde vs dp (pubs/charge)", "-", "-",
+             f"{dpde_ratio:.1f}x", f"{dpde_space:.2f}x sp", "-"),
+            WIDTHS,
+        ))
+        assert dpde_ratio > dp_ratio, (
+            f"ladder publications per charge {dpde_ratio:.2f} not strictly "
+            f"above the plain DP discipline's {dp_ratio:.2f}"
+        )
+        assert dpde_ratio >= MIN_DPDE_PUBS_PER_CHARGE, (
+            f"ladder only {dpde_ratio:.2f} publications per strong charge "
+            f"(required >= {MIN_DPDE_PUBS_PER_CHARGE})"
+        )
+        assert dpde_space >= MIN_DPDE_SPACE_VS_DP, (
+            f"ladder space advantage over plain DP only {dpde_space:.2f}x "
+            f"(required >= {MIN_DPDE_SPACE_VS_DP}x)"
         )
         return payload
 
@@ -191,7 +267,10 @@ def test_dp_discipline_space_and_throughput(benchmark):
         f"switching_plain = Theorem 5.1 KMV without ring restarts "
         f"(Theta(lambda) copies, one burned per switch); dp = "
         f"private-aggregate discipline (noisy median over all copies, "
-        f"sparse-vector budget, O(sqrt(lambda)) copies, none burned)"
+        f"sparse-vector budget, O(sqrt(lambda)) copies, none burned); "
+        f"dpde = difference-estimator ladder (Attias et al. 2022: cheap "
+        f"tiers answer between checkpoints, strong budget charged per "
+        f"checkpoint, strong group sized to checkpoints not publications)"
     )
     emit("parallel_dp", rows)
     emit_json("parallel_dp", payload)

@@ -11,10 +11,12 @@ problem               algorithm                      paper
 "distinct-fast"       computation paths over Alg 2   Theorem 5.4
 "distinct-crypto"     PRP preprocessing              Theorem 10.1
 "distinct-dp"         DP aggregate over KMV copies   Hassidim et al. '20
+"distinct-dpde"       DP difference ladder over KMV  Attias et al. '22
 "fp"                  switching over p-stable        Theorem 4.1
 "fp-small-delta"      computation paths, p-stable    Theorem 4.2
 "fp-high"             computation paths, level sets  Theorem 4.4
 "f2-dp"               DP aggregate over p-stable     Hassidim et al. '20
+"f2-dpde"             DP difference ladder, p-stable Attias et al. '22
 "heavy-hitters"       epoch-frozen CountSketch ring  Theorem 6.5
 "entropy"             additive switching over CC     Theorem 7.3
 "bounded-deletion"    computation paths, turnstile   Theorem 8.3
@@ -42,7 +44,12 @@ from repro.engine.prefetch import prefetch_chunks
 from repro.engine.shards import EpochShardPlan, SwitchingShardPlan, plan_shards
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
-from repro.robust.dp import RobustDPDistinctElements, RobustDPF2
+from repro.robust.dp import (
+    RobustDPDEDistinctElements,
+    RobustDPDEF2,
+    RobustDPDistinctElements,
+    RobustDPF2,
+)
 from repro.robust.distinct import (
     FastRobustDistinctElements,
     RobustDistinctElements,
@@ -63,10 +70,12 @@ PROBLEMS = (
     "distinct-fast",
     "distinct-crypto",
     "distinct-dp",
+    "distinct-dpde",
     "fp",
     "fp-small-delta",
     "fp-high",
     "f2-dp",
+    "f2-dpde",
     "heavy-hitters",
     "entropy",
     "bounded-deletion",
@@ -120,8 +129,14 @@ def robust_estimator(
     if problem == "distinct-dp":
         return RobustDPDistinctElements(n=n, m=m, eps=eps, rng=rng,
                                         delta=delta, **kwargs)
+    if problem == "distinct-dpde":
+        return RobustDPDEDistinctElements(n=n, m=m, eps=eps, rng=rng,
+                                          delta=delta, **kwargs)
     if problem == "f2-dp":
         return RobustDPF2(n=n, m=m, eps=eps, rng=rng, delta=delta, **kwargs)
+    if problem == "f2-dpde":
+        return RobustDPDEF2(n=n, m=m, eps=eps, rng=rng, delta=delta,
+                            **kwargs)
     if problem == "fp":
         if p > 2:
             raise ValueError("use problem='fp-high' for p > 2")
@@ -252,13 +267,17 @@ def ingest(
 
     ``discipline`` installs a probe discipline on the estimator's
     switching core before the replay (``"active"``, ``"private"``/
-    ``"dp"``, or a :class:`repro.core.disciplines.ProbeDiscipline`
-    instance): the DP private-aggregate discipline publishes a noisy
-    median over all copies under a sparse-vector budget instead of
-    burning the active copy.  Requires a fresh estimator whose planner
-    resolves to a switching core; the report's ``discipline`` and
-    ``dp_budget`` fields record what ran and what the budget looked like
-    afterwards.
+    ``"dp"``, ``"dp-diff"``/``"difference"``, or a
+    :class:`repro.core.disciplines.ProbeDiscipline` instance): the DP
+    private-aggregate discipline publishes a noisy median over all
+    copies under a sparse-vector budget instead of burning the active
+    copy, and the difference-ladder discipline answers most
+    publications from cheap difference-estimator tiers (partitioned off
+    the front of the copy set) so the strong sparse-vector budget is
+    charged only at checkpoints.  Requires a fresh estimator whose
+    planner resolves to a switching core; the report's ``discipline``
+    and ``dp_budget`` fields record what ran and what the budget looked
+    like afterwards.
 
     ``spill_store`` tees the replay into a columnar on-disk store at the
     given directory while feeding the estimator: every chunk drawn from

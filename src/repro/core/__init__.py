@@ -37,12 +37,18 @@ from repro.core.flip_number import (
 from repro.core.copies import CopyManager, LocalCopyBackend
 from repro.core.disciplines import (
     ActiveCopyDiscipline,
+    DifferenceAggregateDiscipline,
     PrivacyBudgetExhaustedError,
     PrivateAggregateDiscipline,
     ProbeDiscipline,
     default_switch_budget,
     dp_copy_count,
     resolve_discipline,
+)
+from repro.core.ladder import (
+    DifferenceLadder,
+    LadderTier,
+    default_difference_ladder,
 )
 from repro.core.rounding import RoundedSequence, num_rounded_values, round_to_power
 from repro.core.sketch_switching import (
@@ -61,6 +67,10 @@ __all__ = [
     "AdditiveBand",
     "BandPolicy",
     "CopyManager",
+    "DifferenceAggregateDiscipline",
+    "DifferenceLadder",
+    "LadderTier",
+    "default_difference_ladder",
     "PrivacyBudgetExhaustedError",
     "PrivateAggregateDiscipline",
     "ProbeDiscipline",

@@ -7,7 +7,14 @@ independent instances of a static sketch, one active at a time.  The
 * **allocation** — ``copies`` instances from a factory, seeded through
   one ``SeedSequence.spawn`` pass so the independence assumption of
   Lemma 3.6 holds uniformly (plus one extra child generator kept as the
-  fresh-randomness pool for replacements);
+  fresh-randomness pool for replacements).  :meth:`CopyManager.grouped`
+  allocates *heterogeneous copy groups* instead — contiguous index
+  ranges each built by its own factory, one seeding pass across all of
+  them — which is what the difference-estimator ladder
+  (:mod:`repro.core.ladder`) uses: cheap difference-estimator tiers in
+  the low groups, the strong checkpoint sketches in the last.  Grouped
+  sets have no burn order (``advance`` raises); their lifecycle is
+  per-group :meth:`refresh`, driven by a group-aware discipline;
 * **burn-and-advance** — plain Algorithm 1 mode walks forward through
   the copy list and raises :class:`SketchExhaustedError` (or clamps)
   when the flip budget runs out; restart mode (Theorem 4.1) treats the
@@ -31,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.ladder import require_count
 from repro.sketches.base import Sketch, SketchFactory, spawn_rngs
 
 
@@ -79,12 +87,84 @@ class CopyManager:
         rngs = spawn_rngs(rng, copies + 1)
         self._fresh_rng = rngs[copies]
         self.sketches: list[Sketch] = [factory(r) for r in rngs[:copies]]
+        #: Contiguous (lo, hi) index range per copy group; one group for
+        #: the homogeneous manager, tiers-then-strong for grouped sets.
+        self.group_slices: tuple[tuple[int, int], ...] = ((0, copies),)
+        self._group_factories: tuple[SketchFactory, ...] = (factory,)
         #: Monotone activation counter; the active slot is ``rho % count``.
         self.rho = 0
+
+    @classmethod
+    def grouped(
+        cls,
+        groups,
+        rng: np.random.Generator,
+        on_exhausted: str = "raise",
+    ) -> "CopyManager":
+        """Allocate heterogeneous copy groups: ``[(factory, count), ...]``.
+
+        All copies across all groups are seeded through **one**
+        ``spawn_rngs`` pass (plus the shared fresh pool), so the
+        Lemma 3.6 independence argument is uniform across groups exactly
+        as it is across a homogeneous set.  Groups occupy contiguous
+        index ranges in declaration order; the convention of the
+        difference ladder is cheap tiers first, strong group last.
+        Grouped sets have no burn order — :meth:`advance` raises — and
+        no restart ring; their lifecycle is per-group :meth:`refresh`.
+        """
+        specs = list(groups)
+        if not specs:
+            raise ValueError("need at least one copy group")
+        for g, (_, count) in enumerate(specs):
+            require_count(f"group {g} copy count", count)
+        specs = [(factory, int(count)) for factory, count in specs]
+        total = sum(count for _, count in specs)
+        self = cls.__new__(cls)
+        self.restart = False
+        if on_exhausted not in ("raise", "clamp"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.on_exhausted = on_exhausted
+        rngs = spawn_rngs(rng, total + 1)
+        self._fresh_rng = rngs[total]
+        self.sketches = []
+        slices = []
+        start = 0
+        for factory, count in specs:
+            self.sketches.extend(
+                factory(r) for r in rngs[start:start + count]
+            )
+            slices.append((start, start + count))
+            start += count
+        self.group_slices = tuple(slices)
+        self._group_factories = tuple(factory for factory, _ in specs)
+        #: The strong (last) group's factory; ungrouped surfaces that
+        #: build whole-set replacements must go through `factory_for`.
+        self.factory = self._group_factories[-1]
+        self.rho = 0
+        return self
 
     @property
     def count(self) -> int:
         return len(self.sketches)
+
+    @property
+    def group_count(self) -> int:
+        return len(self.group_slices)
+
+    def group_indices(self, group: int) -> tuple[int, ...]:
+        """The contiguous copy indices of one group."""
+        lo, hi = self.group_slices[group]
+        return tuple(range(lo, hi))
+
+    def factory_for(self, idx: int) -> SketchFactory:
+        """The factory that builds (and rebuilds) the copy at ``idx``."""
+        if not 0 <= idx < len(self.sketches):
+            raise IndexError(f"copy index {idx} out of range")
+        for (lo, hi), factory in zip(self.group_slices,
+                                     self._group_factories):
+            if lo <= idx < hi:
+                return factory
+        return self.factory  # pragma: no cover - slices always cover
 
     @property
     def active_index(self) -> int:
@@ -129,7 +209,7 @@ class CopyManager:
         """
         rng = self.replacement_rng()
         if replace is None:
-            self.sketches[idx] = self.factory(rng)
+            self.sketches[idx] = self.factory_for(idx)(rng)
         else:
             replace(idx, rng)
 
@@ -157,6 +237,12 @@ class CopyManager:
         coordinator-derived RNG.  ``switches`` only feeds the exhaustion
         message.
         """
+        if len(self.group_slices) > 1:
+            raise RuntimeError(
+                "grouped copy sets have no burn order; drive them with a "
+                "group-aware discipline (difference ladder / private "
+                "aggregate), not active-copy switching"
+            )
         if self.restart:
             burned = self.rho % len(self.sketches)
             rng = self.replacement_rng()
@@ -324,7 +410,7 @@ class LocalCopyBackend:
                 s.update_batch(items, deltas)
 
     def replace(self, idx: int, rng: np.random.Generator) -> None:
-        self._copies.sketches[idx] = self._copies.factory(rng)
+        self._copies.sketches[idx] = self._copies.factory_for(idx)(rng)
 
     def fetch(self, idx: int) -> Sketch:
         """The copy at ``idx`` (epoch wrappers snapshot it for publishing)."""

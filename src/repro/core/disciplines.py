@@ -15,19 +15,30 @@ the copies when a publication occurs.
 
 * :class:`PrivateAggregateDiscipline` — the differential-privacy
   framework of Hassidim et al. 2020 ("Adversarially Robust Streaming
-  Algorithms via Differential Privacy"), sharpened by Attias et al. 2022
-  via difference estimators: the decision reads **all** live copies and
-  publishes a *privately aggregated* estimate (a noisy median behind a
-  sparse-vector/AboveThreshold epoch discipline).  No copy is burned on
-  a switch — the Laplace noise, not retirement, hides each copy's
-  randomness — so the same number of switches is supported by
-  ``O(sqrt(lambda))`` copies instead of ``Theta(lambda)``: with ``k``
+  Algorithms via Differential Privacy"): the decision reads **all**
+  live copies and publishes a *privately aggregated* estimate (a noisy
+  median behind a sparse-vector/AboveThreshold epoch discipline).  No
+  copy is burned on a switch — the Laplace noise, not retirement, hides
+  each copy's randomness — so the same number of switches is supported
+  by ``O(sqrt(lambda))`` copies instead of ``Theta(lambda)``: with ``k``
   copies, advanced composition lets each copy participate in ``~k^2``
   eps-DP aggregate answers before its privacy budget is exhausted.  The
   discipline accounts that budget explicitly and *retires* the copy set
   (refreshing every instance from the coordinator's replacement pool)
   only when the budget runs out — which a stream respecting the flip
   bound the budget was sized for never triggers.
+
+* :class:`DifferenceAggregateDiscipline` — the Attias et al. 2022
+  sharpening via difference estimators (:mod:`repro.core.ladder`): most
+  publications are answered by the lowest live tier of a geometric
+  ladder of cheap difference estimators — ``checkpoint + noisy
+  difference`` — and charge that tier's own (cheap) budget; only when
+  the accumulated difference out-grows the ladder does a publication
+  read the strong copies, pay one sparse-vector charge, and open a
+  fresh checkpoint window.  The strong budget is therefore spent per
+  *checkpoint*, not per publication, so the same strong copy set
+  supports a multiple of the publications — or equivalently fewer
+  strong copies (and less space) support the same stream.
 
 The protocol driver (:class:`~repro.core.sketch_switching
 .SwitchingProtocol`) is discipline-agnostic: it asks the discipline
@@ -64,9 +75,17 @@ import numpy as np
 
 from repro.core.bands import BandPolicy
 from repro.core.copies import CopyManager
+from repro.core.ladder import (
+    STRONG,
+    DifferenceLadder,
+    default_difference_ladder,
+    require_count,
+    require_positive_finite,
+)
 
 __all__ = [
     "ActiveCopyDiscipline",
+    "DifferenceAggregateDiscipline",
     "PrivacyBudgetExhaustedError",
     "PrivateAggregateDiscipline",
     "ProbeDiscipline",
@@ -74,6 +93,42 @@ __all__ = [
     "dp_copy_count",
     "resolve_discipline",
 ]
+
+
+# Budgeted-discipline parameter validation is shared with the ladder's
+# tier specs (repro.core.ladder.require_positive_finite/require_count):
+# NaN/inf/bool scales a plain `<= 0` comparison lets through, and
+# fractional/bool budgets, are rejected eagerly at construction instead
+# of failing deep inside the protocol at the first publication; NumPy
+# scalars from sizing arithmetic pass.
+
+
+def _svt_budget_fields(disc, charges: int) -> dict:
+    """The sparse-vector generation accounting both budgeted disciplines
+    share: ``charges`` is whatever each discipline pays its budget in —
+    every publication for the private aggregate, strong checkpoints for
+    the difference ladder."""
+    budget = disc.switch_budget
+    in_generation = (
+        charges - disc.generations * budget
+        if budget is not None
+        else charges
+    )
+    spent = in_generation / budget if budget else 0.0
+    return {
+        "discipline": disc.name,
+        "noise_scale": disc.noise_scale,
+        "switch_budget": budget,
+        "budget_spent": round(spent, 6),
+        "budget_remaining": round(max(0.0, 1.0 - spent), 6),
+        "generations": disc.generations,
+    }
+
+
+def _svt_exhausted(disc, charges: int) -> bool:
+    """Has the current generation's sparse-vector budget run out?"""
+    return charges - disc.generations * disc.switch_budget \
+        >= disc.switch_budget
 
 
 class PrivacyBudgetExhaustedError(RuntimeError):
@@ -223,12 +278,9 @@ class PrivateAggregateDiscipline(ProbeDiscipline):
         on_exhausted: str = "retire",
         rng: np.random.Generator | None = None,
     ):
-        if noise_scale <= 0:
-            raise ValueError(f"noise_scale must be positive, got {noise_scale}")
-        if switch_budget is not None and switch_budget < 1:
-            raise ValueError(
-                f"switch_budget must be >= 1, got {switch_budget}"
-            )
+        require_positive_finite("noise_scale", noise_scale)
+        if switch_budget is not None:
+            require_count("switch_budget", switch_budget)
         if on_exhausted not in ("retire", "raise"):
             raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
         self.noise_scale = noise_scale
@@ -276,8 +328,7 @@ class PrivateAggregateDiscipline(ProbeDiscipline):
         # by every copy (they all contributed to the released aggregate).
         self.publications += 1
         self._noise = float(self._rng.laplace(0.0, self.noise_scale))
-        if self.publications - self.generations * self.switch_budget \
-                < self.switch_budget:
+        if not _svt_exhausted(self, self.publications):
             return
         if self.on_exhausted == "raise":
             raise PrivacyBudgetExhaustedError(
@@ -289,22 +340,196 @@ class PrivateAggregateDiscipline(ProbeDiscipline):
         self.generations += 1
 
     def budget_state(self) -> dict:
-        budget = self.switch_budget
-        in_generation = (
-            self.publications - self.generations * budget
-            if budget is not None
-            else self.publications
+        state = _svt_budget_fields(self, self.publications)
+        state["publications"] = self.publications
+        return state
+
+
+class DifferenceAggregateDiscipline(ProbeDiscipline):
+    """DP publishing through a difference-estimator ladder (Attias 2022).
+
+    The third probe discipline: publications are answered by the lowest
+    live tier of a :class:`~repro.core.ladder.DifferenceLadder` —
+    ``checkpoint + (median(tier) - base) * (1 + nu)`` with tier-scale
+    Laplace noise, charged against the tier's own budget — and only a
+    publication at the top of the ladder reads the strong copy group,
+    pays one sparse-vector charge (``switch_budget`` accounting exactly
+    as in :class:`PrivateAggregateDiscipline`), re-anchors every tier's
+    base, and opens a new checkpoint window.
+
+    Probe sets follow the ladder: between checkpoints only the current
+    tier's (small) copy group is probed — the strong copies and the
+    other tiers ride along as batch-fed "others" — and the checkpoint
+    publication probes **all** groups, because anchoring needs every
+    group's aggregate at the same stream position.  The backends fan
+    either probe set out to whichever workers own the copies.
+
+    Parameters
+    ----------
+    ladder:
+        The :class:`~repro.core.ladder.DifferenceLadder` (tier sizes,
+        noise tiers, capacities, spans).  Defaults to
+        :func:`~repro.core.ladder.default_difference_ladder`.
+    noise_scale:
+        Relative Laplace scale of *strong* (checkpoint) publications.
+    switch_budget:
+        Strong-group sparse-vector budget: checkpoint publications per
+        generation.  Defaults to ``strong_copies ** 2`` at bind.
+    on_exhausted:
+        ``"retire"`` (default) refreshes the whole copy set and opens a
+        new generation when the strong budget runs out; ``"raise"``
+        raises :class:`PrivacyBudgetExhaustedError`.
+    rng:
+        Coordinator noise generator; defaults (at bind) to a child of
+        the copy manager's fresh pool, so the noise stream is a pure
+        function of the estimator seed and the publication count.
+    """
+
+    name = "difference-ladder"
+    identity_decide = False
+
+    def __init__(
+        self,
+        ladder: DifferenceLadder | None = None,
+        noise_scale: float = 0.05,
+        switch_budget: int | None = None,
+        on_exhausted: str = "retire",
+        rng: np.random.Generator | None = None,
+    ):
+        require_positive_finite("noise_scale", noise_scale)
+        if switch_budget is not None:
+            require_count("switch_budget", switch_budget)
+        if on_exhausted not in ("retire", "raise"):
+            raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
+        self.ladder = ladder if ladder is not None \
+            else default_difference_ladder()
+        if not isinstance(self.ladder, DifferenceLadder):
+            raise ValueError(
+                f"ladder must be a DifferenceLadder, got {ladder!r}"
+            )
+        self.noise_scale = noise_scale
+        self.switch_budget = switch_budget
+        self.on_exhausted = on_exhausted
+        self._rng = rng
+        self._noise: float | None = None
+        #: Stash of the decide() call that precedes a publication:
+        #: (level, per-tier medians | diff, decision estimate).
+        self._last: tuple | None = None
+        self.publications = 0
+        #: Sparse-vector charges actually paid by the strong group.
+        self.strong_charges = 0
+        self.generations = 0
+        self._bound: CopyManager | None = None
+
+    def bind(self, copies: CopyManager) -> None:
+        bound = getattr(self, "_bound", None)
+        if bound is not None:
+            # Raises on a different manager; a same-manager rebind is a
+            # no-op (the ladder is already fitted).
+            super().bind(copies)
+            return
+        # Fit the ladder *before* committing any bound state, so a
+        # rejected manager (too few copies, mismatched groups) leaves
+        # both the discipline and the ladder reusable.
+        self.ladder.bind(copies, strong_noise_scale=self.noise_scale)
+        super().bind(copies)
+        if self.switch_budget is None:
+            self.switch_budget = default_switch_budget(
+                self.ladder.strong_count
+            )
+        if self._rng is None:
+            self._rng = copies.replacement_rng()
+        self._noise = float(
+            self._rng.laplace(0.0, self._noise_scale_at(self.ladder.level))
         )
-        spent = in_generation / budget if budget else 0.0
-        return {
-            "discipline": self.name,
-            "noise_scale": self.noise_scale,
-            "switch_budget": budget,
-            "publications": self.publications,
-            "budget_spent": round(spent, 6),
-            "budget_remaining": round(max(0.0, 1.0 - spent), 6),
-            "generations": self.generations,
-        }
+
+    def _noise_scale_at(self, level) -> float:
+        if level is STRONG:
+            return self.noise_scale
+        return self.ladder.tiers[level].noise_scale
+
+    def probe_indices(self, copies: CopyManager) -> tuple[int, ...]:
+        level = self.ladder.level
+        if level is STRONG:
+            # Checkpoint epoch: every group, so anchoring reads all
+            # aggregates at the publication position.
+            return tuple(range(copies.count))
+        lo, hi = self.ladder.tier_slice(level)
+        return tuple(range(lo, hi))
+
+    def decide(self, estimates: Sequence[float]) -> float:
+        if self._noise is None:
+            raise RuntimeError(
+                "DifferenceAggregateDiscipline used before bind(); "
+                "construct the estimator with discipline=... or call "
+                "set_discipline"
+            )
+        lad = self.ladder
+        arr = np.asarray(estimates, dtype=np.float64)
+        if lad.level is STRONG:
+            tier_medians = [
+                float(np.median(arr[slice(*lad.tier_slice(j))]))
+                for j in range(len(lad.tiers))
+            ]
+            slo, shi = lad.strong_slice
+            y = float(np.median(arr[slo:shi])) * (1.0 + self._noise)
+            self._last = (STRONG, tier_medians, y)
+            return y
+        diff = float(np.median(arr)) - lad.bases[lad.level]
+        y = lad.checkpoint + diff * (1.0 + self._noise)
+        self._last = (lad.level, diff, y)
+        return y
+
+    def publish(self, band: BandPolicy, estimate: float) -> float:
+        return band.publish_aggregate(estimate)
+
+    def on_publish(
+        self, copies: CopyManager, switches: int, replace=None
+    ) -> None:
+        # The protocol publishes immediately after the decide() at the
+        # crossing position, so the stash is the deciding read.
+        level, payload, y = self._last
+        lad = self.ladder
+        self.publications += 1
+        if level is STRONG:
+            self.strong_charges += 1
+            if _svt_exhausted(self, self.strong_charges):
+                # The exhausting publication opens no window: the whole
+                # copy set is reborn, so anchoring to pre-refresh state
+                # would be meaningless (and would overstate the
+                # `checkpoints` introspection counter).
+                if self.on_exhausted == "raise":
+                    raise PrivacyBudgetExhaustedError(
+                        f"strong sparse-vector budget exhausted after "
+                        f"{self.strong_charges} checkpoint publications "
+                        f"(switch_budget={self.switch_budget}); the stream "
+                        f"out-flipped the provisioned bound"
+                    )
+                copies.refresh(replace=replace)
+                self.generations += 1
+                lad.invalidate()
+            else:
+                lad.anchor(y, payload)
+        else:
+            if lad.charge_tier(level, payload):
+                # Tier budget exhausted: rebirth that tier's group alone;
+                # the ladder already points at STRONG for re-anchoring.
+                lo, hi = lad.tier_slice(level)
+                copies.refresh(indices=range(lo, hi), replace=replace)
+        self._noise = float(
+            self._rng.laplace(0.0, self._noise_scale_at(lad.level))
+        )
+
+    def budget_state(self) -> dict:
+        # The strong budget is paid in checkpoints, not publications.
+        state = _svt_budget_fields(self, self.strong_charges)
+        state["publications"] = self.publications
+        state["strong_charges"] = self.strong_charges
+        state["publications_per_charge"] = round(
+            self.publications / self.strong_charges, 3
+        ) if self.strong_charges else 0.0
+        state.update(self.ladder.state())
+        return state
 
 
 def dp_copy_count(flips: int, constant: float = 2.0, floor: int = 4) -> int:
@@ -319,9 +544,10 @@ def resolve_discipline(spec) -> ProbeDiscipline | None:
     """Normalise a discipline spec: None, name string, or instance.
 
     ``None`` passes through (keep the estimator's own discipline);
-    ``"active"``/``"active-copy"`` and ``"private"``/
-    ``"private-aggregate"``/``"dp"`` build the named discipline with
-    defaults; a :class:`ProbeDiscipline` instance passes through.
+    ``"active"``/``"active-copy"``, ``"private"``/
+    ``"private-aggregate"``/``"dp"``, and ``"dp-diff"``/
+    ``"difference"``/``"difference-ladder"`` build the named discipline
+    with defaults; a :class:`ProbeDiscipline` instance passes through.
     """
     if spec is None or isinstance(spec, ProbeDiscipline):
         return spec
@@ -330,7 +556,9 @@ def resolve_discipline(spec) -> ProbeDiscipline | None:
             return ActiveCopyDiscipline()
         if spec in ("private", "private-aggregate", "dp"):
             return PrivateAggregateDiscipline()
+        if spec in ("dp-diff", "difference", "difference-ladder"):
+            return DifferenceAggregateDiscipline()
     raise ValueError(
         f"unknown probe discipline {spec!r}; expected None, 'active', "
-        f"'private', or a ProbeDiscipline instance"
+        f"'private', 'dp-diff', or a ProbeDiscipline instance"
     )

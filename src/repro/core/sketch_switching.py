@@ -24,9 +24,12 @@ pieces:
 * :mod:`repro.core.disciplines` — the
   :class:`~repro.core.disciplines.ProbeDiscipline` deciding *which
   copies* a publish decision reads and what a publication does to them:
-  Algorithm 1's active-copy probe-and-burn, or the DP framework's
-  private aggregate over all copies (Hassidim et al. 2020) with
-  sparse-vector budget accounting.
+  Algorithm 1's active-copy probe-and-burn, the DP framework's private
+  aggregate over all copies (Hassidim et al. 2020) with sparse-vector
+  budget accounting, or the difference-estimator ladder (Attias et al.
+  2022, :mod:`repro.core.ladder`) whose probe set walks heterogeneous
+  copy *groups* — the current cheap tier between checkpoints, every
+  group at a checkpoint.
 
 :class:`SwitchingEstimator` composes ``band + copies + discipline`` into
 the paper's estimator; :class:`SketchSwitchingEstimator`

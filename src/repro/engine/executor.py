@@ -86,20 +86,23 @@ class EngineError(RuntimeError):
 # ----------------------------------------------------------------------
 
 
-def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
+def _switching_worker(conn, copies, factories, views, unique_hint: bool) -> None:
     """Forked worker: owns a shard of copies, obeys coordinator commands.
 
     ``copies`` is a list of ``[global_index, sketch]`` pairs inherited
-    through fork; ``views`` maps region name -> (items, deltas) NumPy
+    through fork; ``factories`` maps each owned global index to the
+    factory that rebuilds it (heterogeneous under grouped copy sets —
+    a difference-ladder tier copy and a strong copy rebuild
+    differently); ``views`` maps region name -> (items, deltas) NumPy
     views over the shared-memory buffers.  Commands arrive in order per
     pipe, which is the only ordering the protocol relies on; probe/search
     commands name the *probed* copies this worker owns (the active copy
-    under the active-copy discipline, this worker's whole shard under the
-    DP all-copy probe) and replies carry ``(index, estimate)`` pairs so
-    the coordinator can reassemble the probe set in discipline order.
-    Band policies arrive inside the scan command (small frozen
-    dataclasses), so the worker resolves a per-item crossing with the
-    coordinator's exact predicate.
+    under the active-copy discipline, this worker's slice of the probed
+    group under the aggregate disciplines' group fan-out) and replies
+    carry ``(index, estimate)`` pairs so the coordinator can reassemble
+    the probe set in discipline order.  Band policies arrive inside the
+    scan command (small frozen dataclasses), so the worker resolves a
+    per-item crossing with the coordinator's exact predicate.
     """
 
     def lookup(idx):
@@ -191,7 +194,7 @@ def _switching_worker(conn, copies, factory, views, unique_hint: bool) -> None:
                 conn.send(("ok", result))
             elif op == "replace":
                 _, idx, rng = msg
-                lookup(idx)[1] = factory(rng)
+                lookup(idx)[1] = factories[idx](rng)
             elif op == "get":
                 _, idx = msg
                 conn.send(("ok", lookup(idx)[1]))
@@ -317,9 +320,10 @@ class _ProcessCopyBackend:
         for w, indices in enumerate(shards):
             parent, child = ctx.Pipe()
             owned = [[i, copies.sketches[i]] for i in indices]
+            factories = {i: copies.factory_for(i) for i in indices}
             proc = ctx.Process(
                 target=_switching_worker,
-                args=(child, owned, copies.factory, self._buffers.views,
+                args=(child, owned, factories, self._buffers.views,
                       unique_hint),
                 daemon=True,
             )

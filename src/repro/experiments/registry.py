@@ -32,6 +32,7 @@ EXPERIMENTS: dict[str, ExperimentFn] = {
     "E.Switch.runoff": theorems.e_framework_runoff,
     "E.Engine": theorems.e_engine_bands,
     "E.DP": theorems.e_dp_discipline,
+    "E.DPDE": theorems.e_dpde_ladder,
 }
 
 

@@ -337,3 +337,61 @@ def e_dp_discipline(scale: Scale) -> ExperimentResult:
         "hides each copy's randomness (sparse-vector budget accounting)"
     )
     return result
+
+
+def e_dpde_ladder(scale: Scale) -> ExperimentResult:
+    """Difference-estimator ladder (Attias et al. 2022) under Algorithm 3.
+
+    The ISSUE 5 claims, run through the repo's machinery (the
+    difference-ladder probe discipline over heterogeneous copy groups on
+    the shared switching protocol):
+
+    1. the Algorithm 3 adversary is survived exactly as by the plain DP
+       tracker — the attack only ever sees published aggregates, most of
+       which are answered by the cheap difference tiers;
+    2. those tier answers charge their own budgets, so the strong
+       sparse-vector budget is spent per *checkpoint*: strictly fewer
+       strong charges than publications (the plain DP discipline pays
+       one charge per publication by construction).
+    """
+    from repro.robust.dp import RobustDPDEF2
+
+    algo = RobustDPDEF2(
+        n=8192, m=3000, eps=0.4, rng=np.random.default_rng(scale.seed),
+        strong_copies=12, stable_constant=3.0,
+    )
+    fooled, steps, transcript = run_ams_attack(
+        algo, np.random.default_rng(scale.seed + 1), max_updates=1000, t=64
+    )
+    worst = max(abs(e - g) / g for e, g in transcript if g > 0)
+    state = algo.budget_state()
+    result = ExperimentResult(
+        "E.DPDE", "DP difference-estimator ladder under Algorithm 3",
+        ["metric", "value"],
+    )
+    result.add_row("adversarial updates survived", steps)
+    result.add_row("fooled (est < F2/2)", str(fooled))
+    result.add_row("worst relative error", worst)
+    result.add_row("publications (total)", state["publications"])
+    result.add_row("strong budget charges", state["strong_charges"])
+    result.add_row("publications / strong charge",
+                   state["publications_per_charge"])
+    result.add_row("checkpoint windows", state["checkpoints"])
+    result.add_row("tier publications", str(state["tier_publications"]))
+    result.metrics["fooled"] = float(fooled)
+    result.metrics["worst"] = worst
+    result.metrics["publications"] = float(state["publications"])
+    result.metrics["strong_charges"] = float(state["strong_charges"])
+    result.metrics["publications_per_charge"] = float(
+        state["publications_per_charge"]
+    )
+    assert state["strong_charges"] < state["publications"], (
+        "every publication hit the strong group; the ladder answered none"
+    )
+    result.add_note(
+        "same adversary and band as E.DP; most publications are answered "
+        "by the difference tiers (checkpoint + noisy difference), so the "
+        "strong sparse-vector budget is charged only at checkpoints -- "
+        "fewer budget charges for the same survival"
+    )
+    return result

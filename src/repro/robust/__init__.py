@@ -3,6 +3,8 @@
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
 from repro.robust.dp import (
+    RobustDPDEDistinctElements,
+    RobustDPDEF2,
     RobustDPDistinctElements,
     RobustDPEstimator,
     RobustDPF2,
@@ -26,6 +28,8 @@ __all__ = [
     "RobustBoundedDeletionFp",
     "CryptoRobustDistinctElements",
     "FastRobustDistinctElements",
+    "RobustDPDEDistinctElements",
+    "RobustDPDEF2",
     "RobustDPDistinctElements",
     "RobustDPEstimator",
     "RobustDPF2",

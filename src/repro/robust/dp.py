@@ -17,11 +17,21 @@ it composes with any static sketch the flip bound covers.)
 
 These wrappers are the refactor's existence proof: a new robustness
 scheme is **a probe discipline plus a band policy**, not a fifth
-hand-rolled loop.  Both classes below contain no protocol code at all —
+hand-rolled loop.  None of the classes below contain protocol code —
 they size a copy set, pick :class:`~repro.core.bands.MultiplicativeBand`
 and :class:`~repro.core.disciplines.PrivateAggregateDiscipline`, and
 delegate everything (per-item, chunked, and both execution engines) to
 the one :class:`~repro.core.sketch_switching.SwitchingEstimator`.
+
+The ``DPDE`` pair applies the Attias et al. 2022 sharpening: a
+:class:`~repro.core.ladder.DifferenceLadder` of cheap
+difference-estimator tiers answers most publications against its own
+budget tiers, and the strong copies — now provisioned per *checkpoint*
+rather than per publication — are charged only when the accumulated
+difference out-grows the ladder.  Same band, same protocol, one more
+discipline (:class:`~repro.core.disciplines
+.DifferenceAggregateDiscipline`) over a grouped copy set
+(:meth:`~repro.core.copies.CopyManager.grouped`).
 
 The adversarial layer runs against them unchanged — the per-item
 :class:`~repro.adversary.game.AdversarialGame` and the Algorithm 3 AMS
@@ -31,20 +41,35 @@ attack only ever see published estimates
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.bands import MultiplicativeBand
-from repro.core.disciplines import PrivateAggregateDiscipline, dp_copy_count
+from repro.core.copies import CopyManager
+from repro.core.disciplines import (
+    DifferenceAggregateDiscipline,
+    PrivateAggregateDiscipline,
+    dp_copy_count,
+)
 from repro.core.flip_number import (
     fp_flip_number_bound,
     monotone_flip_number_bound,
 )
+from repro.core.ladder import DifferenceLadder, default_difference_ladder
 from repro.core.sketch_switching import SwitchingEstimator
 from repro.sketches.base import Sketch
 from repro.sketches.kmv import KMVSketch
 from repro.sketches.stable import PStableSketch
 
-__all__ = ["RobustDPDistinctElements", "RobustDPEstimator", "RobustDPF2"]
+__all__ = [
+    "RobustDPDEDistinctElements",
+    "RobustDPDEF2",
+    "RobustDPDistinctElements",
+    "RobustDPEstimator",
+    "RobustDPF2",
+    "dpde_strong_budget",
+]
 
 
 class RobustDPEstimator(Sketch):
@@ -76,6 +101,54 @@ class RobustDPEstimator(Sketch):
             band=MultiplicativeBand(eps), discipline=discipline,
         )
 
+    def _build_ladder(
+        self,
+        make_factories,
+        eps: float,
+        rng: np.random.Generator,
+        flips: int,
+        ladder: DifferenceLadder | None,
+        strong_copies: int | None,
+        switch_budget: int | None,
+        noise_scale: float | None,
+        dp_constant: float,
+    ) -> None:
+        """Size and assemble one ladder tracker (the DPDE twin of
+        :meth:`_build`).
+
+        Keeps the sizing rules in one place: the strong budget is the
+        checkpoint rescaling of the flip bound
+        (:func:`dpde_strong_budget`), the strong group is
+        ``O(sqrt(budget))`` by the same rule as the plain DP pair, and
+        the copy set is grouped tiers-then-strong.
+        ``make_factories(strong_copies)`` returns the
+        ``(tier_factory, strong_factory)`` pair — deferred because
+        per-copy failure budgets depend on the resolved group size.
+        """
+        if ladder is None:
+            ladder = default_difference_ladder()
+        if switch_budget is None:
+            switch_budget = dpde_strong_budget(
+                flips, eps, ladder.tiers[-1].span
+            )
+        if strong_copies is None:
+            strong_copies = dp_copy_count(switch_budget, constant=dp_constant)
+        tier_factory, strong_factory = make_factories(strong_copies)
+        manager = CopyManager.grouped(
+            [(tier_factory, t.copies) for t in ladder.tiers]
+            + [(strong_factory, strong_copies)],
+            rng,
+        )
+        discipline = DifferenceAggregateDiscipline(
+            ladder=ladder,
+            noise_scale=noise_scale if noise_scale is not None else eps / 12,
+            switch_budget=switch_budget,
+        )
+        self._switcher = SwitchingEstimator(
+            copies=manager, band=MultiplicativeBand(eps),
+            discipline=discipline,
+        )
+
     @property
     def switches(self) -> int:
         return self._switcher.switches
@@ -85,7 +158,8 @@ class RobustDPEstimator(Sketch):
         return self._switcher.copies
 
     @property
-    def discipline(self) -> PrivateAggregateDiscipline:
+    def discipline(self):
+        """The budgeted probe discipline (private-aggregate or ladder)."""
         return self._switcher.discipline
 
     def budget_state(self) -> dict:
@@ -203,3 +277,166 @@ class RobustDPF2(RobustDPEstimator):
             )
 
         self._build(factory, copies, eps, rng, switch_budget, noise_scale)
+
+
+# ----------------------------------------------------------------------
+# Difference-estimator ladders (Attias et al. 2022)
+# ----------------------------------------------------------------------
+
+
+def dpde_strong_budget(
+    flips: int, eps: float, top_span: float, margin: int = 4
+) -> int:
+    """Checkpoint (strong-charge) budget for a flip bound under a ladder.
+
+    A checkpoint window only closes once the tracked value has moved by
+    the ladder's top band share ``top_span`` relative to the checkpoint
+    (or the tier capacities are spent — sized to not bind for monotone
+    growth).  For a monotone quantity whose flip bound counts
+    ``(1 + eps/2)``-factor moves, the checkpoints needed are therefore
+    the flips *rescaled between the two growth factors*::
+
+        checkpoints ~ flips * log(1 + eps/2) / log(1 + top_span)
+
+    which is what makes the strong copy set — sized ``O(sqrt(budget))``
+    by the same advanced-composition rule as the plain DP discipline —
+    strictly smaller than PR 4's all-publication budget demands.
+    """
+    if flips < 1:
+        raise ValueError(f"flip bound must be >= 1, got {flips}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0,1), got {eps}")
+    if top_span <= 0:
+        raise ValueError(f"top_span must be positive, got {top_span}")
+    rescale = math.log1p(eps / 2) / math.log1p(top_span)
+    return math.ceil(flips * min(1.0, rescale)) + margin
+
+
+class RobustDPDEDistinctElements(RobustDPEstimator):
+    """Robust (1 ± eps) F0 via a DP difference-estimator ladder over KMV.
+
+    The Attias et al. 2022 sharpening of
+    :class:`RobustDPDistinctElements`: the strong KMV checkpoint group
+    is provisioned for *checkpoints* instead of publications (strictly
+    fewer sparse-vector charges, hence fewer strong copies), and the
+    in-between publications are answered by a geometric ladder of
+    cheap difference-estimator tiers — KMV instances ``tier_eps_factor``
+    coarser (quadratically fewer bottom-k slots), read at both window
+    endpoints so their correlated errors track the *growth* since the
+    checkpoint.  ``paper_copies_plain`` keeps the Algorithm 1 yardstick
+    for the space comparisons the benchmark reports.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        eps: float,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+        strong_copies: int | None = None,
+        ladder: DifferenceLadder | None = None,
+        switch_budget: int | None = None,
+        noise_scale: float | None = None,
+        eps0_fraction: float = 0.25,
+        tier_eps_factor: float = 2.0,
+        kmv_constant: float = 3.0,
+        dp_constant: float = 2.0,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        if tier_eps_factor < 1:
+            raise ValueError(
+                f"tier_eps_factor must be >= 1, got {tier_eps_factor}"
+            )
+        self.n = n
+        self.m = m
+        self.eps = eps
+        flips = monotone_flip_number_bound(eps / 2, 1.0, float(n))
+        self.paper_copies_plain = flips + 4
+        #: What the plain DP discipline would provision (PR 4 sizing) —
+        #: the copy/space contrast bench_dp.py reports.
+        self.dp_copies_plain = dp_copy_count(flips, constant=dp_constant)
+        eps0 = eps * eps0_fraction
+        tier_eps0 = min(0.5, eps0 * tier_eps_factor)
+
+        def make_factories(strong_copies: int):
+            delta0 = delta / max(strong_copies, 1)
+
+            def strong_factory(child: np.random.Generator) -> KMVSketch:
+                return KMVSketch.for_accuracy(
+                    eps0, delta0, child, constant=kmv_constant
+                )
+
+            def tier_factory(child: np.random.Generator) -> KMVSketch:
+                return KMVSketch.for_accuracy(
+                    tier_eps0, delta0, child, constant=kmv_constant
+                )
+
+            return tier_factory, strong_factory
+
+        self._build_ladder(make_factories, eps, rng, flips, ladder,
+                           strong_copies, switch_budget, noise_scale,
+                           dp_constant)
+
+
+class RobustDPDEF2(RobustDPEstimator):
+    """Robust (1 ± eps) F2 via the difference-estimator ladder.
+
+    The ladder twin of :class:`RobustDPF2`, run against the Algorithm 3
+    attack in experiment ``E.DPDE``: the adversary still only sees
+    published aggregates, but most of them are answered from the cheap
+    tiers — the strong p-stable group is charged once per checkpoint,
+    so the same attack is survived with strictly fewer sparse-vector
+    budget charges.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        eps: float,
+        rng: np.random.Generator,
+        delta: float = 0.05,
+        strong_copies: int | None = None,
+        ladder: DifferenceLadder | None = None,
+        switch_budget: int | None = None,
+        noise_scale: float | None = None,
+        tier_eps_factor: float = 2.0,
+        stable_constant: float = 6.0,
+        dp_constant: float = 2.0,
+        M: int = 1 << 20,
+    ):
+        if not 0 < eps < 1:
+            raise ValueError(f"eps must be in (0,1), got {eps}")
+        if tier_eps_factor < 1:
+            raise ValueError(
+                f"tier_eps_factor must be >= 1, got {tier_eps_factor}"
+            )
+        self.n = n
+        self.m = m
+        self.eps = eps
+        flips = fp_flip_number_bound(eps / 2, n, 2.0, M)
+        self.paper_copies_plain = flips + 4
+        self.dp_copies_plain = dp_copy_count(flips, constant=dp_constant)
+        eps0 = eps / 4 / 2.0  # moment scale: halve the norm-scale budget
+        tier_eps0 = min(0.5, eps0 * tier_eps_factor)
+
+        def make_factories(strong_copies: int):
+            def strong_factory(child: np.random.Generator) -> PStableSketch:
+                return PStableSketch.for_accuracy(
+                    2.0, eps0, 0.25, child,
+                    constant=stable_constant, return_moment=True,
+                )
+
+            def tier_factory(child: np.random.Generator) -> PStableSketch:
+                return PStableSketch.for_accuracy(
+                    2.0, tier_eps0, 0.25, child,
+                    constant=stable_constant, return_moment=True,
+                )
+
+            return tier_factory, strong_factory
+
+        self._build_ladder(make_factories, eps, rng, flips, ladder,
+                           strong_copies, switch_budget, noise_scale,
+                           dp_constant)

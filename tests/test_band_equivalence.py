@@ -22,7 +22,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bands import AdditiveBand, MultiplicativeBand
-from repro.core.disciplines import PrivateAggregateDiscipline
+from repro.core.copies import CopyManager
+from repro.core.disciplines import (
+    DifferenceAggregateDiscipline,
+    PrivateAggregateDiscipline,
+)
+from repro.core.ladder import DifferenceLadder, LadderTier
 from repro.core.sketch_switching import SwitchingEstimator
 from repro.engine import ProcessEngine, SerialEngine, fork_available
 from repro.robust.heavy_hitters import RobustHeavyHitters
@@ -185,6 +190,124 @@ class TestPrivateAggregateEquivalence:
         t2 = _chunked_trace(_dp_estimator(copies=5, budget=4), items, 128,
                             ProcessEngine(workers=2))
         assert t1 == t2
+
+
+def _ladder_estimator(capacity0=3, capacity1=2, tier_budget=None,
+                      strong_budget=None):
+    ladder = DifferenceLadder([
+        LadderTier(copies=2, noise_scale=0.08, capacity=capacity0, span=0.3,
+                   budget=tier_budget),
+        LadderTier(copies=2, noise_scale=0.04, capacity=capacity1, span=0.6,
+                   budget=tier_budget),
+    ])
+    return SwitchingEstimator(
+        lambda r: KMVSketch(48, r), copies=9, rng=np.random.default_rng(7),
+        band=MultiplicativeBand(0.35),
+        discipline=DifferenceAggregateDiscipline(
+            ladder=ladder, noise_scale=0.04, switch_budget=strong_budget
+        ),
+    )
+
+
+def _grouped_ladder_estimator(tier_budget=None):
+    """Heterogeneous copy groups: a cheap tier sketch + strong sketches.
+
+    Exercises the per-group backend fan-out with *different* factories
+    per group — in particular the worker-side replace on tier refresh.
+    """
+    ladder = DifferenceLadder([
+        LadderTier(copies=2, noise_scale=0.08, capacity=3, span=0.4,
+                   budget=tier_budget),
+    ])
+    manager = CopyManager.grouped(
+        [(lambda r: KMVSketch(24, r), 2), (lambda r: KMVSketch(48, r), 4)],
+        np.random.default_rng(11),
+    )
+    return SwitchingEstimator(
+        copies=manager, band=MultiplicativeBand(0.35),
+        discipline=DifferenceAggregateDiscipline(
+            ladder=ladder, noise_scale=0.04
+        ),
+    )
+
+
+class TestDifferenceLadderEquivalence:
+    """The ladder discipline through the same protocol: group probe sets
+    (the current tier's copies between checkpoints, every group at a
+    checkpoint), coordinator-side anchoring and noise keyed to the
+    publication count — per-item, chunked, and both engines bit for bit,
+    including windows where a promotion lands mid-chunk."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 255), min_size=150, max_size=500),
+        chunk=st.sampled_from([48, 96, 200, 333]),
+    )
+    def test_per_item_chunked_engine_identical(self, items, chunk):
+        t0 = _per_item_trace(_ladder_estimator(), items, chunk)
+        t1 = _chunked_trace(_ladder_estimator(), items, chunk)
+        t2 = _chunked_trace(_ladder_estimator(), items, chunk,
+                            SerialEngine())
+        assert t0 == t1 == t2
+
+    def test_promotion_forced_mid_chunk(self):
+        """A single chunk spans several checkpoint windows: tier-0 and
+        tier-1 publications, span promotions, and at least two strong
+        checkpoints all resolve inside one crossing chunk — and the
+        paths still agree bit for bit."""
+        items = list(range(900))  # F0 ramp: every item fresh
+        chunk = len(items)
+        ests = [_ladder_estimator(capacity0=2, capacity1=1)
+                for _ in range(3)]
+        t0 = _per_item_trace(ests[0], items, chunk)
+        t1 = _chunked_trace(ests[1], items, chunk)
+        t2 = _chunked_trace(ests[2], items, chunk, SerialEngine())
+        assert t0 == t1 == t2
+        state = ests[1].discipline.budget_state()
+        assert state["checkpoints"] >= 2, "stream did not force promotions"
+        assert state["publications"] > state["strong_charges"], (
+            "no publication was answered below the strong group"
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 127), min_size=200, max_size=400),
+        chunk=st.sampled_from([64, 150]),
+    )
+    def test_strong_retirement_inside_a_chunk_is_deterministic(
+        self, items, chunk
+    ):
+        # A tiny strong budget forces whole-set retirements mid-stream;
+        # refresh RNG draws happen on the coordinator in index order.
+        t1 = _chunked_trace(_ladder_estimator(strong_budget=2), items, chunk)
+        t2 = _chunked_trace(_ladder_estimator(strong_budget=2), items, chunk,
+                            SerialEngine())
+        t0 = _per_item_trace(_ladder_estimator(strong_budget=2), items, chunk)
+        assert t0 == t1 == t2
+
+    @needs_fork
+    def test_process_engine_matches(self):
+        # Group probe sets span workers; the coordinator reassembles
+        # them in discipline order.
+        items = [i % 100 for i in range(700)] + list(range(100, 400))
+        t1 = _chunked_trace(_ladder_estimator(), items, 128)
+        t2 = _chunked_trace(_ladder_estimator(), items, 128,
+                            ProcessEngine(workers=3))
+        assert t1 == t2
+
+    @needs_fork
+    def test_process_engine_heterogeneous_tier_refresh_matches(self):
+        # Tier budget exhaustion rebuilds the *tier* group in-place with
+        # its own (cheaper) factory — inside worker processes.
+        items = list(range(800))
+        a = _grouped_ladder_estimator(tier_budget=2)
+        b = _grouped_ladder_estimator(tier_budget=2)
+        t1 = _chunked_trace(a, items, 128)
+        t2 = _chunked_trace(b, items, 128, ProcessEngine(workers=2))
+        assert t1 == t2
+        assert a.discipline.ladder.tier_generations[0] >= 1, (
+            "stream did not force a tier refresh"
+        )
 
 
 class TestAdditiveEquivalence:

@@ -14,11 +14,17 @@ from repro.core.bands import EpochBand, MultiplicativeBand
 from repro.core.copies import CopyManager
 from repro.core.disciplines import (
     ActiveCopyDiscipline,
+    DifferenceAggregateDiscipline,
     PrivacyBudgetExhaustedError,
     PrivateAggregateDiscipline,
     default_switch_budget,
     dp_copy_count,
     resolve_discipline,
+)
+from repro.core.ladder import (
+    DifferenceLadder,
+    LadderTier,
+    default_difference_ladder,
 )
 from repro.core.sketch_switching import SwitchingEstimator
 from repro.sketches.kmv import KMVSketch
@@ -46,6 +52,9 @@ class TestResolveDiscipline:
         for name in ("private", "private-aggregate", "dp"):
             assert isinstance(resolve_discipline(name),
                               PrivateAggregateDiscipline)
+        for name in ("dp-diff", "difference", "difference-ladder"):
+            assert isinstance(resolve_discipline(name),
+                              DifferenceAggregateDiscipline)
 
     def test_passthrough_and_none(self):
         disc = PrivateAggregateDiscipline(noise_scale=0.1)
@@ -79,6 +88,39 @@ class TestSizing:
             PrivateAggregateDiscipline(switch_budget=0)
         with pytest.raises(ValueError):
             PrivateAggregateDiscipline(on_exhausted="explode")
+
+    @pytest.mark.parametrize(
+        "cls", [PrivateAggregateDiscipline, DifferenceAggregateDiscipline]
+    )
+    def test_degenerate_params_rejected_up_front(self, cls):
+        """ISSUE 5 satellite: invalid parameterizations fail at the
+        constructor with a clear message, not deep inside the protocol."""
+        for bad_noise in (float("nan"), float("inf"), -0.1, 0, "0.1", True):
+            with pytest.raises(ValueError, match="noise_scale"):
+                cls(noise_scale=bad_noise)
+        for bad_budget in (0, -3, 2.5, "4", True):
+            with pytest.raises(ValueError, match="switch_budget"):
+                cls(switch_budget=bad_budget)
+        with pytest.raises(ValueError):
+            cls(on_exhausted="explode")
+
+    def test_ladder_tier_validation(self):
+        with pytest.raises(ValueError, match="copies"):
+            LadderTier(copies=0, noise_scale=0.1, capacity=2, span=0.3)
+        with pytest.raises(ValueError, match="noise_scale"):
+            LadderTier(copies=2, noise_scale=float("nan"), capacity=2,
+                       span=0.3)
+        with pytest.raises(ValueError, match="capacity"):
+            LadderTier(copies=2, noise_scale=0.1, capacity=0, span=0.3)
+        with pytest.raises(ValueError, match="span"):
+            LadderTier(copies=2, noise_scale=0.1, capacity=2, span=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            LadderTier(copies=2, noise_scale=0.1, capacity=2, span=0.3,
+                       budget=0)
+        with pytest.raises(ValueError, match="tier"):
+            DifferenceLadder([])
+        with pytest.raises(ValueError, match="DifferenceLadder"):
+            DifferenceAggregateDiscipline(ladder="two-rungs")
 
 
 class TestActiveCopyDiscipline:
@@ -298,3 +340,235 @@ class TestApiPlumbing:
         est = robust_estimator("distinct-fast", n=512, m=100, eps=0.4)
         with pytest.raises(ValueError):
             ingest(est, [1, 2, 3], discipline="dp")
+
+
+def _grouped(seed=0, tier=2, strong=4):
+    return CopyManager.grouped(
+        [(lambda r: KMVSketch(8, r), tier),
+         (lambda r: KMVSketch(32, r), strong)],
+        np.random.default_rng(seed),
+    )
+
+
+class TestGroupedCopyManager:
+    def test_slices_factories_and_indices(self):
+        copies = _grouped()
+        assert copies.count == 6
+        assert copies.group_count == 2
+        assert copies.group_slices == ((0, 2), (2, 6))
+        assert copies.group_indices(0) == (0, 1)
+        assert copies.group_indices(1) == (2, 3, 4, 5)
+        assert copies.sketches[0].k == 8 and copies.sketches[2].k == 32
+        assert copies.factory_for(1)(np.random.default_rng(0)).k == 8
+        assert copies.factory_for(5)(np.random.default_rng(0)).k == 32
+        with pytest.raises(IndexError):
+            copies.factory_for(6)
+
+    def test_retire_rebuilds_with_the_group_factory(self):
+        copies = _grouped()
+        copies.retire(0)
+        copies.retire(3)
+        assert copies.sketches[0].k == 8
+        assert copies.sketches[3].k == 32
+
+    def test_grouped_has_no_burn_order(self):
+        with pytest.raises(RuntimeError, match="burn order"):
+            _grouped().advance(switches=1)
+
+    def test_seeding_is_deterministic(self):
+        a, b = _grouped(seed=9), _grouped(seed=9)
+        for sa, sb in zip(a.sketches, b.sketches):
+            sa.update(17)
+            sb.update(17)
+            assert sa.query() == sb.query()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="group"):
+            CopyManager.grouped([], np.random.default_rng(0))
+        with pytest.raises(ValueError, match="count"):
+            CopyManager.grouped(
+                [(lambda r: KMVSketch(8, r), 0)], np.random.default_rng(0)
+            )
+
+
+def _ladder(t0=2, t1=2, **kw):
+    return DifferenceLadder([
+        LadderTier(copies=t0, noise_scale=0.1, capacity=3, span=0.3, **kw),
+        LadderTier(copies=t1, noise_scale=0.05, capacity=2, span=0.6, **kw),
+    ])
+
+
+class TestDifferenceLadder:
+    def test_bind_partitions_homogeneous_manager(self):
+        lad = _ladder()
+        lad.bind(_manager(copies=7), strong_noise_scale=0.05)
+        assert lad.tier_slice(0) == (0, 2)
+        assert lad.tier_slice(1) == (2, 4)
+        assert lad.strong_slice == (4, 7)
+        assert lad.strong_count == 3
+        # Scaled advanced composition: noisier tiers buy more answers.
+        assert lad.tier_budgets == [2 * 2 * 4, 2 * 2 * 1]
+
+    def test_bind_matches_grouped_manager(self):
+        lad = DifferenceLadder(
+            [LadderTier(copies=2, noise_scale=0.1, capacity=3, span=0.3)]
+        )
+        copies = _grouped(tier=2, strong=4)
+        lad.bind(copies, strong_noise_scale=0.05)
+        assert lad.tier_slice(0) == (0, 2)
+        assert lad.strong_slice == (2, 6)
+
+    def test_ladder_is_not_shareable(self):
+        lad = _ladder()
+        lad.bind(_manager(copies=7, seed=1), strong_noise_scale=0.05)
+        lad.bind(lad._bound, strong_noise_scale=0.05)  # same manager: ok
+        with pytest.raises(ValueError, match="not shareable"):
+            lad.bind(_manager(copies=7, seed=2), strong_noise_scale=0.05)
+
+    def test_numpy_scalar_params_accepted(self):
+        # Sizing arithmetic flows through NumPy; its scalars must pass.
+        disc = PrivateAggregateDiscipline(
+            noise_scale=np.float64(0.05), switch_budget=np.int64(16)
+        )
+        assert disc.switch_budget == 16
+        DifferenceAggregateDiscipline(noise_scale=np.float32(0.05))
+        LadderTier(copies=np.int64(2), noise_scale=np.float64(0.1),
+                   capacity=2, span=np.float64(0.3))
+
+    def test_bind_rejects_mismatches(self):
+        with pytest.raises(ValueError, match="tier sizes"):
+            DifferenceLadder(
+                [LadderTier(copies=3, noise_scale=0.1, capacity=3, span=0.3)]
+            ).bind(_grouped(tier=2, strong=4), strong_noise_scale=0.05)
+        with pytest.raises(ValueError, match="strong group"):
+            _ladder().bind(_manager(copies=4), strong_noise_scale=0.05)
+        with pytest.raises(ValueError, match="groups"):
+            _ladder().bind(_grouped(), strong_noise_scale=0.05)
+
+    def test_promotion_by_capacity_and_span(self):
+        lad = _ladder()
+        lad.bind(_manager(copies=7), strong_noise_scale=0.05)
+        lad.anchor(100.0, [10.0, 11.0])
+        assert lad.level == 0 and lad.checkpoint == 100.0
+        assert not lad.charge_tier(0, diff=5.0)   # small diff: stay
+        assert lad.level == 0
+        assert not lad.charge_tier(0, diff=40.0)  # > span 0.3 * 100
+        assert lad.level == 1
+        assert not lad.charge_tier(1, diff=50.0)  # within span 0.6
+        assert not lad.charge_tier(1, diff=50.0)  # capacity 2 spent
+        assert lad.level is None                  # STRONG: re-checkpoint
+
+    def test_tier_budget_exhaustion_forces_checkpoint(self):
+        lad = DifferenceLadder(
+            [LadderTier(copies=2, noise_scale=0.1, capacity=9, span=9.0,
+                        budget=2)]
+        )
+        lad.bind(_manager(copies=6), strong_noise_scale=0.05)
+        lad.anchor(10.0, [1.0])
+        assert not lad.charge_tier(0, diff=0.1)
+        assert lad.charge_tier(0, diff=0.1)  # budget 2 spent: refresh tier
+        assert lad.level is None
+        assert lad.tier_generations == [1]
+        assert lad.tier_spent == [0]
+
+
+class TestDifferenceAggregateDiscipline:
+    def _disc(self, **kw):
+        disc = DifferenceAggregateDiscipline(
+            ladder=_ladder(), noise_scale=0.05, **kw
+        )
+        copies = _manager(copies=7, seed=3)
+        disc.bind(copies)
+        return disc, copies
+
+    def test_starts_at_strong_and_anchors_on_first_publication(self):
+        disc, copies = self._disc()
+        assert disc.probe_indices(copies) == tuple(range(7))
+        for s in copies.sketches:
+            s.update(5)
+        y = disc.decide(copies.estimate_all(disc.probe_indices(copies)))
+        disc.on_publish(copies, switches=1)
+        assert disc.strong_charges == 1 and disc.publications == 1
+        assert disc.ladder.level == 0
+        assert disc.ladder.checkpoint == y
+        # Tier epoch: only tier 0's two copies are probed now.
+        assert disc.probe_indices(copies) == (0, 1)
+
+    def test_tier_publication_charges_tier_not_strong(self):
+        disc, copies = self._disc()
+        for s in copies.sketches:
+            s.update(5)
+        disc.decide(copies.estimate_all(disc.probe_indices(copies)))
+        disc.on_publish(copies, switches=1)
+        disc.decide(copies.estimate_all(disc.probe_indices(copies)))
+        disc.on_publish(copies, switches=2)
+        assert disc.publications == 2
+        assert disc.strong_charges == 1
+        state = disc.budget_state()
+        assert state["publications_per_charge"] == 2.0
+        assert state["checkpoints"] == 1
+        assert state["tier_publications"] == [1, 0]
+
+    def test_default_budget_sized_to_strong_group(self):
+        disc, copies = self._disc()
+        assert disc.switch_budget == default_switch_budget(3)  # 7 - 4 tiers
+
+    def test_strong_exhaustion_retires_everything(self):
+        disc, copies = self._disc(switch_budget=1)
+        originals = list(copies.sketches)
+        for s in copies.sketches:
+            s.update(5)
+        disc.decide(copies.estimate_all(disc.probe_indices(copies)))
+        disc.on_publish(copies, switches=1)
+        assert disc.generations == 1
+        assert all(s is not o for s, o in zip(copies.sketches, originals))
+        assert disc.ladder.level is None  # refreshed set must re-checkpoint
+        assert disc.ladder.checkpoint is None
+
+    def test_strong_exhaustion_raise_mode(self):
+        disc, copies = self._disc(switch_budget=1, on_exhausted="raise")
+        for s in copies.sketches:
+            s.update(5)
+        disc.decide(copies.estimate_all(disc.probe_indices(copies)))
+        with pytest.raises(PrivacyBudgetExhaustedError):
+            disc.on_publish(copies, switches=1)
+
+    def test_decide_before_bind_is_loud(self):
+        with pytest.raises(RuntimeError):
+            DifferenceAggregateDiscipline().decide([1.0, 2.0])
+
+    def test_failed_bind_leaves_discipline_reusable(self):
+        # A rejected manager (too small for the tiers) must not poison
+        # the discipline or the ladder: a later bind to a corrected
+        # manager succeeds and the discipline is fully operational.
+        disc = DifferenceAggregateDiscipline(ladder=_ladder())
+        with pytest.raises(ValueError, match="strong group"):
+            disc.bind(_manager(copies=4))
+        good = _manager(copies=7, seed=3)
+        disc.bind(good)
+        assert disc.probe_indices(good) == tuple(range(7))
+        assert disc.decide([1.0] * 7) is not None
+
+    def test_default_ladder_fits_stock_dp_estimators(self):
+        disc = DifferenceAggregateDiscipline()
+        assert len(default_difference_ladder().tiers) == len(
+            disc.ladder.tiers
+        )
+        est = robust_estimator("distinct-dpde", n=512, m=2000, eps=0.4,
+                               seed=1)
+        name, budget = discipline_state(est)
+        assert name == "difference-ladder"
+        assert budget["strong_charges"] == 0
+        assert budget["level"] == "strong"  # first publication checkpoints
+        f2 = robust_estimator("f2-dpde", n=512, m=2000, eps=0.4, seed=1)
+        assert discipline_state(f2)[0] == "difference-ladder"
+
+    def test_ingest_installs_ladder_on_homogeneous_estimator(self):
+        est = robust_estimator("distinct", n=512, m=4000, eps=0.4, seed=3,
+                               restart=False, copies=30)
+        items = np.random.default_rng(4).integers(0, 512, size=4000)
+        report = ingest(est, items, chunk_size=1024, discipline="dp-diff")
+        assert report.discipline == "difference-ladder"
+        assert report.dp_budget["publications"] == est.switches
+        assert report.dp_budget["strong_charges"] <= est.switches
+        assert report.dp_budget["publications_per_charge"] >= 1.0

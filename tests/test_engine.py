@@ -513,6 +513,15 @@ class TestPlanner:
         assert np.array_equal(f.fresh(big), big)
 
 
+def _prefetch_threads():
+    import threading
+
+    return [
+        t for t in threading.enumerate()
+        if t.name == "chunk-prefetch" and t.is_alive()
+    ]
+
+
 class TestPrefetch:
     def test_order_and_completeness(self):
         chunks = [np.arange(i, i + 4) for i in range(0, 40, 4)]
@@ -546,6 +555,108 @@ class TestPrefetch:
     def test_depth_validation(self):
         with pytest.raises(ValueError):
             list(prefetch_chunks([1, 2], depth=0))
+
+    # -- lifecycle regressions (ISSUE 5 satellites) ----------------------
+
+    def test_early_close_full_queue_depth1_joins_producer(self):
+        """The terminal _DONE put must be stop-aware.
+
+        depth=1 with an early close: the close-path drain frees one
+        slot, the producer's in-flight chunk put grabs it, and the
+        producer then reaches the terminal put with the queue full and
+        the consumer gone — an unconditional put would block forever
+        and leak the thread past the join timeout.
+        """
+        import time
+
+        it = prefetch_chunks(iter([0, 1, 2]), depth=1)
+        assert next(it) == 0
+        time.sleep(0.2)  # producer now parked putting a chunk
+        start = time.perf_counter()
+        it.close()
+        assert time.perf_counter() - start < 2.0, "close hit the join timeout"
+        deadline = time.time() + 2.0
+        while time.time() < deadline and _prefetch_threads():
+            time.sleep(0.01)
+        assert not _prefetch_threads(), "producer thread leaked after close"
+
+    def test_slow_producer_early_close_joins_thread(self):
+        """Early break with depth=1 and a slow producer: no leaked thread."""
+        import time
+
+        def source():
+            for i in range(100):
+                time.sleep(0.02)
+                yield i
+
+        it = prefetch_chunks(source(), depth=1)
+        assert next(it) == 0
+        it.close()
+        deadline = time.time() + 2.0
+        while time.time() < deadline and _prefetch_threads():
+            time.sleep(0.01)
+        assert not _prefetch_threads(), "producer thread leaked after close"
+
+    def test_producer_exception_after_close_is_logged(self, caplog):
+        """A failure after the consumer went away is surfaced, not dropped."""
+        import logging
+        import time
+
+        def source():
+            yield 0
+            yield 1
+            time.sleep(0.3)  # let the consumer close first
+            raise RuntimeError("late producer failure")
+
+        it = prefetch_chunks(source(), depth=1)
+        assert next(it) == 0
+        with caplog.at_level(logging.ERROR, logger="repro.engine.prefetch"):
+            it.close()
+            deadline = time.time() + 2.0
+            while time.time() < deadline and _prefetch_threads():
+                time.sleep(0.01)
+        assert not _prefetch_threads()
+        assert "late producer failure" in caplog.text
+
+    def test_producer_exception_delivered_through_full_queue(self):
+        """Delivery retries past a transiently full queue (no 1s give-up)."""
+        import time
+
+        def source():
+            yield 0
+            yield 1
+            yield 2
+            raise RuntimeError("post-chunk failure")
+
+        it = prefetch_chunks(source(), depth=1)
+        got = []
+        with pytest.raises(RuntimeError, match="post-chunk failure"):
+            for chunk in it:
+                got.append(chunk)
+                time.sleep(0.05)  # slow consumer: queue stays full
+        assert got == [0, 1, 2]
+
+    def test_blocked_source_join_timeout_is_logged(self, monkeypatch, caplog):
+        """A producer that cannot be stopped is reported, not silently leaked."""
+        import logging
+        import threading
+
+        import repro.engine.prefetch as prefetch_mod
+
+        monkeypatch.setattr(prefetch_mod, "JOIN_TIMEOUT", 0.05)
+        gate = threading.Event()
+
+        def source():
+            yield 0
+            gate.wait(5.0)  # simulates blocked I/O inside the chunk source
+            yield 1
+
+        it = prefetch_chunks(source(), depth=1)
+        assert next(it) == 0
+        with caplog.at_level(logging.ERROR, logger="repro.engine.prefetch"):
+            it.close()
+        assert "failed to join" in caplog.text
+        gate.set()  # release the thread so it exits before the next test
 
 
 class TestPlumbing:
