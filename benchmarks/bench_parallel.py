@@ -27,6 +27,13 @@ the same >= 2x gate applies.  Also measures per-partial merge sharding
 (CountMin) and the columnar-store + prefetch replay path, asserting
 exactness for both.
 
+The **stacked** case (ISSUE 6 tentpole) runs one F2 switching estimator
+over k CountSketch copies twice — per-object twin vs stacked copy
+groups, where the group's counter tables live in one ``(k, rows, width)``
+block and every chunk is hashed once for all k planes.  Outputs and
+switch counts must be bit-for-bit identical; the stacked run must be at
+least 2x the twin.
+
 Emits ``out/parallel_engine.{txt,json}``; ``run_all.py`` folds the JSON
 into ``BENCH_parallel.json`` at the repo root, and
 ``benchmarks/check_regression.py`` gates CI on the speedup columns
@@ -38,10 +45,14 @@ import time
 
 import numpy as np
 
+from repro.core.bands import MultiplicativeBand
+from repro.core.disciplines import PrivateAggregateDiscipline
+from repro.core.sketch_switching import SwitchingEstimator
 from repro.engine import ProcessEngine, SerialEngine, fork_available
 from repro.robust.distinct import RobustDistinctElements
 from repro.robust.entropy import RobustEntropy
 from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
 from repro.streams.frequency import FrequencyVector
 from repro.streams.model import StreamChunk, StreamParameters
 from repro.streams.store import write_stream
@@ -66,6 +77,17 @@ ENT_M = 2_000_000
 ENT_EPS = 0.6
 ENT_COPIES = 24
 
+# Stacked copy groups case: many copies of a small CountSketch make the
+# per-copy Python dispatch the dominant cost on the object path, which
+# is exactly the overhead the stacked kernels amortize; the small
+# universe keeps chunks aggregation-friendly like the entropy case.
+STK_N = 1 << 8
+STK_M = 2_000_000
+STK_COPIES = 24
+STK_WIDTH = 256
+STK_ROWS = 5
+MIN_STACKED_SPEEDUP = 2.0
+
 
 def _robust(seed=11):
     return RobustDistinctElements(
@@ -77,6 +99,18 @@ def _robust_entropy(seed=13):
     return RobustEntropy(
         n=ENT_N, m=ENT_M, eps=ENT_EPS, rng=np.random.default_rng(seed),
         copies=ENT_COPIES, cc_constant=0.5,
+    )
+
+
+def _stacked_switching(stacked):
+    return SwitchingEstimator(
+        factory=lambda rng: CountSketch(
+            STK_WIDTH, STK_ROWS, rng, track_candidates=0
+        ),
+        copies=STK_COPIES, rng=np.random.default_rng(42),
+        band=MultiplicativeBand(0.9),
+        discipline=PrivateAggregateDiscipline(noise_scale=0.01),
+        stacked=stacked,
     )
 
 
@@ -193,6 +227,53 @@ def test_parallel_engine_throughput(benchmark):
                 f"batched path (required >= {MIN_PARALLEL_SPEEDUP}x)"
             )
 
+        # Stacked copy groups (ISSUE 6): the same F2 switching estimator
+        # twice — per-object twin, then stacked — over one stream.  One
+        # shared hash pass feeds and probes all copies on the stacked
+        # path; outputs must be bit-for-bit identical and the stacked
+        # run at least MIN_STACKED_SPEEDUP x the twin.
+        stk_items = np.random.default_rng(11).integers(0, STK_N, size=STK_M)
+        stk_results = {}
+        for name, stacked in (("stacked_object_engine_serial", False),
+                              ("stacked_engine_serial", True)):
+            est = _stacked_switching(stacked)
+            start = time.perf_counter()
+            with SerialEngine().session(est) as session:
+                for lo in range(0, STK_M, CHUNK):
+                    session.feed(stk_items[lo:lo + CHUNK])
+                phases = session.phase_seconds
+            rate = STK_M / (time.perf_counter() - start)
+            stk_results[name] = (rate, est)
+            speedup = rate / stk_results["stacked_object_engine_serial"][0]
+            payload["results"][name] = {
+                "items_per_sec": round(rate),
+                "speedup_vs_pr1": round(speedup, 2),
+                "switches": est.switches,
+                "final_estimate": round(est.query(), 1),
+                "phase_seconds": {k: round(v, 3)
+                                  for k, v in phases.items()},
+            }
+            rows.append(format_row(
+                (name, f"{rate:,.0f}", f"{speedup:.2f}x", est.switches,
+                 "-"), WIDTHS,
+            ))
+        stk_base = stk_results["stacked_object_engine_serial"][1]
+        stk_est = stk_results["stacked_engine_serial"][1]
+        assert stk_est.query() == stk_base.query(), (
+            "stacked copy groups diverged from the per-object twin"
+        )
+        assert stk_est.switches == stk_base.switches, (
+            "stacked copy groups changed the switch count"
+        )
+        stk_speedup = (
+            stk_results["stacked_engine_serial"][0]
+            / stk_results["stacked_object_engine_serial"][0]
+        )
+        assert stk_speedup >= MIN_STACKED_SPEEDUP, (
+            f"stacked copy groups only {stk_speedup:.2f}x over the "
+            f"per-object twin (required >= {MIN_STACKED_SPEEDUP}x)"
+        )
+
         # Per-partial merge sharding: CountMin across workers, exact table.
         serial_cm = CountMinSketch(2048, 5, np.random.default_rng(7))
         start = time.perf_counter()
@@ -245,7 +326,10 @@ def test_parallel_engine_throughput(benchmark):
         f"eps={EPS}; robust switching = Theorem 5.1 KMV ring; "
         f"process engine = {WORKERS} forked workers over shared memory; "
         f"entropy = Theorem 7.3 additive band, n={ENT_N}, m={ENT_M:,}, "
-        f"eps={ENT_EPS}, {ENT_COPIES} CC copies (err column is additive)"
+        f"eps={ENT_EPS}, {ENT_COPIES} CC copies (err column is additive); "
+        f"stacked = F2 switching over {STK_COPIES} CountSketch"
+        f"({STK_WIDTH}x{STK_ROWS}) copies, n={STK_N}, m={STK_M:,}, DP "
+        f"aggregate discipline, speedup vs the per-object twin"
     )
     emit("parallel_engine", rows)
     emit_json("parallel_engine", payload)

@@ -62,13 +62,34 @@ def machine_metadata() -> dict:
     """What the throughput numbers were measured on."""
     import numpy
 
-    return {
+    meta = {
         "cpu_count": os.cpu_count(),
         "machine": platform.machine(),
         "platform": platform.platform(),
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,
     }
+    # BLAS backend and thread caps matter for the stacked-group and AMS
+    # matmul paths; np.show_config's dict mode is recent, so degrade
+    # gracefully on older NumPy.
+    try:
+        config = numpy.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        meta["blas"] = {
+            "name": blas.get("name"),
+            "version": blas.get("version"),
+        }
+    except Exception:
+        pass
+    threads = {
+        var: os.environ[var]
+        for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                    "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+        if var in os.environ
+    }
+    if threads:
+        meta["thread_env"] = threads
+    return meta
 
 
 def run_bench_file(path: pathlib.Path) -> dict:

@@ -192,6 +192,11 @@ class IngestReport:
     #: Why the planner fell back to plain serial feeding, if it did
     #: (engine paths only; the direct path never plans).
     fallback_reason: str | None = None
+    #: Cumulative per-phase wall-clock seconds of the switching protocol
+    #: (keys: "probe", "band_test", "feed", "replace") — engine sessions
+    #: with a switching core only; None on the direct path and for
+    #: sessions without a protocol.
+    phase_seconds: dict | None = None
     #: Directory the replay was teed into (``spill_store=``), if any.
     spill_path: str | None = None
 
@@ -323,6 +328,7 @@ def ingest(
     mode = "direct"
     policy = None
     fallback = None
+    phases = None
     start = time.perf_counter()
     try:
         if resolved is None:
@@ -346,6 +352,7 @@ def ingest(
                     session.feed(chunk.items, chunk.deltas)
                     count += len(chunk)
                     chunks += 1
+                phases = session.phase_seconds
     finally:
         if writer is not None:
             writer.close()
@@ -362,5 +369,6 @@ def ingest(
         discipline=disc_name,
         dp_budget=budget,
         fallback_reason=fallback,
+        phase_seconds=phases,
         spill_path=None if spill_store is None else str(writer.path),
     )

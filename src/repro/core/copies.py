@@ -26,7 +26,17 @@ independent instances of a static sketch, one active at a time.  The
   serial estimator and the engine's sharded drivers draw replacements
   from here *on the coordinator*, which is what makes restarted copies —
   and therefore published outputs — bit-for-bit identical across
-  execution modes.
+  execution modes;
+* **stacked copy groups** — homogeneous groups of a stackable sketch
+  (CountMin, CountSketch, AMS) fuse their array state into one
+  :class:`~repro.sketches.stacking.SketchStack` per group: one stacked
+  array for all k copies, one shared per-chunk hash pass, one
+  vectorized ``query_all``.  The original sketch objects stay installed
+  in :attr:`CopyManager.sketches` as *templates* whose array attributes
+  are views into the stack, so per-item updates and individual queries
+  keep working unchanged, and every result is bit-for-bit identical to
+  the per-object path.  Any code that swaps a copy object while stacks
+  are live must go through :meth:`CopyManager.install`.
 
 The band decision itself lives in :mod:`repro.core.bands`; the drive
 loop in :mod:`repro.core.sketch_switching`.  :class:`LocalCopyBackend`
@@ -67,6 +77,11 @@ class CopyManager:
     on_exhausted:
         Plain-mode behaviour when every copy is burned: ``"raise"``
         (default) or ``"clamp"`` (keep the last copy active).
+    stacked:
+        Whether eligible homogeneous groups fuse their array state into
+        stacked copy groups (the default).  ``False`` forces the
+        per-object path — the bit-for-bit twin the equivalence suite and
+        the bench gates compare against.
     """
 
     def __init__(
@@ -76,6 +91,7 @@ class CopyManager:
         rng: np.random.Generator,
         restart: bool = False,
         on_exhausted: str = "raise",
+        stacked: bool = True,
     ):
         if copies < 1:
             raise ValueError(f"copies must be >= 1, got {copies}")
@@ -93,6 +109,8 @@ class CopyManager:
         self._group_factories: tuple[SketchFactory, ...] = (factory,)
         #: Monotone activation counter; the active slot is ``rho % count``.
         self.rho = 0
+        self._stack_enabled = stacked
+        self._build_stacks()
 
     @classmethod
     def grouped(
@@ -100,6 +118,7 @@ class CopyManager:
         groups,
         rng: np.random.Generator,
         on_exhausted: str = "raise",
+        stacked: bool = True,
     ) -> "CopyManager":
         """Allocate heterogeneous copy groups: ``[(factory, count), ...]``.
 
@@ -141,7 +160,95 @@ class CopyManager:
         #: build whole-set replacements must go through `factory_for`.
         self.factory = self._group_factories[-1]
         self.rho = 0
+        self._stack_enabled = stacked
+        self._build_stacks()
         return self
+
+    # -- stacked copy groups --------------------------------------------
+
+    def _build_stacks(self) -> None:
+        """Fuse each eligible homogeneous group into a sketch stack.
+
+        A group qualifies when it has at least two copies of one
+        stackable sketch class; ``make_stack`` adopts the copies' arrays
+        into one stacked block and rebinds them as plane views.  The
+        copies stay in :attr:`sketches` as templates.
+        """
+        self.stacks: dict[int, "SketchStack"] = {}
+        self._plane_of: dict[int, tuple[int, int]] = {}
+        if not self._stack_enabled:
+            return
+        for g, (lo, hi) in enumerate(self.group_slices):
+            if hi - lo < 2:
+                continue
+            group = self.sketches[lo:hi]
+            cls = type(group[0])
+            if not getattr(cls, "stackable", False):
+                continue
+            if any(type(s) is not cls for s in group):
+                continue
+            stack = cls.make_stack(group)
+            if stack is None:
+                continue
+            self.stacks[g] = stack
+            for plane, idx in enumerate(range(lo, hi)):
+                self._plane_of[idx] = (g, plane)
+
+    def stack_plan(self, indices):
+        """Split copy indices into per-stack plane runs plus leftovers.
+
+        Returns ``(parts, rest)``: ``parts`` is a list of
+        ``(stack, planes, positions)`` triples — ``positions`` being the
+        offsets of those copies inside ``indices`` so callers can
+        reassemble per-copy results in request order — and ``rest`` the
+        ``(position, index)`` pairs served by the object path.
+        """
+        parts: dict[int, tuple] = {}
+        rest: list[tuple[int, int]] = []
+        for pos, idx in enumerate(indices):
+            hit = self._plane_of.get(idx)
+            if hit is None:
+                rest.append((pos, idx))
+                continue
+            g, plane = hit
+            entry = parts.get(g)
+            if entry is None:
+                entry = parts[g] = (self.stacks[g], [], [])
+            entry[1].append(plane)
+            entry[2].append(pos)
+        return list(parts.values()), rest
+
+    def install(self, idx: int, sketch: Sketch) -> None:
+        """Install ``sketch`` as the copy at ``idx``, stack-aware.
+
+        The single sanctioned swap point while stacks are live: the
+        incoming sketch's array state is copied into its plane and its
+        array attribute rebound to the plane view, keeping template and
+        stack coherent.  Falls back to a plain list assignment for
+        unstacked copies.
+        """
+        hit = self._plane_of.get(idx)
+        if hit is not None:
+            g, plane = hit
+            self.stacks[g].install(plane, sketch)
+        self.sketches[idx] = sketch
+
+    def unstack(self) -> None:
+        """Detach every stack, returning all copies to owned arrays.
+
+        The process engine calls this before forking so each worker
+        inherits plain per-object copies of its shard; :meth:`restack`
+        rebuilds the stacks after the workers' results are collected.
+        """
+        for stack in self.stacks.values():
+            stack.detach()
+        self.stacks = {}
+        self._plane_of = {}
+
+    def restack(self) -> None:
+        """Rebuild stacks over the current copies (no-op if already live)."""
+        if not self.stacks:
+            self._build_stacks()
 
     @property
     def count(self) -> int:
@@ -185,17 +292,33 @@ class CopyManager:
         """
         return spawn_rngs(self._fresh_rng, 1)[0]
 
-    def estimate_all(self, indices=None) -> list[float]:
+    def estimate_all(self, indices=None) -> np.ndarray:
         """Query a set of copies (default: all), in index order.
 
         The probe surface of the aggregate disciplines: the DP framework
         reads every copy's estimate per decision instead of the active
-        one's.  In-process only; the engines read sharded copies through
-        their backend's probe ops.
+        one's.  Returns a float64 array; stacked groups answer with one
+        vectorized ``query_all`` reduction instead of k Python calls
+        (bit-for-bit the same values).  In-process only; the engines
+        read sharded copies through their backend's probe ops.
         """
         if indices is None:
             indices = range(len(self.sketches))
-        return [self.sketches[i].query() for i in indices]
+        idxs = list(indices)
+        if not self.stacks:
+            return np.array(
+                [self.sketches[i].query() for i in idxs], dtype=np.float64
+            )
+        out = np.empty(len(idxs), dtype=np.float64)
+        parts, rest = self.stack_plan(idxs)
+        for stack, planes, positions in parts:
+            if len(planes) > 1:
+                out[positions] = stack.query_all()[planes]
+            else:
+                out[positions[0]] = stack.sketches[planes[0]].query()
+        for pos, idx in rest:
+            out[pos] = self.sketches[idx].query()
+        return out
 
     def retire(self, idx: int, replace=None) -> None:
         """Retire one copy: replace it with a freshly seeded instance.
@@ -209,7 +332,7 @@ class CopyManager:
         """
         rng = self.replacement_rng()
         if replace is None:
-            self.sketches[idx] = self.factory_for(idx)(rng)
+            self.install(idx, self.factory_for(idx)(rng))
         else:
             replace(idx, rng)
 
@@ -247,7 +370,7 @@ class CopyManager:
             burned = self.rho % len(self.sketches)
             rng = self.replacement_rng()
             if replace is None:
-                self.sketches[burned] = self.factory(rng)
+                self.install(burned, self.factory(rng))
             else:
                 replace(burned, rng)
             self.rho += 1
@@ -276,6 +399,14 @@ class LocalCopyBackend:
     tuple of copy indices — and *non-probed* fan-out feeds, whose
     ``exclude`` is the same tuple (empty for uniform fan-outs such as
     the heavy-hitters ring).
+
+    When the manager carries stacked copy groups, the bulk feeds route
+    through the stacks: a staged chunk is aggregated and hashed **once**
+    per stack (``prepare``) and the resulting columns are reused across
+    the probe feed, the non-probed fan-out, and any replay catch-ups
+    over the same arrays — the shared hash pass that makes k copies cost
+    one kernel invocation instead of k call chains.  Results are
+    bit-for-bit those of the per-object path.
     """
 
     def __init__(self, copies: CopyManager, unique_hint: bool = False):
@@ -285,8 +416,12 @@ class LocalCopyBackend:
         self._deltas: np.ndarray | None = None
         self._sub: tuple[np.ndarray, np.ndarray | None] | None = None
         self._sub_unique = False
-        #: Stack of per-probe snapshot lists: [[(idx, snapshot), ...], ...]
-        self._snap_stack: list[list[tuple[int, Sketch]]] = []
+        #: Stack of per-probe snapshot records:
+        #: {"stacks": [(stack, saved)], "objects": [(idx, snapshot)]}
+        self._snap_stack: list[dict] = []
+        #: Prepared-chunk cache: one aggregation + stacked hash pass per
+        #: staged array region per stack, reused across probe/feed ops.
+        self._prep: dict[tuple, object] = {}
 
     @property
     def capacity(self) -> int:
@@ -294,6 +429,7 @@ class LocalCopyBackend:
 
     def stage(self, items: np.ndarray, deltas: np.ndarray) -> None:
         self._items, self._deltas = items, deltas
+        self._prep.clear()
 
     def stage_sub(self, items, deltas, assume_unique: bool) -> None:
         """Stage a pre-processed (deduped/aggregated) feed without probing.
@@ -304,6 +440,7 @@ class LocalCopyBackend:
         """
         self._sub = (items, deltas)
         self._sub_unique = assume_unique
+        self._prep.clear()
 
     def _feed_one(self, sketch: Sketch, items, deltas, assume_unique) -> None:
         if assume_unique and self._unique_hint:
@@ -311,63 +448,183 @@ class LocalCopyBackend:
         else:
             sketch.update_batch(items, deltas)
 
+    def _prepared(self, key: tuple, stack, items, deltas):
+        prep = self._prep.get(key)
+        if prep is None:
+            prep = stack.prepare(items, deltas)
+            self._prep[key] = prep
+        return prep
+
+    def _raw_prepared(self, stack, lo: int, hi: int):
+        """Prepared chunk for ``raw[lo:hi]``, hashing each chunk once.
+
+        Subranges (crossing-search bisection, catch-up replays) are
+        derived from one full-chunk ``prepare`` by gathering the slice's
+        hash columns (:meth:`SketchStack.subset`), so a crossing costs
+        one stacked hash pass instead of one per bisection round.
+        """
+        key = ("raw", id(stack), lo, hi)
+        prep = self._prep.get(key)
+        if prep is not None:
+            return prep
+        full_len = len(self._items)
+        if lo == 0 and hi == full_len:
+            prep = stack.prepare(self._items, self._deltas)
+        else:
+            full_key = ("raw", id(stack), 0, full_len)
+            full = self._prep.get(full_key)
+            if full is None:
+                full = stack.prepare(self._items, self._deltas)
+                self._prep[full_key] = full
+            prep = stack.subset(
+                full, self._items[lo:hi], self._deltas[lo:hi]
+            )
+        self._prep[key] = prep
+        return prep
+
+    def _snapshot_probes(self, probes: tuple[int, ...]) -> dict:
+        """Composite snapshot: stacked planes as one array copy each."""
+        parts, rest = self._copies.stack_plan(probes)
+        return {
+            "stacks": [(stack, stack.save(planes)) for stack, planes, _ in parts],
+            "objects": [
+                (idx, self._copies.sketches[idx].snapshot()) for _, idx in rest
+            ],
+        }
+
     # -- probed-copy probe/search ops -----------------------------------
 
     def probe_sub(
         self, items, deltas, assume_unique: bool, probes: tuple[int, ...]
-    ) -> list[float]:
+    ) -> np.ndarray:
         self._sub = (items, deltas)
         self._sub_unique = assume_unique
-        snaps, ys = [], []
-        for idx in probes:
-            sk = self._copies.sketches[idx]
-            snaps.append((idx, sk.snapshot()))
+        self._prep.clear()
+        copies = self._copies
+        ys = np.empty(len(probes), dtype=np.float64)
+        if not copies.stacks:
+            snaps = []
+            for pos, idx in enumerate(probes):
+                sk = copies.sketches[idx]
+                snaps.append((idx, sk.snapshot()))
+                self._feed_one(sk, items, deltas, assume_unique)
+                ys[pos] = sk.query()
+            self._snap_stack.append({"stacks": [], "objects": snaps})
+            return ys
+        parts, rest = copies.stack_plan(probes)
+        record = {"stacks": [], "objects": []}
+        for stack, planes, positions in parts:
+            record["stacks"].append((stack, stack.save(planes)))
+            prep = self._prepared(("sub", id(stack)), stack, items, deltas)
+            stack.feed(prep, planes)
+            if len(planes) > 1:
+                ys[positions] = stack.query_all()[planes]
+            else:
+                ys[positions[0]] = stack.sketches[planes[0]].query()
+        for pos, idx in rest:
+            sk = copies.sketches[idx]
+            record["objects"].append((idx, sk.snapshot()))
             self._feed_one(sk, items, deltas, assume_unique)
-            ys.append(sk.query())
-        self._snap_stack.append(snaps)
+            ys[pos] = sk.query()
+        self._snap_stack.append(record)
         return ys
 
-    def probe_raw(self, probes: tuple[int, ...]) -> list[float]:
+    def probe_raw(self, probes: tuple[int, ...]) -> np.ndarray:
         self._sub = None
-        snaps, ys = [], []
-        for idx in probes:
-            sk = self._copies.sketches[idx]
-            snaps.append((idx, sk.snapshot()))
-            sk.update_batch(self._items, self._deltas)
-            ys.append(sk.query())
-        self._snap_stack.append(snaps)
+        copies = self._copies
+        items, deltas = self._items, self._deltas
+        ys = np.empty(len(probes), dtype=np.float64)
+        if not copies.stacks:
+            snaps = []
+            for pos, idx in enumerate(probes):
+                sk = copies.sketches[idx]
+                snaps.append((idx, sk.snapshot()))
+                sk.update_batch(items, deltas)
+                ys[pos] = sk.query()
+            self._snap_stack.append({"stacks": [], "objects": snaps})
+            return ys
+        parts, rest = copies.stack_plan(probes)
+        record = {"stacks": [], "objects": []}
+        for stack, planes, positions in parts:
+            record["stacks"].append((stack, stack.save(planes)))
+            prep = self._raw_prepared(stack, 0, len(items))
+            stack.feed(prep, planes)
+            if len(planes) > 1:
+                ys[positions] = stack.query_all()[planes]
+            else:
+                ys[positions[0]] = stack.sketches[planes[0]].query()
+        for pos, idx in rest:
+            sk = copies.sketches[idx]
+            record["objects"].append((idx, sk.snapshot()))
+            sk.update_batch(items, deltas)
+            ys[pos] = sk.query()
+        self._snap_stack.append(record)
         return ys
 
     def keep_probed(self, probes: tuple[int, ...]) -> None:
         self._snap_stack.pop()
 
     def roll_probed(self, probes: tuple[int, ...]) -> None:
-        for idx, snap in self._snap_stack.pop():
-            self._copies.sketches[idx] = snap
+        record = self._snap_stack.pop()
+        for stack, saved in record["stacks"]:
+            stack.restore(saved)
+        for idx, snap in record["objects"]:
+            self._copies.install(idx, snap)
 
     def snap_probed(self, probes: tuple[int, ...]) -> None:
-        self._snap_stack.append(
-            [(idx, self._copies.sketches[idx].snapshot()) for idx in probes]
-        )
+        self._snap_stack.append(self._snapshot_probes(probes))
 
     def feed_probed(
         self, lo: int, hi: int, probes: tuple[int, ...]
-    ) -> list[float]:
+    ) -> np.ndarray:
         items, deltas = self._items[lo:hi], self._deltas[lo:hi]
-        ys = []
-        for idx in probes:
-            sk = self._copies.sketches[idx]
+        copies = self._copies
+        ys = np.empty(len(probes), dtype=np.float64)
+        if not copies.stacks:
+            for pos, idx in enumerate(probes):
+                sk = copies.sketches[idx]
+                sk.update_batch(items, deltas)
+                ys[pos] = sk.query()
+            return ys
+        parts, rest = copies.stack_plan(probes)
+        for stack, planes, positions in parts:
+            prep = self._raw_prepared(stack, lo, hi)
+            stack.feed(prep, planes)
+            if len(planes) > 1:
+                ys[positions] = stack.query_all()[planes]
+            else:
+                ys[positions[0]] = stack.sketches[planes[0]].query()
+        for pos, idx in rest:
+            sk = copies.sketches[idx]
             sk.update_batch(items, deltas)
-            ys.append(sk.query())
+            ys[pos] = sk.query()
         return ys
 
-    def step_probed(self, pos: int, probes: tuple[int, ...]) -> list[float]:
+    def step_probed(self, pos: int, probes: tuple[int, ...]) -> np.ndarray:
         item, delta = int(self._items[pos]), int(self._deltas[pos])
-        ys = []
-        for idx in probes:
-            sk = self._copies.sketches[idx]
+        copies = self._copies
+        ys = np.empty(len(probes), dtype=np.float64)
+        if not copies.stacks:
+            for i, idx in enumerate(probes):
+                sk = copies.sketches[idx]
+                sk.update(item, delta)
+                ys[i] = sk.query()
+            return ys
+        # Per-item mutation stays on the templates (in-place writes flow
+        # through the plane views), but the per-copy query reductions
+        # collapse into one stacked pass per group.
+        parts, rest = copies.stack_plan(probes)
+        for stack, planes, positions in parts:
+            for p in planes:
+                stack.sketches[p].update(item, delta)
+            if len(planes) > 1:
+                ys[positions] = stack.query_all()[planes]
+            else:
+                ys[positions[0]] = stack.sketches[planes[0]].query()
+        for i, idx in rest:
+            sk = copies.sketches[idx]
             sk.update(item, delta)
-            ys.append(sk.query())
+            ys[i] = sk.query()
         return ys
 
     def scan_probed(
@@ -394,23 +651,45 @@ class LocalCopyBackend:
 
     def feed_others_sub(self, exclude: tuple[int, ...]) -> None:
         items, deltas = self._sub
+        copies = self._copies
+        if not copies.stacks:
+            excluded = set(exclude)
+            for idx, s in enumerate(copies.sketches):
+                if idx not in excluded:
+                    self._feed_one(s, items, deltas, self._sub_unique)
+            return
         excluded = set(exclude)
-        for idx, s in enumerate(self._copies.sketches):
-            if idx not in excluded:
-                self._feed_one(s, items, deltas, self._sub_unique)
+        others = [i for i in range(copies.count) if i not in excluded]
+        parts, rest = copies.stack_plan(others)
+        for stack, planes, _ in parts:
+            prep = self._prepared(("sub", id(stack)), stack, items, deltas)
+            stack.feed(prep, planes)
+        for _, idx in rest:
+            self._feed_one(copies.sketches[idx], items, deltas, self._sub_unique)
 
     def feed_others_raw(self, exclude: tuple[int, ...]) -> None:
         self.catch_up(0, len(self._items), exclude)
 
     def catch_up(self, lo: int, hi: int, exclude: tuple[int, ...]) -> None:
         items, deltas = self._items[lo:hi], self._deltas[lo:hi]
+        copies = self._copies
+        if not copies.stacks:
+            excluded = set(exclude)
+            for idx, s in enumerate(copies.sketches):
+                if idx not in excluded:
+                    s.update_batch(items, deltas)
+            return
         excluded = set(exclude)
-        for idx, s in enumerate(self._copies.sketches):
-            if idx not in excluded:
-                s.update_batch(items, deltas)
+        others = [i for i in range(copies.count) if i not in excluded]
+        parts, rest = copies.stack_plan(others)
+        for stack, planes, _ in parts:
+            prep = self._raw_prepared(stack, lo, hi)
+            stack.feed(prep, planes)
+        for _, idx in rest:
+            copies.sketches[idx].update_batch(items, deltas)
 
     def replace(self, idx: int, rng: np.random.Generator) -> None:
-        self._copies.sketches[idx] = self._copies.factory_for(idx)(rng)
+        self._copies.install(idx, self._copies.factory_for(idx)(rng))
 
     def fetch(self, idx: int) -> Sketch:
         """The copy at ``idx`` (epoch wrappers snapshot it for publishing)."""
@@ -421,4 +700,5 @@ class LocalCopyBackend:
 
     def close(self) -> None:
         self._snap_stack.clear()
+        self._prep.clear()
         self._items = self._deltas = self._sub = None

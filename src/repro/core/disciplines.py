@@ -212,7 +212,7 @@ class ActiveCopyDiscipline(ProbeDiscipline):
         return (copies.active_index,)
 
     def decide(self, estimates: Sequence[float]) -> float:
-        return estimates[0]
+        return float(estimates[0])
 
     def publish(self, band: BandPolicy, estimate: float) -> float:
         return band.publish(estimate)
@@ -314,9 +314,9 @@ class PrivateAggregateDiscipline(ProbeDiscipline):
                 "PrivateAggregateDiscipline used before bind(); construct "
                 "the estimator with discipline=... or call set_discipline"
             )
-        return float(np.median(np.asarray(estimates, dtype=np.float64))) * (
-            1.0 + self._noise
-        )
+        # Probe paths deliver a float64 ndarray (CopyManager.estimate_all
+        # and the backends now return arrays), so no conversion is needed.
+        return float(np.median(estimates)) * (1.0 + self._noise)
 
     def publish(self, band: BandPolicy, estimate: float) -> float:
         return band.publish_aggregate(estimate)
@@ -465,6 +465,8 @@ class DifferenceAggregateDiscipline(ProbeDiscipline):
                 "set_discipline"
             )
         lad = self.ladder
+        # Already a float64 ndarray on every internal path; asarray is a
+        # no-op there and only exists for external list callers.
         arr = np.asarray(estimates, dtype=np.float64)
         if lad.level is STRONG:
             tier_medians = [

@@ -82,6 +82,7 @@ their published outputs and switch counts agree by construction.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -173,6 +174,11 @@ class SwitchingEstimator(Sketch):
     restart, on_exhausted:
         Copy-lifecycle knobs, forwarded to the
         :class:`~repro.core.copies.CopyManager` (int form only).
+    stacked:
+        Forwarded to the :class:`~repro.core.copies.CopyManager` (int
+        form only): whether eligible homogeneous copy groups fuse into
+        stacked arrays with a shared per-chunk hash pass.  ``False``
+        forces the bit-for-bit-identical per-object path.
     """
 
     def __init__(
@@ -185,6 +191,7 @@ class SwitchingEstimator(Sketch):
         discipline: ProbeDiscipline | None = None,
         restart: bool = False,
         on_exhausted: str = "raise",
+        stacked: bool = True,
     ):
         if band is None:
             if eps is None:
@@ -200,7 +207,8 @@ class SwitchingEstimator(Sketch):
                     "provide factory/copies/rng, or a pre-built CopyManager"
                 )
             self._copies = CopyManager(
-                factory, copies, rng, restart=restart, on_exhausted=on_exhausted
+                factory, copies, rng, restart=restart,
+                on_exhausted=on_exhausted, stacked=stacked,
             )
         self.discipline = discipline if discipline is not None \
             else ActiveCopyDiscipline()
@@ -409,6 +417,14 @@ class SwitchingProtocol:
         self._unique_hint = unique_hint
         self._items: np.ndarray | None = None
         self._deltas: np.ndarray | None = None
+        #: Cumulative per-phase wall seconds, measured once per chunk (and
+        #: once per switch segment on crossing chunks): probing the
+        #: discipline's read set, the boundary band test, the non-probed
+        #: fan-out feed, and copy replacement/publication bookkeeping.
+        #: Surfaced through the engine sessions into ``IngestReport``.
+        self.timings: dict[str, float] = {
+            "probe": 0.0, "band_test": 0.0, "feed": 0.0, "replace": 0.0,
+        }
 
     def _probes(self) -> tuple[int, ...]:
         return self._disc.probe_indices(self._copies)
@@ -448,15 +464,18 @@ class SwitchingProtocol:
             # update (no chunk-level coalescing), like the per-item path.
             self._drive_raw(0, count)
             return
+        timings = self.timings
         probes = self._probes()
         uniq = None
         probed_sub = True
+        tick = time.perf_counter()
         if self._seen is not None and int(deltas.min()) > 0:
             uniq = np.unique(items)
             fresh = self._seen.fresh(uniq)
             if len(fresh) == 0:
                 # Every live copy has seen every item here: no copy's
                 # state — hence no band check — can change.
+                timings["probe"] += time.perf_counter() - tick
                 return
             ys = self._backend.probe_sub(fresh, None, True, probes)
         elif self._aggregate_once:
@@ -470,7 +489,12 @@ class SwitchingProtocol:
         else:
             probed_sub = False
             ys = self._backend.probe_raw(probes)
-        if self._band.within(sw._published, self._disc.decide(ys)):
+        tock = time.perf_counter()
+        timings["probe"] += tock - tick
+        clean = self._band.within(sw._published, self._disc.decide(ys))
+        tick = time.perf_counter()
+        timings["band_test"] += tick - tock
+        if clean:
             # Clean chunk (the common case): the probed copies already
             # have it; give the others the same pre-processed feed.  An
             # all-copy probe (the DP discipline) leaves no others — skip
@@ -484,6 +508,7 @@ class SwitchingProtocol:
                     self._backend.feed_others_raw(probes)
             if uniq is not None:
                 self._seen.mark(uniq)
+            timings["feed"] += time.perf_counter() - tick
             return
         # Crossed somewhere inside: rewind the probed copies and resolve
         # the switch positions exactly on the raw updates.
@@ -501,24 +526,33 @@ class SwitchingProtocol:
         probe set.
         """
         sw = self._sw
+        timings = self.timings
         switches_before = sw.switches
         pos = lo
         while pos < hi:
             probes = self._probes()
             all_probed = len(probes) == self._copies.count
+            tick = time.perf_counter()
             crossing = self._search(pos, hi, probes)
+            tock = time.perf_counter()
+            timings["probe"] += tock - tick
             if crossing is None:
                 if not all_probed:
                     self._backend.catch_up(pos, hi, probes)
+                    timings["feed"] += time.perf_counter() - tock
                 break
             cpos, y = crossing
             if not all_probed:
                 self._backend.catch_up(pos, cpos + 1, probes)
+                now = time.perf_counter()
+                timings["feed"] += now - tock
+                tock = now
             sw._published = self._disc.publish(self._band, y)
             sw.switches += 1
             self._disc.on_publish(
                 self._copies, sw.switches, replace=self._backend.replace
             )
+            timings["replace"] += time.perf_counter() - tock
             pos = cpos + 1
         if self._seen is not None and sw.switches != switches_before:
             # A switch invalidates the filter: a replacement (or newly

@@ -307,6 +307,11 @@ class _ProcessCopyBackend:
         capacity: int,
     ):
         self._copies = copies
+        # Workers drive per-copy object state (each owns a shard, so
+        # there is no cross-copy batching to win); detach any stacked
+        # groups *before* the fork captures the sketches below, so the
+        # sketches shipped into worker address spaces own their arrays.
+        copies.unstack()
         self._buffers = _SharedBuffers(capacity)
         ctx = mp.get_context("fork")
         self._owner: dict[int, int] = {}
@@ -385,19 +390,19 @@ class _ProcessCopyBackend:
             groups.setdefault(self._owner[idx], []).append(idx)
         return groups
 
-    def _gather(self, groups: dict[int, list[int]], probes) -> list[float]:
+    def _gather(self, groups: dict[int, list[int]], probes) -> np.ndarray:
         """Collect (index, estimate) replies and order them like probes."""
         by_index: dict[int, float] = {}
         for worker in groups:
             for idx, y in self._recv(self._conns[worker]):
                 by_index[idx] = y
-        return [by_index[idx] for idx in probes]
+        return np.array([by_index[idx] for idx in probes], dtype=np.float64)
 
     # -- probed-copy probe/search ops -----------------------------------
 
     def probe_sub(
         self, items, deltas, assume_unique: bool, probes: tuple[int, ...]
-    ) -> list[float]:
+    ) -> np.ndarray:
         self._barrier()
         self.stage_sub(items, deltas, assume_unique)
         groups = self._group(probes)
@@ -407,7 +412,7 @@ class _ProcessCopyBackend:
                    assume_unique, owned))
         return self._gather(groups, probes)
 
-    def probe_raw(self, probes: tuple[int, ...]) -> list[float]:
+    def probe_raw(self, probes: tuple[int, ...]) -> np.ndarray:
         self._sub_len = 0
         groups = self._group(probes)
         for worker, owned in groups.items():
@@ -432,13 +437,13 @@ class _ProcessCopyBackend:
 
     def feed_probed(
         self, lo: int, hi: int, probes: tuple[int, ...]
-    ) -> list[float]:
+    ) -> np.ndarray:
         groups = self._group(probes)
         for worker, owned in groups.items():
             _send(self._conns[worker], ("afeed", lo, hi, owned))
         return self._gather(groups, probes)
 
-    def step_probed(self, pos: int, probes: tuple[int, ...]) -> list[float]:
+    def step_probed(self, pos: int, probes: tuple[int, ...]) -> np.ndarray:
         groups = self._group(probes)
         for worker, owned in groups.items():
             _send(self._conns[worker], ("astep", pos, owned))
@@ -487,6 +492,9 @@ class _ProcessCopyBackend:
         for conn in self._conns:
             for idx, sketch in self._recv(conn):
                 copies.sketches[idx] = sketch
+        # Re-adopt the collected sketches into stacked groups (no-op when
+        # stacking is disabled or nothing qualifies).
+        copies.restack()
 
     def close(self) -> None:
         for conn in self._conns:
@@ -559,6 +567,13 @@ class IngestSession(abc.ABC):
     #: surfaced by IngestReport so a fallback is observable, not silent.
     fallback_reason: str | None = None
 
+    @property
+    def phase_seconds(self) -> dict[str, float] | None:
+        """Cumulative per-phase wall-clock (probe / band_test / feed /
+        replace) for protocol-driven sessions; None when the session has
+        no switching protocol to instrument."""
+        return None
+
     @abc.abstractmethod
     def feed(self, items, deltas=None) -> None:
         """Ingest one chunk."""
@@ -617,6 +632,10 @@ class _SwitchingSession(IngestSession):
         self.mode = mode
         self.policy = plan.band.name
 
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        return dict(self._protocol.timings)
+
     def feed(self, items, deltas=None) -> None:
         self._protocol.feed(items, deltas)
 
@@ -658,6 +677,12 @@ class _EpochSession(IngestSession):
         )
         self.mode = mode
         self.policy = "epoch"
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        # The inner L2 switcher is the protocol-driven half; ring feeds
+        # are uniform fan-outs with no probe/band phases to attribute.
+        return dict(self._l2_protocol.timings)
 
     def feed(self, items, deltas=None) -> None:
         items, deltas = as_batch_arrays(items, deltas)

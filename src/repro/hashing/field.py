@@ -174,3 +174,34 @@ def poly_eval_vec(coefficients: Sequence[int], xs: np.ndarray) -> np.ndarray:
         acc = (acc & _P64) + (acc >> _S61)
         acc -= np.where(acc >= _P64, _P64, np.uint64(0))
     return acc
+
+
+def poly_eval_stacked(coeff_matrix: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """Evaluate many degree-equal polynomials at the same points, at once.
+
+    ``coeff_matrix`` is a ``(polys, degree)`` uint64 array of field
+    elements, constant term upward per row — one row per polynomial.
+    Returns a ``(polys, len(xs))`` uint64 array where row ``i`` equals
+    ``poly_eval_vec(coeff_matrix[i], xs)`` bit-for-bit: the shared Horner
+    recursion runs over a 2-D accumulator, and :func:`field_mul_vec` is
+    elementwise, so stacking rows never changes any row's arithmetic.
+
+    This is the shared-hash-pass kernel for stacked copy groups: the k
+    copies of a switching estimator hold k independent hash functions of
+    the same degree, and one call here replaces k separate Horner sweeps
+    over the same chunk of items.
+    """
+    coeff_matrix = np.ascontiguousarray(coeff_matrix, dtype=np.uint64)
+    if coeff_matrix.ndim != 2 or coeff_matrix.shape[1] < 1:
+        raise ValueError(
+            f"coeff_matrix must be (polys, degree>=1), got {coeff_matrix.shape}"
+        )
+    xs = np.ascontiguousarray(xs, dtype=np.uint64)
+    rev = coeff_matrix[:, ::-1]
+    acc = np.repeat(rev[:, 0:1], len(xs), axis=1)
+    for j in range(1, rev.shape[1]):
+        acc = field_mul_vec(acc, xs)
+        acc += rev[:, j : j + 1]  # < 2^62: one fold suffices
+        acc = (acc & _P64) + (acc >> _S61)
+        acc -= np.where(acc >= _P64, _P64, np.uint64(0))
+    return acc

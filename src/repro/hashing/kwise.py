@@ -24,6 +24,7 @@ from repro.hashing.field import (
     FIELD_BITS,
     MERSENNE_P,
     mod_mersenne,
+    poly_eval_stacked,
     poly_eval_vec,
 )
 
@@ -82,6 +83,54 @@ class KWiseHash:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"KWiseHash(k={self.k}, out_bits={self.out_bits})"
+
+
+def stack_coefficients(hashes) -> np.ndarray:
+    """Collect the coefficient rows of degree-equal hashes into one matrix.
+
+    Returns a ``(len(hashes), k)`` uint64 array suitable for
+    :func:`hash_many_stacked`.  All hashes must share the same independence
+    ``k`` and output truncation — the stacked Horner sweep runs every row
+    through the identical recursion, so mixed degrees cannot share a pass.
+    """
+    hashes = list(hashes)
+    if not hashes:
+        raise ValueError("need at least one hash to stack")
+    k = hashes[0].k
+    shift = hashes[0]._shift
+    for h in hashes:
+        if h.k != k or h._shift != shift:
+            raise ValueError("stacked hashes must share k and out_bits")
+    return np.array([h._coeffs for h in hashes], dtype=np.uint64)
+
+
+def hash_many_stacked(hashes, xs: np.ndarray) -> np.ndarray:
+    """Evaluate many same-degree :class:`KWiseHash` functions in one pass.
+
+    Returns a ``(len(hashes), len(xs))`` uint64 array whose row ``i`` is
+    bit-for-bit identical to ``hashes[i].hash_many(xs)``.  This is the
+    shared per-chunk hash pass that stacked copy groups reuse across all
+    planes: one Horner sweep over a coefficient matrix instead of one
+    NumPy call chain per copy per row.
+    """
+    hashes = list(hashes)
+    coeffs = stack_coefficients(hashes)
+    xs = np.ascontiguousarray(xs, dtype=np.uint64)
+    out = poly_eval_stacked(coeffs, xs)
+    shift = hashes[0]._shift
+    if shift:
+        out = out >> np.uint64(shift)
+    return out
+
+
+def sign_many_stacked(sign_hashes, xs: np.ndarray) -> np.ndarray:
+    """Evaluate many same-degree :class:`KWiseSignHash` functions at once.
+
+    Returns a ``(len(sign_hashes), len(xs))`` float64 array of ±1 whose
+    row ``i`` matches ``sign_hashes[i].sign_many(xs)`` bit-for-bit.
+    """
+    bits = hash_many_stacked([s._h for s in sign_hashes], xs) & np.uint64(1)
+    return bits.astype(np.float64) * 2.0 - 1.0
 
 
 class KWiseSignHash:

@@ -29,6 +29,7 @@ from repro.sketches.base import (
     as_batch_arrays,
     spawn_rngs,
 )
+from repro.sketches.stacking import SketchStack, stack_rows
 
 
 class AMSFullSketch(Sketch):
@@ -127,6 +128,11 @@ class AMSSketch(Sketch):
 
     supports_deletions = True
     aggregation_invariant = True
+    stackable = True
+
+    @classmethod
+    def make_stack(cls, sketches):
+        return AMSStack(sketches)
 
     def __init__(
         self,
@@ -283,3 +289,85 @@ class AMSSketch(Sketch):
         counters = len(self._y) * 64
         hashes = sum(s.space_bits() for s in self._signs)
         return counters + hashes
+
+
+class _AMSPrep:
+    """A chunk aggregated once; per-plane sign columns gather lazily."""
+
+    __slots__ = ("unique", "summed_f", "cols")
+
+    def __init__(self, unique, summed_f):
+        self.unique = unique
+        self.summed_f = summed_f
+        self.cols = {}  # plane -> (distinct, total) float64 sign columns
+
+
+class AMSStack(SketchStack):
+    """Stacked accumulators for k AMS copies: one ``(k, total_rows)``
+    float64 block with vectorized median-of-means over all planes.
+
+    The per-plane matmul ``y += cols.T @ summed`` is kept at exactly the
+    object path's shapes so BLAS accumulation order (and hence the bits)
+    cannot change; the shared work is the chunk aggregation/validation,
+    the stacked snapshot, and the one-pass ``query_all`` reduction.  Sign
+    columns amortize through each template's dense memo, exactly as on
+    the object path.
+    """
+
+    def _adopt(self):
+        first = self.sketches[0]
+        self.rows_per_group = first.rows_per_group
+        self.groups = first.groups
+        total = len(first._y)
+        for s in self.sketches:
+            if s.rows_per_group != self.rows_per_group or s.groups != self.groups:
+                raise ValueError("cannot stack AMS copies of mixed shape")
+        self.total = total
+        self.ys = stack_rows([s._y for s in self.sketches])
+        for p, s in enumerate(self.sketches):
+            s._y = self.ys[p]
+
+    def prepare(self, items, deltas=None):
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return None
+        if int(items.min()) < 0:
+            raise ValueError("AMS items must be non-negative")
+        unique, summed = aggregate_batch(items, deltas)
+        return _AMSPrep(unique, summed.astype(np.float64))
+
+    def feed(self, prepared, planes) -> None:
+        if prepared is None:
+            return
+        for p in planes:
+            cols = prepared.cols.get(p)
+            if cols is None:
+                cols = self.sketches[p]._columns_many(prepared.unique)
+                prepared.cols[p] = cols
+            self.ys[p] += cols.T @ prepared.summed_f
+
+    def query_all(self) -> np.ndarray:
+        sq = self.ys * self.ys
+        means = sq.reshape(self.planes, self.groups, self.rows_per_group).mean(
+            axis=2
+        )
+        return np.median(means, axis=1)
+
+    def install(self, plane: int, sketch) -> None:
+        if sketch._y.shape != self.ys[plane].shape:
+            raise ValueError("cannot install an AMS sketch of different shape")
+        self.ys[plane] = sketch._y
+        sketch._y = self.ys[plane]
+        self.sketches[plane] = sketch
+
+    def save(self, planes):
+        sel = np.asarray(list(planes), dtype=np.intp)
+        return sel, self.ys[sel]
+
+    def restore(self, saved) -> None:
+        sel, ys = saved
+        self.ys[sel] = ys
+
+    def detach(self) -> None:
+        for p, s in enumerate(self.sketches):
+            s._y = self.ys[p].copy()

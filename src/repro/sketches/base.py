@@ -104,6 +104,24 @@ class Sketch(abc.ABC):
     #: aggregate a chunk once instead of once per fanned-out copy.
     aggregation_invariant: bool = False
 
+    #: Whether homogeneous copy groups of this sketch can fuse their array
+    #: state into a :class:`repro.sketches.stacking.SketchStack` — one
+    #: stacked array and one shared per-chunk hash pass for all k copies.
+    #: Requires fixed-shape array state mutated strictly in place, equal
+    #: hash degrees across copies, and aggregation-invariant batches;
+    #: sketches with list/set-shaped state (KMV, Misra–Gries) stay on the
+    #: per-object path.  Opting in means also overriding :meth:`make_stack`.
+    stackable: bool = False
+
+    @classmethod
+    def make_stack(cls, sketches):
+        """Build a :class:`~repro.sketches.stacking.SketchStack` over copies.
+
+        Returns ``None`` when the group cannot be stacked (the default for
+        every sketch that does not opt in via :attr:`stackable`).
+        """
+        return None
+
     @abc.abstractmethod
     def update(self, item: int, delta: int = 1) -> None:
         """Process one stream update."""

@@ -14,13 +14,14 @@ import math
 
 import numpy as np
 
-from repro.hashing.kwise import KWiseHash
+from repro.hashing.kwise import KWiseHash, hash_many_stacked
 from repro.sketches.base import (
     PointQuerySketch,
     aggregate_batch,
     as_batch_arrays,
     spawn_rngs,
 )
+from repro.sketches.stacking import SketchStack, stack_rows
 
 
 class CountMinSketch(PointQuerySketch):
@@ -33,6 +34,11 @@ class CountMinSketch(PointQuerySketch):
 
     supports_deletions = False
     aggregation_invariant = True
+    stackable = True
+
+    @classmethod
+    def make_stack(cls, sketches):
+        return CountMinStack(sketches)
 
     def __init__(self, width: int, rows: int, rng: np.random.Generator):
         if width < 1 or rows < 1:
@@ -130,3 +136,110 @@ class CountMinSketch(PointQuerySketch):
         return self.rows * self.width * 64 + sum(
             h.space_bits() for h in self._hashes
         )
+
+
+class _CountMinPrep:
+    """A chunk aggregated and hashed once, ready to feed any plane subset."""
+
+    __slots__ = ("unique", "summed", "buckets", "f1")
+
+    def __init__(self, unique, summed, buckets, f1):
+        self.unique = unique  # sorted distinct items (np.unique order)
+        self.summed = summed
+        self.buckets = buckets  # (planes, rows, distinct) bucket columns
+        self.f1 = f1
+
+
+class CountMinStack(SketchStack):
+    """Stacked counter tables for k CountMin copies: one ``(k, rows, width)``
+    int64 block, one shared bucket-hash pass per chunk, one flat bincount
+    to scatter into any subset of planes."""
+
+    def _adopt(self):
+        first = self.sketches[0]
+        self.rows, self.width = first.rows, first.width
+        for s in self.sketches:
+            if s.rows != self.rows or s.width != self.width:
+                raise ValueError("cannot stack CountMin copies of mixed shape")
+        self.tables = stack_rows([s._table for s in self.sketches])
+        for p, s in enumerate(self.sketches):
+            s._table = self.tables[p]
+
+    def prepare(self, items, deltas=None):
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return None
+        if np.any(deltas < 0):
+            raise ValueError("CountMin requires non-negative updates")
+        unique, summed = aggregate_batch(items, deltas)
+        hashes = [h for s in self.sketches for h in s._hashes]
+        buckets = (
+            hash_many_stacked(hashes, unique) % np.uint64(self.width)
+        ).astype(np.intp)
+        return _CountMinPrep(
+            unique, summed,
+            buckets.reshape(self.planes, self.rows, -1), int(summed.sum()),
+        )
+
+    def subset(self, prepared, items, deltas=None):
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return None
+        if np.any(deltas < 0):
+            raise ValueError("CountMin requires non-negative updates")
+        unique, summed = aggregate_batch(items, deltas)
+        # Every distinct item of the slice is in the full chunk's sorted
+        # unique array; gather its bucket columns instead of re-hashing.
+        idx = np.searchsorted(prepared.unique, unique)
+        return _CountMinPrep(
+            unique, summed, prepared.buckets[:, :, idx], int(summed.sum())
+        )
+
+    def feed(self, prepared, planes) -> None:
+        if prepared is None:
+            return
+        sel = np.asarray(list(planes), dtype=np.intp)
+        if len(sel) == 0:
+            return
+        distinct = prepared.buckets.shape[2]
+        rows = len(sel) * self.rows
+        flat = prepared.buckets[sel].reshape(rows, distinct)
+        flat = flat + np.arange(rows, dtype=np.intp)[:, None] * self.width
+        # One bincount over all (plane, row) blocks: flat indices are
+        # disjoint per block and C-order keeps items in stream order per
+        # bin, so per-bin float accumulation matches the per-row bincount
+        # of the object path exactly.
+        counts = np.bincount(
+            flat.ravel(),
+            weights=np.broadcast_to(prepared.summed, (rows, distinct)).ravel(),
+            minlength=rows * self.width,
+        )
+        self.tables[sel] += counts.reshape(
+            len(sel), self.rows, self.width
+        ).astype(np.int64)
+        for p in sel.tolist():
+            self.sketches[p]._f1 += prepared.f1
+
+    def query_all(self) -> np.ndarray:
+        return np.array([float(s._f1) for s in self.sketches], dtype=np.float64)
+
+    def install(self, plane: int, sketch) -> None:
+        if sketch._table.shape != self.tables[plane].shape:
+            raise ValueError("cannot install a CountMin of different shape")
+        self.tables[plane] = sketch._table
+        sketch._table = self.tables[plane]
+        self.sketches[plane] = sketch
+
+    def save(self, planes):
+        sel = np.asarray(list(planes), dtype=np.intp)
+        return sel, self.tables[sel], [self.sketches[p]._f1 for p in sel.tolist()]
+
+    def restore(self, saved) -> None:
+        sel, tables, f1s = saved
+        self.tables[sel] = tables
+        for p, f1 in zip(sel.tolist(), f1s):
+            self.sketches[p]._f1 = f1
+
+    def detach(self) -> None:
+        for p, s in enumerate(self.sketches):
+            s._table = self.tables[p].copy()

@@ -18,13 +18,19 @@ import math
 
 import numpy as np
 
-from repro.hashing.kwise import KWiseHash, KWiseSignHash
+from repro.hashing.kwise import (
+    KWiseHash,
+    KWiseSignHash,
+    hash_many_stacked,
+    sign_many_stacked,
+)
 from repro.sketches.base import (
     PointQuerySketch,
     aggregate_batch,
     as_batch_arrays,
     spawn_rngs,
 )
+from repro.sketches.stacking import SketchStack, stack_rows
 
 
 class CountSketch(PointQuerySketch):
@@ -32,6 +38,11 @@ class CountSketch(PointQuerySketch):
 
     supports_deletions = True
     aggregation_invariant = True
+    stackable = True
+
+    @classmethod
+    def make_stack(cls, sketches):
+        return CountSketchStack(sketches)
 
     def __init__(
         self,
@@ -238,3 +249,117 @@ class CountSketch(PointQuerySketch):
         )
         candidates = self._track_candidates * 64
         return table + hashes + candidates
+
+
+class _CountSketchPrep:
+    """A chunk aggregated, bucket-hashed and sign-weighted for all planes."""
+
+    __slots__ = ("unique", "buckets", "signs", "weighted")
+
+    def __init__(self, unique, buckets, signs, weighted):
+        self.unique = unique  # sorted distinct items (np.unique order)
+        self.buckets = buckets  # (planes, rows, distinct) bucket columns
+        self.signs = signs  # (planes, rows, distinct) +-1.0 sign columns
+        self.weighted = weighted  # (planes, rows, distinct) sign * delta
+
+
+class CountSketchStack(SketchStack):
+    """Stacked tables for k CountSketch copies: one ``(k, rows, width)``
+    float64 block, one shared bucket + sign hash pass per chunk, and one
+    weighted bincount to scatter into any subset of planes.  Candidate
+    bookkeeping stays on the per-plane templates (it is heuristic scalar
+    state), exactly mirroring ``update_batch``."""
+
+    def _adopt(self):
+        first = self.sketches[0]
+        self.rows, self.width = first.rows, first.width
+        for s in self.sketches:
+            if s.rows != self.rows or s.width != self.width:
+                raise ValueError("cannot stack CountSketch copies of mixed shape")
+        self.tables = stack_rows([s._table for s in self.sketches])
+        for p, s in enumerate(self.sketches):
+            s._table = self.tables[p]
+
+    def prepare(self, items, deltas=None):
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return None
+        unique, summed = aggregate_batch(items, deltas)
+        buckets = [h for s in self.sketches for h in s._buckets]
+        signs = [g for s in self.sketches for g in s._signs]
+        cols = (
+            hash_many_stacked(buckets, unique) % np.uint64(self.width)
+        ).astype(np.intp)
+        shape = (self.planes, self.rows, len(unique))
+        sign_cols = sign_many_stacked(signs, unique).reshape(shape)
+        weighted = sign_cols * summed.astype(np.float64)
+        return _CountSketchPrep(unique, cols.reshape(shape), sign_cols, weighted)
+
+    def subset(self, prepared, items, deltas=None):
+        items, deltas = as_batch_arrays(items, deltas)
+        if len(items) == 0:
+            return None
+        unique, summed = aggregate_batch(items, deltas)
+        # Gather the slice's bucket/sign columns from the full chunk's
+        # hash pass; sign * delta is exact (+-1.0 times an integer-valued
+        # float), so the recombined weights match a fresh prepare bit for
+        # bit.
+        idx = np.searchsorted(prepared.unique, unique)
+        cols = prepared.buckets[:, :, idx]
+        sign_cols = prepared.signs[:, :, idx]
+        weighted = sign_cols * summed.astype(np.float64)
+        return _CountSketchPrep(unique, cols, sign_cols, weighted)
+
+    def feed(self, prepared, planes) -> None:
+        if prepared is None:
+            return
+        sel = np.asarray(list(planes), dtype=np.intp)
+        if len(sel) == 0:
+            return
+        distinct = prepared.buckets.shape[2]
+        rows = len(sel) * self.rows
+        flat = prepared.buckets[sel].reshape(rows, distinct)
+        flat = flat + np.arange(rows, dtype=np.intp)[:, None] * self.width
+        counts = np.bincount(
+            flat.ravel(),
+            weights=prepared.weighted[sel].ravel(),
+            minlength=rows * self.width,
+        )
+        self.tables[sel] += counts.reshape(len(sel), self.rows, self.width)
+        unique_items = prepared.unique.tolist()
+        for p in sel.tolist():
+            sketch = self.sketches[p]
+            if sketch._track_candidates:
+                for item in unique_items:
+                    sketch._candidates[item] = None
+                if len(sketch._candidates) > 4 * sketch._track_candidates:
+                    sketch._prune_candidates()
+
+    def query_all(self) -> np.ndarray:
+        row_mass = (self.tables * self.tables).sum(axis=2)
+        return np.median(row_mass, axis=1)
+
+    def install(self, plane: int, sketch) -> None:
+        if sketch._table.shape != self.tables[plane].shape:
+            raise ValueError("cannot install a CountSketch of different shape")
+        self.tables[plane] = sketch._table
+        sketch._table = self.tables[plane]
+        self.sketches[plane] = sketch
+
+    def save(self, planes):
+        sel = np.asarray(list(planes), dtype=np.intp)
+        return (
+            sel,
+            self.tables[sel],
+            [dict(self.sketches[p]._candidates) for p in sel.tolist()],
+        )
+
+    def restore(self, saved) -> None:
+        sel, tables, candidates = saved
+        self.tables[sel] = tables
+        for p, cands in zip(sel.tolist(), candidates):
+            self.sketches[p]._candidates = cands
+
+    def detach(self) -> None:
+        for p, s in enumerate(self.sketches):
+            s._table = self.tables[p].copy()

@@ -1,0 +1,154 @@
+"""Stacked array state for homogeneous groups of sketch copies.
+
+The robustness constructions of Section 3 pay for adversarial robustness
+in *copies*: a switching estimator keeps k independent instances of the
+same static sketch and feeds every stream chunk to most of them.  With
+the per-object representation that is k Python call chains per chunk —
+k aggregations, k hash passes, k scatter-adds — even though the copies
+differ only in their hash coefficients.
+
+A :class:`SketchStack` stores the array state of one homogeneous copy
+group as a single stacked NumPy array (one plane per copy) and turns the
+per-copy loops into single kernels:
+
+* ``prepare`` aggregates a chunk once and evaluates the hash columns for
+  **all** planes in one stacked Horner sweep
+  (:func:`repro.hashing.field.poly_eval_stacked`);
+* ``feed`` scatter-adds a prepared chunk into any subset of planes;
+* ``query_all`` reduces the whole stack to per-copy estimates in one
+  vectorized pass.
+
+The original sketch objects stay alive as *templates*: each template's
+mutable array attribute is rebound to a view of its plane, so per-item
+updates, point queries, snapshots, and scalar bookkeeping keep working
+unchanged — in-place NumPy writes flow through the view into the stack.
+Everything a stack computes is bit-for-bit identical to running the same
+operations through the per-object path; the equivalence suite in
+``tests/test_stacked_groups.py`` enforces this.
+
+A sketch opts in by setting :attr:`repro.sketches.base.Sketch.stackable`
+and implementing ``make_stack``.  Qualifying requires:
+
+* array-valued mutable state of fixed shape (a counter table or
+  accumulator vector) that all bulk updates mutate *in place*;
+* hash families of equal degree across copies, so the stacked Horner
+  sweep is well-formed;
+* aggregation-invariant batch semantics, so one shared per-chunk
+  aggregation feeds every plane.
+
+List- or set-shaped state (KMV's sample list, MisraGries' counter map)
+does not stack; those sketches keep the object path.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class SketchStack(abc.ABC):
+    """Stacked state for a contiguous homogeneous group of sketch copies.
+
+    Subclasses adopt the templates' arrays into one ``(planes, ...)``
+    stack at construction and rebind each template's array attribute to
+    its plane view.  All mutation of stacked state must go through the
+    stack (``feed``/``install``/``restore``) or through in-place NumPy
+    writes on a template's view; rebinding a template's array attribute
+    outside :meth:`install` silently detaches it from the stack.
+    """
+
+    def __init__(self, sketches):
+        self.sketches = list(sketches)
+        if not self.sketches:
+            raise ValueError("a sketch stack needs at least one copy")
+        self._adopt()
+
+    @property
+    def planes(self) -> int:
+        return len(self.sketches)
+
+    @abc.abstractmethod
+    def _adopt(self) -> None:
+        """Stack the templates' arrays and rebind them as plane views."""
+
+    @abc.abstractmethod
+    def prepare(self, items, deltas):
+        """Aggregate a chunk and hash it once for all planes.
+
+        Returns an opaque prepared-chunk object that :meth:`feed` can
+        scatter into any subset of planes; the whole point is that one
+        ``prepare`` is reused across probe, feed-others, and catch-up
+        passes over the same staged chunk.  Must perform the same input
+        validation, in the same order, as the sketch's ``update_batch``.
+        """
+
+    def subset(self, prepared, items, deltas):
+        """Prepared chunk for a *subrange* of an already-prepared chunk.
+
+        ``prepared`` must be the result of :meth:`prepare` over a chunk
+        of which ``items``/``deltas`` is a contiguous slice.  Subclasses
+        whose prepare does per-plane hashing override this to gather the
+        subrange's hash columns out of the full-chunk pass instead of
+        re-hashing (every distinct item of the slice already has its
+        columns in ``prepared``) — the crossing-search bisection requests
+        many nested subranges of one staged chunk, so this turns
+        O(log chunk) hash passes per crossing into one.  The default just
+        re-prepares; results are bit-for-bit identical either way.
+        """
+        return self.prepare(items, deltas)
+
+    @abc.abstractmethod
+    def feed(self, prepared, planes) -> None:
+        """Scatter a prepared chunk into the given plane indices.
+
+        Bit-for-bit identical to calling ``update_batch`` on each of the
+        selected templates with the chunk the prepared object was built
+        from.
+        """
+
+    @abc.abstractmethod
+    def query_all(self) -> np.ndarray:
+        """Per-plane estimates as one float64 array.
+
+        ``query_all()[p]`` equals ``self.sketches[p].query()``
+        bit-for-bit — same reduction ops applied per plane.
+        """
+
+    @abc.abstractmethod
+    def install(self, plane: int, sketch) -> None:
+        """Make ``sketch`` the template for ``plane``.
+
+        Copies the incoming sketch's array state into the plane and
+        rebinds its array attribute to the plane view.  This is the only
+        sanctioned way to swap a copy (retire, restart-ring advance,
+        rollback replacement, worker collect) while a stack is live.
+        """
+
+    @abc.abstractmethod
+    def save(self, planes):
+        """Snapshot the given planes (stacked array copy + scalar state)."""
+
+    @abc.abstractmethod
+    def restore(self, saved) -> None:
+        """Undo the planes covered by a :meth:`save` snapshot in place.
+
+        Restores array *and* scalar/auxiliary state onto the existing
+        templates; template object identity is preserved, which no
+        caller observes (the object path swaps in snapshot clones that
+        share hashes with the originals).
+        """
+
+    @abc.abstractmethod
+    def detach(self) -> None:
+        """Give every template ownership of its state; kill the stack.
+
+        After ``detach`` each template holds a private copy of its plane
+        and the stack must not be used again.  The process engine calls
+        this before forking so workers inherit plain per-object copies.
+        """
+
+
+def stack_rows(arrays) -> np.ndarray:
+    """Stack equal-shape arrays into one owned ``(planes, ...)`` block."""
+    return np.stack([np.asarray(a) for a in arrays], axis=0)
