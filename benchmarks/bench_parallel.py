@@ -34,6 +34,14 @@ block and every chunk is hashed once for all k planes.  Outputs and
 switch counts must be bit-for-bit identical; the stacked run must be at
 least 2x the twin.
 
+The **traced** case (ISSUE 7) repeats the stacked run with full
+telemetry — every switch, SVT charge, and band test streamed to a JSONL
+sink (``out/trace_sample.jsonl``, uploaded as a CI artifact) plus the
+metrics registry — asserting bit-for-bit identical outputs and at most
+``MAX_TELEMETRY_OVERHEAD`` throughput cost; the *disabled*-telemetry
+cost is covered by every other row, which runs with the no-op hub that
+is the default.
+
 Emits ``out/parallel_engine.{txt,json}``; ``run_all.py`` folds the JSON
 into ``BENCH_parallel.json`` at the repo root, and
 ``benchmarks/check_regression.py`` gates CI on the speedup columns
@@ -56,7 +64,7 @@ from repro.sketches.countsketch import CountSketch
 from repro.streams.frequency import FrequencyVector
 from repro.streams.model import StreamChunk, StreamParameters
 from repro.streams.store import write_stream
-from tables import emit, emit_json, format_row
+from tables import OUT_DIR, emit, emit_json, format_row
 
 N = 1 << 14
 M = 1_000_000
@@ -87,6 +95,12 @@ STK_COPIES = 24
 STK_WIDTH = 256
 STK_ROWS = 5
 MIN_STACKED_SPEEDUP = 2.0
+
+# Full tracing (every protocol event to a JSONL sink + live metrics) may
+# cost at most this fraction of stacked-run throughput.  Events ride
+# switch/boundary branches, never the per-item hot loop, so the bound is
+# loose headroom, not a target.
+MAX_TELEMETRY_OVERHEAD = 0.25
 
 
 def _robust(seed=11):
@@ -273,6 +287,55 @@ def test_parallel_engine_throughput(benchmark):
             f"stacked copy groups only {stk_speedup:.2f}x over the "
             f"per-object twin (required >= {MIN_STACKED_SPEEDUP}x)"
         )
+
+        # Telemetry overhead (ISSUE 7): the same stacked DP workload once
+        # more with *full tracing* — every protocol event streamed to a
+        # JSONL sink plus the metrics registry — must stay within
+        # MAX_TELEMETRY_OVERHEAD of the untraced stacked run and produce
+        # bit-for-bit identical outputs.  (The disabled-telemetry cost is
+        # gated implicitly: every other row in this file runs with the
+        # NULL_TELEMETRY default, and check_regression.py holds those
+        # rows to the committed baseline.)
+        from repro.api import install_telemetry
+        from repro.obs import JsonlSink, Telemetry
+
+        trace_path = str(OUT_DIR / "trace_sample.jsonl")
+        traced_est = _stacked_switching(True)
+        tele = Telemetry(sinks=[JsonlSink(trace_path)])
+        install_telemetry(traced_est, tele)
+        start = time.perf_counter()
+        with SerialEngine().session(traced_est) as session:
+            for lo in range(0, STK_M, CHUNK):
+                session.feed(stk_items[lo:lo + CHUNK])
+        traced_rate = STK_M / (time.perf_counter() - start)
+        tele.close()
+        assert traced_est.query() == stk_est.query(), (
+            "tracing changed the stacked estimator's output"
+        )
+        assert traced_est.switches == stk_est.switches, (
+            "tracing changed the stacked estimator's switch count"
+        )
+        overhead = stk_results["stacked_engine_serial"][0] / traced_rate - 1.0
+        assert overhead <= MAX_TELEMETRY_OVERHEAD, (
+            f"full tracing cost {overhead:.1%} over the untraced stacked "
+            f"run (bound {MAX_TELEMETRY_OVERHEAD:.0%})"
+        )
+        traced_speedup = (
+            traced_rate / stk_results["stacked_object_engine_serial"][0]
+        )
+        payload["results"]["stacked_traced_engine_serial"] = {
+            "items_per_sec": round(traced_rate),
+            "speedup_vs_pr1": round(traced_speedup, 2),
+            "switches": traced_est.switches,
+            "final_estimate": round(traced_est.query(), 1),
+            "tracing_overhead": round(overhead, 4),
+            "trace_events": sum(tele.event_counts.values()),
+            "trace_path": trace_path,
+        }
+        rows.append(format_row(
+            ("stacked_traced_engine_serial", f"{traced_rate:,.0f}",
+             f"{traced_speedup:.2f}x", traced_est.switches, "-"), WIDTHS,
+        ))
 
         # Per-partial merge sharding: CountMin across workers, exact table.
         serial_cm = CountMinSketch(2048, 5, np.random.default_rng(7))

@@ -19,7 +19,10 @@ Public API layers:
   double-buffered prefetching for oblivious replay;
 * :mod:`repro.adversary` — the two-player game and concrete attacks,
   including Algorithm 3 against AMS;
-* :mod:`repro.robust` — one robust algorithm per theorem.
+* :mod:`repro.robust` — one robust algorithm per theorem;
+* :mod:`repro.obs` — observability: a metrics registry, structured
+  protocol trace events with pluggable sinks, and cross-worker span
+  aggregation (``ingest(telemetry=...)``, ``python -m repro trace``).
 
 Quickstart::
 
@@ -35,22 +38,39 @@ Quickstart::
     assert not result.failed
 """
 
-from repro import adversary, core, engine, hashing, robust, sketches, streams
-from repro.api import PROBLEMS, IngestReport, ingest, robust_estimator
+from repro import (
+    adversary,
+    core,
+    engine,
+    hashing,
+    obs,
+    robust,
+    sketches,
+    streams,
+)
+from repro.api import (
+    PROBLEMS,
+    IngestReport,
+    ingest,
+    install_telemetry,
+    robust_estimator,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "adversary",
     "core",
     "engine",
     "hashing",
+    "obs",
     "robust",
     "sketches",
     "streams",
     "PROBLEMS",
     "IngestReport",
     "ingest",
+    "install_telemetry",
     "robust_estimator",
     "__version__",
 ]

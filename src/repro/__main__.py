@@ -1,4 +1,9 @@
-"""``python -m repro`` — the reproduction CLI (see repro.experiments.cli)."""
+"""``python -m repro`` — the reproduction CLI (see repro.experiments.cli).
+
+Subcommands: ``list`` / ``run`` / ``run-all`` (the Table-1 experiment
+driver) and ``trace`` (summarize a JSONL telemetry trace written via
+``ingest(telemetry="jsonl:PATH")``).
+"""
 
 import sys
 

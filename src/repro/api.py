@@ -33,6 +33,7 @@ pipeline — optionally through the parallel execution engine
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 
@@ -42,6 +43,7 @@ from repro.core.disciplines import resolve_discipline
 from repro.engine.executor import resolve_engine
 from repro.engine.prefetch import prefetch_chunks
 from repro.engine.shards import EpochShardPlan, SwitchingShardPlan, plan_shards
+from repro.obs import NULL_TELEMETRY, PlannerFallbackEvent, resolve_telemetry
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
 from repro.robust.crypto_distinct import CryptoRobustDistinctElements
 from repro.robust.dp import (
@@ -64,6 +66,9 @@ from repro.robust.moments import (
 from repro.sketches.base import Sketch
 from repro.streams.model import StreamParameters, chunk_updates
 from repro.streams.store import StreamWriter
+
+#: Reentrant no-op context for the untraced ingest path.
+_NOOP_CTX = contextlib.nullcontext()
 
 PROBLEMS = (
     "distinct",
@@ -193,10 +198,24 @@ class IngestReport:
     #: (engine paths only; the direct path never plans).
     fallback_reason: str | None = None
     #: Cumulative per-phase wall-clock seconds of the switching protocol
-    #: (keys: "probe", "band_test", "feed", "replace") — engine sessions
-    #: with a switching core only; None on the direct path and for
-    #: sessions without a protocol.
+    #: — engine sessions with a switching core only; None on the direct
+    #: path and for sessions without a protocol.  Coordinator-side keys:
+    #: "probe" (probing the discipline's read set, including wall time
+    #: blocked on worker replies), "band_test" (boundary band decisions),
+    #: "feed" (non-probed fan-out feeds as seen by the coordinator —
+    #: fire-and-forget under ProcessEngine, so coordinator feed seconds
+    #: understate worker work), "replace" (publication bookkeeping and
+    #: copy replacement).  ProcessEngine sessions add worker-side totals
+    #: summed across workers under separate keys — "worker_probe",
+    #: "worker_feed", "worker_replace" — rather than folding them into
+    #: the coordinator phases, which would double-count the blocking
+    #: probe time; the worker keys are where fire-and-forget feed work
+    #: actually shows up.
     phase_seconds: dict | None = None
+    #: Merged telemetry snapshot (metric values, event counts by kind,
+    #: span count) when :func:`ingest` ran with ``telemetry=`` enabled;
+    #: None otherwise.  See :mod:`repro.obs`.
+    telemetry: dict | None = None
     #: Directory the replay was teed into (``spill_store=``), if any.
     spill_path: str | None = None
 
@@ -226,6 +245,30 @@ def _unwrap_switcher(estimator: Sketch):
     return None
 
 
+def install_telemetry(estimator: Sketch, telemetry) -> bool:
+    """Bind a :class:`repro.obs.Telemetry` hub to an estimator's copies.
+
+    The :class:`~repro.core.copies.CopyManager` is the telemetry hub the
+    switching core, the probe disciplines, and the difference ladder all
+    read through, so binding there lights up every instrumented site at
+    once.  Unwraps through the shard planner exactly like
+    :func:`band_policy_name`; for the heavy-hitters epoch plan both the
+    inner L2 copies and the point-query ring are bound.  Returns True if
+    anything was bound — estimators the planner runs serially have no
+    switching core and report False (metrics/spans from :func:`ingest`
+    itself still work; there are just no protocol events to emit).
+    """
+    plan = plan_shards(estimator)
+    if isinstance(plan, SwitchingShardPlan):
+        plan.switcher._copies.telemetry = telemetry
+        return True
+    if isinstance(plan, EpochShardPlan):
+        plan.l2_plan.switcher._copies.telemetry = telemetry
+        plan.ring.telemetry = telemetry
+        return True
+    return False
+
+
 def discipline_state(estimator: Sketch) -> tuple[str | None, dict | None]:
     """(discipline name, budget state) of an estimator's switching core.
 
@@ -247,6 +290,7 @@ def ingest(
     engine=None,
     prefetch: int = 0,
     discipline=None,
+    telemetry=None,
     spill_store=None,
     spill_params: StreamParameters | None = None,
 ) -> IngestReport:
@@ -284,6 +328,20 @@ def ingest(
     and ``dp_budget`` fields record what ran and what the budget looked
     like afterwards.
 
+    ``telemetry`` turns on the observability subsystem for this replay
+    (see :mod:`repro.obs`): pass ``True``/``"ring"`` for an in-memory
+    ring of trace events, ``"jsonl:PATH"`` (or any ``*.jsonl`` path) to
+    stream events to a JSONL trace file readable by ``repro trace``,
+    ``"metrics"`` for counters/histograms only, a callable to receive
+    each event, or a pre-built :class:`repro.obs.Telemetry`.  The hub is
+    bound to the estimator's switching core via
+    :func:`install_telemetry`, threaded through the prefetcher and the
+    execution engine (ProcessEngine workers buffer events and span
+    timings locally and ship them back at collection), and the merged
+    snapshot lands in ``IngestReport.telemetry``.  Telemetry observes —
+    it never draws randomness or touches protocol state — so outputs
+    are bit-for-bit identical with it on or off.
+
     ``spill_store`` tees the replay into a columnar on-disk store at the
     given directory while feeding the estimator: every chunk drawn from
     the source is appended through a
@@ -308,6 +366,13 @@ def ingest(
                 f"apply a probe discipline to"
             )
         switcher.set_discipline(wanted)
+    tele = resolve_telemetry(telemetry)
+    if tele is None:
+        tele = NULL_TELEMETRY
+    else:
+        # Bind the hub *after* any discipline swap so the installed
+        # discipline is the one that gets observed.
+        install_telemetry(estimator, tele)
     if hasattr(stream, "chunks") and not isinstance(stream, Sketch):
         # Chunked sources (ColumnarStreamStore) slice themselves.
         chunk_iter = stream.chunks(chunk_size)
@@ -316,7 +381,8 @@ def ingest(
     else:
         chunk_iter = chunk_updates(stream, chunk_size)
     if prefetch:
-        chunk_iter = prefetch_chunks(chunk_iter, depth=prefetch)
+        chunk_iter = prefetch_chunks(chunk_iter, depth=prefetch,
+                                     telemetry=tele)
     writer = None
     if spill_store is not None:
         writer = StreamWriter(
@@ -329,34 +395,64 @@ def ingest(
     policy = None
     fallback = None
     phases = None
+    traced = tele.enabled
+    chunk_sizes = (
+        tele.metrics.histogram(
+            "ingest_chunk_updates", "updates per ingested chunk"
+        ) if traced else None
+    )
     start = time.perf_counter()
     try:
-        if resolved is None:
-            # Direct path: no session planned the estimator, so resolve
-            # the policy name from the planner ourselves.
-            policy = band_policy_name(estimator)
-            for chunk in chunk_iter:
-                if writer is not None:
-                    writer.append(chunk.items, chunk.deltas)
-                estimator.update_batch(chunk.items, chunk.deltas)
-                count += len(chunk)
-                chunks += 1
-        else:
-            with resolved.session(estimator) as session:
-                mode = session.mode
-                policy = session.policy
-                fallback = session.fallback_reason
+        with tele.span("ingest") if traced else _NOOP_CTX:
+            if resolved is None:
+                # Direct path: no session planned the estimator, so
+                # resolve the policy name from the planner ourselves.
+                policy = band_policy_name(estimator)
                 for chunk in chunk_iter:
                     if writer is not None:
                         writer.append(chunk.items, chunk.deltas)
-                    session.feed(chunk.items, chunk.deltas)
+                    if traced:
+                        with tele.span("chunk"):
+                            estimator.update_batch(chunk.items, chunk.deltas)
+                        chunk_sizes.observe(len(chunk))
+                    else:
+                        estimator.update_batch(chunk.items, chunk.deltas)
                     count += len(chunk)
                     chunks += 1
+            else:
+                with resolved.session(estimator) as session:
+                    mode = session.mode
+                    policy = session.policy
+                    fallback = session.fallback_reason
+                    for chunk in chunk_iter:
+                        if writer is not None:
+                            writer.append(chunk.items, chunk.deltas)
+                        session.feed(chunk.items, chunk.deltas)
+                        if traced:
+                            chunk_sizes.observe(len(chunk))
+                        count += len(chunk)
+                        chunks += 1
+                # Read after the session has finalized: ProcessEngine
+                # worker phase timings only exist once collect() merged
+                # them on session exit.
                 phases = session.phase_seconds
+                if traced and fallback is not None:
+                    tele.emit(PlannerFallbackEvent(reason=fallback))
+                    tele.metrics.counter(
+                        "planner_fallbacks_total",
+                        "engine sessions that fell back to serial feeding",
+                    ).inc()
     finally:
         if writer is not None:
             writer.close()
     secs = time.perf_counter() - start
+    if traced:
+        tele.metrics.counter(
+            "ingest_updates_total", "stream updates replayed"
+        ).inc(count)
+        tele.metrics.counter(
+            "ingest_chunks_total", "stream chunks replayed"
+        ).inc(chunks)
     disc_name, budget = discipline_state(estimator)
     return IngestReport(
         updates=count,
@@ -370,5 +466,6 @@ def ingest(
         dp_budget=budget,
         fallback_reason=fallback,
         phase_seconds=phases,
+        telemetry=tele.snapshot() if traced else None,
         spill_path=None if spill_store is None else str(writer.path),
     )

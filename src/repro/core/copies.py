@@ -49,6 +49,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ladder import require_count
+from repro.obs import (
+    NULL_TELEMETRY,
+    CopyBurnEvent,
+    CopyRetireEvent,
+    RingAdvanceEvent,
+)
 from repro.sketches.base import Sketch, SketchFactory, spawn_rngs
 
 
@@ -100,6 +106,11 @@ class CopyManager:
         self.factory = factory
         self.restart = restart
         self.on_exhausted = on_exhausted
+        #: Telemetry hub for the whole switching stack: the estimator,
+        #: the disciplines, and the ladder all bind to this manager, so
+        #: installing an enabled bundle here makes every protocol seam
+        #: observable.  Defaults to the no-op singleton.
+        self.telemetry = NULL_TELEMETRY
         rngs = spawn_rngs(rng, copies + 1)
         self._fresh_rng = rngs[copies]
         self.sketches: list[Sketch] = [factory(r) for r in rngs[:copies]]
@@ -143,6 +154,7 @@ class CopyManager:
         if on_exhausted not in ("raise", "clamp"):
             raise ValueError(f"unknown on_exhausted mode {on_exhausted!r}")
         self.on_exhausted = on_exhausted
+        self.telemetry = NULL_TELEMETRY
         rngs = spawn_rngs(rng, total + 1)
         self._fresh_rng = rngs[total]
         self.sketches = []
@@ -335,6 +347,12 @@ class CopyManager:
             self.install(idx, self.factory_for(idx)(rng))
         else:
             replace(idx, rng)
+        tele = self.telemetry
+        if tele.enabled:
+            tele.emit(CopyRetireEvent(index=idx))
+            tele.metrics.counter(
+                "copies_retired_total", "copies reborn via retire/refresh"
+            ).inc()
 
     def refresh(self, indices=None, replace=None) -> None:
         """Retire a set of copies (default: all), in index order.
@@ -366,6 +384,7 @@ class CopyManager:
                 "group-aware discipline (difference ladder / private "
                 "aggregate), not active-copy switching"
             )
+        tele = self.telemetry
         if self.restart:
             burned = self.rho % len(self.sketches)
             rng = self.replacement_rng()
@@ -374,6 +393,11 @@ class CopyManager:
             else:
                 replace(burned, rng)
             self.rho += 1
+            if tele.enabled:
+                tele.emit(RingAdvanceEvent(slot=burned, rho=self.rho))
+                tele.metrics.counter(
+                    "copies_burned_total", "copies burned by switches"
+                ).inc()
             return
         if self.rho + 1 >= len(self.sketches):
             if self.on_exhausted == "raise":
@@ -382,6 +406,11 @@ class CopyManager:
                     f"{switches} switches; flip-number budget exceeded"
                 )
             return  # clamp: keep using the last copy
+        if tele.enabled:
+            tele.emit(CopyBurnEvent(index=self.rho % len(self.sketches)))
+            tele.metrics.counter(
+                "copies_burned_total", "copies burned by switches"
+            ).inc()
         self.rho += 1
 
 

@@ -82,6 +82,7 @@ from repro.core.ladder import (
     require_count,
     require_positive_finite,
 )
+from repro.obs import GenerationEvent, SvtChargeEvent
 
 __all__ = [
     "ActiveCopyDiscipline",
@@ -129,6 +130,21 @@ def _svt_exhausted(disc, charges: int) -> bool:
     """Has the current generation's sparse-vector budget run out?"""
     return charges - disc.generations * disc.switch_budget \
         >= disc.switch_budget
+
+
+def _emit_svt_charge(tele, disc, charges: int, scope: str) -> None:
+    """Trace one sparse-vector budget step (caller checked enabled)."""
+    budget = disc.switch_budget or 0
+    in_generation = charges - disc.generations * budget if budget else charges
+    tele.emit(SvtChargeEvent(
+        charges=in_generation,
+        budget=budget,
+        spent=in_generation / budget if budget else 0.0,
+        scope=scope,
+    ))
+    tele.metrics.counter(
+        "svt_charges_total", "sparse-vector budget steps spent"
+    ).inc()
 
 
 class PrivacyBudgetExhaustedError(RuntimeError):
@@ -328,6 +344,9 @@ class PrivateAggregateDiscipline(ProbeDiscipline):
         # by every copy (they all contributed to the released aggregate).
         self.publications += 1
         self._noise = float(self._rng.laplace(0.0, self.noise_scale))
+        tele = copies.telemetry
+        if tele.enabled:
+            _emit_svt_charge(tele, self, self.publications, "publication")
         if not _svt_exhausted(self, self.publications):
             return
         if self.on_exhausted == "raise":
@@ -338,6 +357,14 @@ class PrivateAggregateDiscipline(ProbeDiscipline):
             )
         copies.refresh(replace=replace)
         self.generations += 1
+        if tele.enabled:
+            tele.emit(GenerationEvent(
+                generation=self.generations, copies=copies.count,
+            ))
+            tele.metrics.counter(
+                "generation_retires_total",
+                "whole-set rebirths on budget exhaustion",
+            ).inc()
 
     def budget_state(self) -> dict:
         state = _svt_budget_fields(self, self.publications)
@@ -492,9 +519,12 @@ class DifferenceAggregateDiscipline(ProbeDiscipline):
         # crossing position, so the stash is the deciding read.
         level, payload, y = self._last
         lad = self.ladder
+        tele = copies.telemetry
         self.publications += 1
         if level is STRONG:
             self.strong_charges += 1
+            if tele.enabled:
+                _emit_svt_charge(tele, self, self.strong_charges, "strong")
             if _svt_exhausted(self, self.strong_charges):
                 # The exhausting publication opens no window: the whole
                 # copy set is reborn, so anchoring to pre-refresh state
@@ -510,6 +540,14 @@ class DifferenceAggregateDiscipline(ProbeDiscipline):
                 copies.refresh(replace=replace)
                 self.generations += 1
                 lad.invalidate()
+                if tele.enabled:
+                    tele.emit(GenerationEvent(
+                        generation=self.generations, copies=copies.count,
+                    ))
+                    tele.metrics.counter(
+                        "generation_retires_total",
+                        "whole-set rebirths on budget exhaustion",
+                    ).inc()
             else:
                 lad.anchor(y, payload)
         else:

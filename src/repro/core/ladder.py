@@ -55,6 +55,13 @@ import math
 import numbers
 from dataclasses import dataclass
 
+from repro.obs import (
+    NULL_TELEMETRY,
+    LadderAnchorEvent,
+    LadderInvalidateEvent,
+    LadderPromoteEvent,
+)
+
 __all__ = [
     "DifferenceLadder",
     "LadderTier",
@@ -241,6 +248,12 @@ class DifferenceLadder:
         ]
 
     @property
+    def _telemetry(self):
+        """The bound manager's telemetry hub (no-op until bind)."""
+        bound = getattr(self, "_bound", None)
+        return bound.telemetry if bound is not None else NULL_TELEMETRY
+
+    @property
     def strong_slice(self) -> tuple[int, int]:
         if self._strong is None:
             raise RuntimeError("DifferenceLadder used before bind()")
@@ -265,9 +278,22 @@ class DifferenceLadder:
         self.window_spent = [0] * len(self.tiers)
         self.checkpoints += 1
         self.level = 0
+        tele = self._telemetry
+        if tele.enabled:
+            tele.emit(LadderAnchorEvent(
+                checkpoint=self.checkpoint, checkpoints=self.checkpoints,
+            ))
+            tele.metrics.counter(
+                "ladder_anchors_total", "checkpoint windows opened"
+            ).inc()
 
     def invalidate(self) -> None:
         """Full copy-set refresh: all anchors are stale; re-checkpoint."""
+        tele = self._telemetry
+        if tele.enabled:
+            tele.emit(LadderInvalidateEvent(
+                checkpoint=float(self.checkpoint or 0.0),
+            ))
         self.level = STRONG
         self.checkpoint = None
         self.bases = [0.0] * len(self.tiers)
@@ -290,13 +316,28 @@ class DifferenceLadder:
             self.tier_spent[level] = 0
             self.tier_generations[level] += 1
             self.level = STRONG
+            self._emit_promote(level, STRONG, "budget")
             return True
         scale = max(abs(self.checkpoint or 0.0), self.span_scale_floor)
-        if (abs(diff) > tier.span * scale
-                or self.window_spent[level] >= tier.capacity):
+        over_span = abs(diff) > tier.span * scale
+        if over_span or self.window_spent[level] >= tier.capacity:
             nxt = level + 1
             self.level = nxt if nxt < len(self.tiers) else STRONG
+            self._emit_promote(level, self.level,
+                               "span" if over_span else "capacity")
         return False
+
+    def _emit_promote(self, from_level, to_level, reason: str) -> None:
+        tele = self._telemetry
+        if tele.enabled:
+            tele.emit(LadderPromoteEvent(
+                from_level="strong" if from_level is STRONG else from_level,
+                to_level="strong" if to_level is STRONG else to_level,
+                reason=reason,
+            ))
+            tele.metrics.counter(
+                "ladder_promotions_total", "tier handoffs by reason"
+            ).inc()
 
     def state(self) -> dict:
         """Introspection payload folded into the discipline's budget dict."""

@@ -98,6 +98,7 @@ from repro.core.copies import (
     SketchExhaustedError,
 )
 from repro.core.disciplines import ActiveCopyDiscipline, ProbeDiscipline
+from repro.obs import BandTestEvent, SwitchEvent
 from repro.sketches.base import Sketch, SketchFactory, aggregate_batch, as_batch_arrays
 
 __all__ = [
@@ -292,6 +293,18 @@ class SwitchingEstimator(Sketch):
         self._published = d.publish(self.band, y)
         self.switches += 1
         d.on_publish(self._copies, self.switches)
+        # Telemetry rides the switch branch only, so the in-band hot
+        # path (the overwhelming majority of updates) pays nothing.
+        tele = self._copies.telemetry
+        if tele.enabled:
+            tele.emit(SwitchEvent(
+                published=self._published, estimate=y,
+                switches=self.switches, discipline=d.name,
+                band=self.band.name,
+            ))
+            tele.metrics.counter(
+                "protocol_switches_total", "publications (copy switches)"
+            ).inc()
 
     # -- chunked ingestion (the shared protocol, in-process) -------------
 
@@ -417,6 +430,7 @@ class SwitchingProtocol:
         self._unique_hint = unique_hint
         self._items: np.ndarray | None = None
         self._deltas: np.ndarray | None = None
+        self._tele = estimator._copies.telemetry
         #: Cumulative per-phase wall seconds, measured once per chunk (and
         #: once per switch segment on crossing chunks): probing the
         #: discipline's read set, the boundary band test, the non-probed
@@ -491,9 +505,24 @@ class SwitchingProtocol:
             ys = self._backend.probe_raw(probes)
         tock = time.perf_counter()
         timings["probe"] += tock - tick
-        clean = self._band.within(sw._published, self._disc.decide(ys))
+        y = self._disc.decide(ys)
+        clean = self._band.within(sw._published, y)
         tick = time.perf_counter()
         timings["band_test"] += tick - tock
+        tele = self._tele
+        if tele.enabled:
+            # One event per chunk boundary, never per item.
+            tele.emit(BandTestEvent(
+                clean=clean, published=sw._published, estimate=y,
+            ))
+            tele.metrics.counter(
+                "protocol_band_tests_total", "chunk-boundary band tests"
+            ).inc()
+            if not clean:
+                tele.metrics.counter(
+                    "protocol_crossing_chunks_total",
+                    "chunks resolved by exact replay",
+                ).inc()
         if clean:
             # Clean chunk (the common case): the probed copies already
             # have it; give the others the same pre-processed feed.  An
@@ -552,6 +581,16 @@ class SwitchingProtocol:
             self._disc.on_publish(
                 self._copies, sw.switches, replace=self._backend.replace
             )
+            tele = self._tele
+            if tele.enabled:
+                tele.emit(SwitchEvent(
+                    published=sw._published, estimate=y,
+                    switches=sw.switches, discipline=self._disc.name,
+                    band=self._band.name, position=cpos,
+                ))
+                tele.metrics.counter(
+                    "protocol_switches_total", "publications (copy switches)"
+                ).inc()
             timings["replace"] += time.perf_counter() - tock
             pos = cpos + 1
         if self._seen is not None and sw.switches != switches_before:

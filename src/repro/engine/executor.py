@@ -55,12 +55,14 @@ from __future__ import annotations
 import abc
 import multiprocessing as mp
 import os
+import time
 import traceback
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.core.copies import CopyManager, LocalCopyBackend
+from repro.obs import NULL_TELEMETRY, PhasesEvent, WorkerTelemetry
 from repro.core.sketch_switching import REPLAY_LEAF, SwitchingProtocol
 from repro.engine.shards import (
     EpochShardPlan,
@@ -86,7 +88,8 @@ class EngineError(RuntimeError):
 # ----------------------------------------------------------------------
 
 
-def _switching_worker(conn, copies, factories, views, unique_hint: bool) -> None:
+def _switching_worker(conn, copies, factories, views, unique_hint: bool,
+                      worker_id: int = 0, trace: bool = False) -> None:
     """Forked worker: owns a shard of copies, obeys coordinator commands.
 
     ``copies`` is a list of ``[global_index, sketch]`` pairs inherited
@@ -103,7 +106,17 @@ def _switching_worker(conn, copies, factories, views, unique_hint: bool) -> None
     the probe set in discipline order.  Band policies arrive inside the
     scan command (small frozen dataclasses), so the worker resolves a
     per-item crossing with the coordinator's exact predicate.
+
+    Telemetry: per-command wall seconds are always accumulated into a
+    :class:`~repro.obs.WorkerTelemetry` buffer (feeding
+    ``IngestReport.phase_seconds``'s ``worker_*`` keys); with ``trace``
+    on, the coordinator tags each staged chunk via a fire-and-forget
+    ``("span", id)`` command and the buffer turns the ops between two
+    tags into one ``worker-chunk`` span.  Everything ships back in the
+    ``("obs",)`` reply at collect time — workers never write to the
+    coordinator's sinks (a forked ``Telemetry`` may hold an open file).
     """
+    obs = WorkerTelemetry(worker_id, trace)
 
     def lookup(idx):
         for slot in copies:
@@ -121,6 +134,14 @@ def _switching_worker(conn, copies, factories, views, unique_hint: bool) -> None
         while True:
             msg = conn.recv()
             op = msg[0]
+            if op == "span":
+                obs.begin_span(msg[1])
+                continue
+            if op == "obs":
+                conn.send(("ok", obs.drain()))
+                continue
+            timed = op in WorkerTelemetry.PHASE_OF
+            tick = time.perf_counter() if timed else 0.0
             if op == "feed":
                 # Feed every owned copy except the probed `exclude` set
                 # (which took the same updates through probe/search ops;
@@ -206,6 +227,8 @@ def _switching_worker(conn, copies, factories, views, unique_hint: bool) -> None
                 break
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown command {op!r}")
+            if timed:
+                obs.op(op, time.perf_counter() - tick)
     except (EOFError, KeyboardInterrupt):  # coordinator went away
         pass
     except Exception:  # surface the traceback instead of hanging the pipe
@@ -305,8 +328,13 @@ class _ProcessCopyBackend:
         shards: list[list[int]],
         unique_hint: bool,
         capacity: int,
+        telemetry=None,
     ):
         self._copies = copies
+        self._tele = telemetry if telemetry is not None else copies.telemetry
+        #: Per-phase worker wall seconds, summed across workers at
+        #: collect time (None until then).
+        self.worker_phases: dict[str, float] | None = None
         # Workers drive per-copy object state (each owns a shard, so
         # there is no cross-copy batching to win); detach any stacked
         # groups *before* the fork captures the sketches below, so the
@@ -329,7 +357,7 @@ class _ProcessCopyBackend:
             proc = ctx.Process(
                 target=_switching_worker,
                 args=(child, owned, factories, self._buffers.views,
-                      unique_hint),
+                      unique_hint, w, self._tele.enabled),
                 daemon=True,
             )
             proc.start()
@@ -368,6 +396,15 @@ class _ProcessCopyBackend:
         self._sub_len = 0
         self._sub_unit = True
         self._sub_unique = False
+        if self._tele.enabled:
+            # Tag the workers' upcoming ops with the coordinator's
+            # current (chunk) span so their buffered worker-chunk spans
+            # merge back under the right parent.  Fire-and-forget and
+            # pipe-ordered; it touches no shared buffers, so it needs no
+            # barrier — and the disabled path sends nothing at all.
+            span_id = self._tele.current_span_id
+            for conn in self._conns:
+                _send(conn, ("span", span_id))
 
     def stage_sub(self, items, deltas, assume_unique: bool) -> None:
         """Stage a pre-processed feed without probing (uniform fan-outs).
@@ -495,6 +532,18 @@ class _ProcessCopyBackend:
         # Re-adopt the collected sketches into stacked groups (no-op when
         # stacking is disabled or nothing qualifies).
         copies.restack()
+        # Pull the workers' telemetry buffers: phase timings always
+        # (they feed phase_seconds' worker_* keys), buffered events and
+        # spans when tracing is on (merged into the coordinator bundle).
+        for conn in self._conns:
+            _send(conn, ("obs",))
+        phases: dict[str, float] = {}
+        for worker, conn in enumerate(self._conns):
+            payload = self._recv(conn)
+            for key, seconds in payload.get("phases", {}).items():
+                phases[key] = phases.get(key, 0.0) + seconds
+            self._tele.absorb_worker(worker, payload)
+        self.worker_phases = phases
 
     def close(self) -> None:
         for conn in self._conns:
@@ -549,6 +598,29 @@ def _merge_worker(conn, partial: Sketch, views) -> None:
 # ----------------------------------------------------------------------
 # Sessions (what api.ingest and the runner drive)
 # ----------------------------------------------------------------------
+
+
+def _merge_phases(timings: dict, *backends) -> dict[str, float]:
+    """Coordinator protocol timings + collected worker timings.
+
+    Worker seconds land under separate ``worker_*`` keys rather than
+    being summed into the coordinator phases: the coordinator's
+    ``probe`` already *includes* the wall time spent blocked on worker
+    probe replies (adding would double-count), while fire-and-forget
+    feeds overlap the coordinator entirely (their cost only shows up
+    worker-side).  Worker phases appear once the backend has collected
+    (session finalize); multiple backends (the epoch session's ring +
+    L2) sum per key.
+    """
+    phases = dict(timings)
+    for backend in backends:
+        worker_phases = getattr(backend, "worker_phases", None)
+        if not worker_phases:
+            continue
+        for key, seconds in worker_phases.items():
+            key = f"worker_{key}"
+            phases[key] = phases.get(key, 0.0) + seconds
+    return phases
 
 
 class IngestSession(abc.ABC):
@@ -631,13 +703,18 @@ class _SwitchingSession(IngestSession):
         )
         self.mode = mode
         self.policy = plan.band.name
+        self._tele = plan.switcher._copies.telemetry
 
     @property
     def phase_seconds(self) -> dict[str, float]:
-        return dict(self._protocol.timings)
+        return _merge_phases(self._protocol.timings, self._backend)
 
     def feed(self, items, deltas=None) -> None:
-        self._protocol.feed(items, deltas)
+        if self._tele.enabled:
+            with self._tele.span("chunk"):
+                self._protocol.feed(items, deltas)
+        else:
+            self._protocol.feed(items, deltas)
 
     def query(self) -> float:
         # The published value is coordinator state; no worker round trip.
@@ -646,6 +723,8 @@ class _SwitchingSession(IngestSession):
     def finalize(self) -> None:
         self._backend.collect_into(self._plan.switcher._copies)
         self._backend.close()
+        if self._tele.enabled:
+            self._tele.emit(PhasesEvent(phases=self.phase_seconds))
 
     def close(self) -> None:
         self._backend.close()
@@ -677,14 +756,24 @@ class _EpochSession(IngestSession):
         )
         self.mode = mode
         self.policy = "epoch"
+        self._tele = plan.l2_plan.switcher._copies.telemetry
 
     @property
     def phase_seconds(self) -> dict[str, float]:
         # The inner L2 switcher is the protocol-driven half; ring feeds
-        # are uniform fan-outs with no probe/band phases to attribute.
-        return dict(self._l2_protocol.timings)
+        # are uniform fan-outs with no probe/band phases to attribute
+        # coordinator-side (their worker seconds do show up).
+        return _merge_phases(self._l2_protocol.timings,
+                             self._ring_backend, self._l2_backend)
 
     def feed(self, items, deltas=None) -> None:
+        if self._tele.enabled:
+            with self._tele.span("chunk"):
+                self._feed(items, deltas)
+        else:
+            self._feed(items, deltas)
+
+    def _feed(self, items, deltas=None) -> None:
         items, deltas = as_batch_arrays(items, deltas)
         if len(items) == 0:
             return
@@ -722,6 +811,8 @@ class _EpochSession(IngestSession):
         self._ring_backend.collect_into(self._plan.ring)
         self._l2_backend.collect_into(self._plan.l2_plan.switcher._copies)
         self.close()
+        if self._tele.enabled:
+            self._tele.emit(PhasesEvent(phases=self.phase_seconds))
 
     def close(self) -> None:
         self._ring_backend.close()

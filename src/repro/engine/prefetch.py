@@ -27,6 +27,8 @@ import queue
 import threading
 from collections.abc import Iterable, Iterator
 
+from repro.obs import NULL_TELEMETRY, PrefetchFaultEvent
+
 _log = logging.getLogger(__name__)
 
 #: Default queue depth: classic double buffering (one chunk being
@@ -40,14 +42,28 @@ JOIN_TIMEOUT = 5.0
 _DONE = object()
 
 
-def prefetch_chunks(chunks: Iterable, depth: int = DEFAULT_DEPTH) -> Iterator:
+def prefetch_chunks(chunks: Iterable, depth: int = DEFAULT_DEPTH,
+                    telemetry=None) -> Iterator:
     """Yield from ``chunks`` with production overlapped in a worker thread.
 
     ``depth`` bounds how many chunks may exist between producer and
-    consumer at once; ``depth=2`` is double buffering.
+    consumer at once; ``depth=2`` is double buffering.  ``telemetry``
+    optionally mirrors the lifecycle-fault ``logging`` calls (producer
+    exception, join timeout) as :class:`~repro.obs.PrefetchFaultEvent`
+    records, so trace files capture faults alongside the protocol
+    events.  ``Telemetry.emit`` is thread-safe; faults surface from the
+    producer thread.
     """
     if depth < 1:
         raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    def fault(kind: str, detail: str) -> None:
+        if tele.enabled:
+            tele.emit(PrefetchFaultEvent(fault=kind, detail=detail))
+            tele.metrics.counter(
+                "prefetch_faults_total", "prefetcher lifecycle faults"
+            ).inc()
     handoff: queue.Queue = queue.Queue(maxsize=depth)
     stop = threading.Event()
 
@@ -93,6 +109,7 @@ def prefetch_chunks(chunks: Iterable, depth: int = DEFAULT_DEPTH) -> Iterator:
                     "chunk-prefetch producer failed after the consumer "
                     "closed: %r", exc, exc_info=exc,
                 )
+                fault("producer-exception", repr(exc))
 
     worker = threading.Thread(target=produce, daemon=True, name="chunk-prefetch")
     worker.start()
@@ -124,6 +141,7 @@ def prefetch_chunks(chunks: Iterable, depth: int = DEFAULT_DEPTH) -> Iterator:
                         "chunk-prefetch producer failed after the "
                         "consumer stopped reading: %r", got, exc_info=got,
                     )
+                    fault("producer-exception", repr(got))
 
         drain()
         worker.join(timeout=JOIN_TIMEOUT)
@@ -136,6 +154,8 @@ def prefetch_chunks(chunks: Iterable, depth: int = DEFAULT_DEPTH) -> Iterator:
                 "%.1fs of close; the chunk source is blocked and the "
                 "thread is leaked", JOIN_TIMEOUT,
             )
+            fault("join-timeout",
+                  f"producer thread still alive after {JOIN_TIMEOUT}s")
         else:
             # A put that was already in flight past its stop check can
             # land *after* the first drain; with the producer joined the

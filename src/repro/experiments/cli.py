@@ -5,8 +5,13 @@ Usage::
     python -m repro list
     python -m repro run T1.F0 [--scale quick|full] [--out DIR]
     python -m repro run-all  [--scale quick|full] [--out DIR]
+    python -m repro trace TRACE.jsonl [--limit N]
 
 ``run-all --scale full`` regenerates every number in EXPERIMENTS.md.
+``trace`` summarizes a JSONL telemetry trace (written via
+``ingest(telemetry="jsonl:PATH")`` or a :class:`repro.obs.JsonlSink`):
+switch timeline, sparse-vector budget burn-down, and a per-phase span
+table.
 """
 
 from __future__ import annotations
@@ -36,6 +41,11 @@ def _build_parser() -> argparse.ArgumentParser:
     all_p = sub.add_parser("run-all", help="run every experiment")
     all_p.add_argument("--scale", default="quick", choices=("quick", "full"))
     all_p.add_argument("--out", default=None, help="directory for .txt output")
+
+    trace_p = sub.add_parser("trace", help="summarize a JSONL telemetry trace")
+    trace_p.add_argument("trace", help="path to a .jsonl trace file")
+    trace_p.add_argument("--limit", type=int, default=20,
+                         help="max rows per section (default 20)")
     return parser
 
 
@@ -66,6 +76,17 @@ def main(argv: list[str] | None = None) -> int:
         for result in run_all(args.scale):
             _write(result, args.out)
         print(f"total: {time.perf_counter() - start:.1f}s")
+        return 0
+    if args.command == "trace":
+        # Local import: the obs package is stdlib-only, but keep the
+        # list/run paths free of it anyway.
+        from repro.obs.trace_cli import summarize_trace
+
+        try:
+            print(summarize_trace(args.trace, limit=args.limit))
+        except OSError as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+            return 1
         return 0
     return 1  # pragma: no cover - argparse enforces the choices
 

@@ -70,18 +70,25 @@ def run_relative(
     floor: float = 0.0,
     chunk_size: int | None = None,
     engine=None,
+    telemetry=None,
 ) -> RunStats:
     """Relative-error scoring: err = |R_t - g| / |g| per judged step.
 
     With ``chunk_size`` set, the stream is replayed batched and judged at
     chunk boundaries (oblivious-replay semantics); ``engine`` then
-    selects the execution engine for the batched feeds.
+    selects the execution engine for the batched feeds, and
+    ``telemetry`` (anything :func:`repro.obs.resolve_telemetry` accepts)
+    binds an observability hub to the estimator's switching core for the
+    replay — judging is unchanged; telemetry only observes.
     """
     if chunk_size is not None:
         return _run_chunked(
             algo, updates, truth_fn, chunk_size,
             skip=skip, floor=floor, additive=False, engine=engine,
+            telemetry=telemetry,
         )
+    if telemetry is not None:
+        raise ValueError("telemetry= requires chunk_size= (batched replay)")
     if engine is not None:
         raise ValueError("engine= requires chunk_size= (batched replay)")
     truth = FrequencyVector()
@@ -110,13 +117,16 @@ def run_additive(
     skip: int = 100,
     chunk_size: int | None = None,
     engine=None,
+    telemetry=None,
 ) -> RunStats:
     """Additive-error scoring: err = |R_t - g| per judged step (entropy)."""
     if chunk_size is not None:
         return _run_chunked(
             algo, updates, truth_fn, chunk_size, skip=skip, additive=True,
-            engine=engine,
+            engine=engine, telemetry=telemetry,
         )
+    if telemetry is not None:
+        raise ValueError("telemetry= requires chunk_size= (batched replay)")
     if engine is not None:
         raise ValueError("engine= requires chunk_size= (batched replay)")
     truth = FrequencyVector()
@@ -147,6 +157,7 @@ def _run_chunked(
     floor: float = 0.0,
     additive: bool = False,
     engine=None,
+    telemetry=None,
 ) -> RunStats:
     """Batched oblivious replay, judged at chunk boundaries.
 
@@ -158,6 +169,15 @@ def _run_chunked(
     calls (same boundary outputs for exact-state sketches).
     """
     resolved = resolve_engine(engine)
+    if telemetry is not None:
+        # Lazy import: repro.api pulls in every robust wrapper; keep the
+        # runner import-light for experiments that never trace.
+        from repro.api import install_telemetry
+        from repro.obs import resolve_telemetry
+
+        tele = resolve_telemetry(telemetry)
+        if tele is not None:
+            install_telemetry(algo, tele)
     truth = FrequencyVector()
     worst = total = 0.0
     judged = 0
@@ -206,6 +226,7 @@ def sweep_contenders(
     additive: bool = False,
     chunk_size: int | None = None,
     engine=None,
+    telemetry=None,
 ) -> dict[str, RunStats]:
     """Run every (name, algorithm) pair over the same stream.
 
@@ -225,11 +246,11 @@ def sweep_contenders(
         if additive:
             out[name] = run_additive(
                 algo, updates, truth_fn, skip=skip, chunk_size=chunk_size,
-                engine=engine,
+                engine=engine, telemetry=telemetry,
             )
         else:
             out[name] = run_relative(
                 algo, updates, truth_fn, skip=skip, floor=floor,
-                chunk_size=chunk_size, engine=engine,
+                chunk_size=chunk_size, engine=engine, telemetry=telemetry,
             )
     return out

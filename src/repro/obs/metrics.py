@@ -1,0 +1,282 @@
+"""Low-overhead metrics: counters, gauges, histograms, and a registry.
+
+Design constraints, in order:
+
+1. **Disabled telemetry costs ~nothing.**  Every instrument has a
+   ``Null*`` twin whose mutators are empty methods; the null registry
+   hands those out so instrumented call sites never need an ``if``.
+   Hot paths that *do* branch should test ``telemetry.enabled`` once
+   and skip the whole block.
+2. **Cross-process mergeable.**  ProcessEngine workers accumulate
+   metric deltas in their own registry and ship ``snapshot()`` dicts
+   back with their result payloads; the coordinator folds them in with
+   ``merge_snapshot`` (counters and histogram buckets sum, gauges take
+   the most extreme value).
+3. **Exposition is text.**  ``expose()`` renders the familiar
+   Prometheus format so a scrape endpoint (or a human) can read it.
+
+The registry is get-or-create: ``registry.counter("x")`` returns the
+same instrument every time, so call sites do not need to pre-declare
+metrics at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets — powers of four from 1 to ~1M, a decent
+#: spread for "items per chunk" and "events per publication" shapes.
+DEFAULT_BUCKETS = (1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0,
+                   16384.0, 65536.0, 262144.0, 1048576.0)
+
+
+class Counter:
+    """Monotone counter.  ``inc`` only; never decremented."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": "counter", "value": self._value}
+
+    def merge(self, snap: dict) -> None:
+        self._value += snap.get("value", 0.0)
+
+
+class Gauge:
+    """Last-written value (e.g. live copies, current ladder level)."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": "gauge", "value": self._value}
+
+    def merge(self, snap: dict) -> None:
+        # Cross-worker gauges have no single truth; keep the extreme so
+        # "peak live copies" style readings survive the merge.
+        other = snap.get("value", 0.0)
+        if abs(other) > abs(self._value):
+            self._value = other
+
+
+class Histogram:
+    """Cumulative histogram over explicit, sorted bucket bounds."""
+
+    __slots__ = ("name", "help", "buckets", "counts", "_sum", "_count")
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    def merge(self, snap: dict) -> None:
+        if tuple(snap.get("buckets", ())) != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ, cannot merge"
+            )
+        for i, c in enumerate(snap.get("counts", ())):
+            self.counts[i] += c
+        self._sum += snap.get("sum", 0.0)
+        self._count += snap.get("count", 0)
+
+
+class _NullInstrument:
+    """Shared no-op twin for every instrument type."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    value = 0.0
+    sum = 0.0
+    count = 0
+    buckets = ()
+    counts = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry with snapshot/merge/expose."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        inst = self._metrics.get(name)
+        if inst is None:
+            inst = cls(name, help, **kwargs)
+            self._metrics[name] = inst
+            return inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump of every instrument (picklable, mergeable)."""
+        return {name: m.snapshot() for name, m in self._metrics.items()}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a worker's ``snapshot()`` into this registry."""
+        makers = {"counter": self.counter, "gauge": self.gauge}
+        for name, entry in snap.items():
+            kind = entry.get("kind")
+            if kind == "histogram":
+                inst = self.histogram(name, buckets=entry["buckets"])
+            elif kind in makers:
+                inst = makers[kind](name)
+            else:
+                continue
+            inst.merge(entry)
+
+    def expose(self) -> str:
+        """Prometheus text exposition of the current state."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            if isinstance(m, Histogram):
+                cum = 0
+                for bound, c in zip(m.buckets, m.counts):
+                    cum += c
+                    lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cum}')
+                cum += m.counts[-1]
+                lines.append(f'{name}_bucket{{le="+Inf"}} {cum}')
+                lines.append(f"{name}_sum {_fmt(m.sum)}")
+                lines.append(f"{name}_count {m.count}")
+            else:
+                lines.append(f"{name} {_fmt(m.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Render 2.0 as "2" but keep real fractions."""
+    f = float(value)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry whose instruments are all shared no-ops."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "") -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+NULL_REGISTRY = NullRegistry()

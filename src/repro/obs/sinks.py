@@ -1,0 +1,99 @@
+"""Pluggable event sinks: in-memory ring, JSONL file, callback.
+
+A sink receives every emitted :class:`~repro.obs.events.TraceEvent`
+via ``emit(event)`` and may hold resources until ``close()``.  Sinks
+must tolerate emits from the prefetcher's producer thread; the
+:class:`~repro.obs.Telemetry` bundle serializes emits under a lock, so
+sinks themselves can stay lock-free.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from collections import deque
+from typing import Callable, Iterable, List, Optional, Union
+
+from repro.obs.events import TraceEvent, event_from_dict
+
+__all__ = ["RingSink", "JsonlSink", "CallbackSink", "read_trace"]
+
+
+class RingSink:
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("RingSink capacity must be positive")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.dropped = 0        # how many fell off the front
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append events as JSON lines; flushed per event (traces are sparse)."""
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[io.TextIOWrapper] = open(
+            self.path, "w", encoding="utf-8"
+        )
+
+    def emit(self, event: TraceEvent) -> None:
+        fh = self._fh
+        if fh is None:
+            return
+        fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class CallbackSink:
+    """Hand every event to a user function (testing, live dashboards)."""
+
+    def __init__(self, fn: Callable[[TraceEvent], None]) -> None:
+        self._fn = fn
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fn(event)
+
+    def close(self) -> None:
+        pass
+
+
+def read_trace(path: Union[str, "os.PathLike[str]"]) -> List[TraceEvent]:
+    """Load a JSONL trace back into typed events (skips blank lines)."""
+    events: List[TraceEvent] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,150 @@
+"""``repro trace`` — summarize a JSONL telemetry trace.
+
+Renders four sections from a trace written by a
+:class:`~repro.obs.sinks.JsonlSink`:
+
+* header: event counts by kind and the covered time window;
+* switch timeline: every publication with its relative timestamp;
+* budget burn-down: SVT charges as spent-fraction over time;
+* per-phase table: span tree (``ingest`` → ``chunk`` →
+  ``worker-chunk``) aggregated flamegraph-style, plus the session's
+  final phase totals when a ``phases`` event is present.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter as _Counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import (
+    PhasesEvent,
+    SpanEvent,
+    SvtChargeEvent,
+    SwitchEvent,
+    TraceEvent,
+)
+from repro.obs.sinks import read_trace
+
+__all__ = ["summarize_trace", "summarize_events"]
+
+
+def summarize_trace(path: Union[str, "os.PathLike[str]"],
+                    limit: int = 20) -> str:
+    """Read a JSONL trace file and return the text summary."""
+    return summarize_events(read_trace(path), limit=limit,
+                            title=os.fspath(path))
+
+
+def summarize_events(events: Sequence[TraceEvent], limit: int = 20,
+                     title: str = "trace") -> str:
+    lines: List[str] = []
+    t0 = min((e.t for e in events if e.t), default=0.0)
+
+    counts = _Counter(e.kind for e in events)
+    lines.append(f"trace: {title}")
+    lines.append(f"events: {len(events)}")
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<18} {counts[kind]}")
+    if events:
+        t_max = max((e.t for e in events), default=t0)
+        lines.append(f"window: {t_max - t0:.3f}s")
+
+    lines.extend(_switch_timeline(events, t0, limit))
+    lines.extend(_budget_burndown(events, t0, limit))
+    lines.extend(_phase_table(events))
+    return "\n".join(lines) + "\n"
+
+
+def _clip(rows: List[str], limit: int, what: str) -> List[str]:
+    if limit and len(rows) > limit:
+        hidden = len(rows) - limit
+        rows = rows[:limit] + [f"  ... {hidden} more {what} (use --limit)"]
+    return rows
+
+
+def _switch_timeline(events: Sequence[TraceEvent], t0: float,
+                     limit: int) -> List[str]:
+    switches = [e for e in events if isinstance(e, SwitchEvent)]
+    if not switches:
+        return ["", "switch timeline: (no switch events)"]
+    rows = []
+    for e in switches:
+        where = f" worker={e.worker}" if e.worker is not None else ""
+        pos = f" pos={e.position}" if e.position is not None else ""
+        rows.append(
+            f"  +{e.t - t0:8.3f}s  #{e.switches:<4d} "
+            f"published={e.published:<12.6g} raw={e.estimate:<12.6g}"
+            f"{pos}{where}"
+        )
+    head = [
+        "",
+        f"switch timeline ({len(switches)} publications, "
+        f"{switches[0].discipline or 'active'} / "
+        f"{switches[0].band or '?'}):",
+    ]
+    return head + _clip(rows, limit, "switches")
+
+
+def _budget_burndown(events: Sequence[TraceEvent], t0: float,
+                     limit: int) -> List[str]:
+    charges = [e for e in events if isinstance(e, SvtChargeEvent)]
+    if not charges:
+        return []
+    width = 24
+    rows = []
+    for e in charges:
+        if e.budget:
+            spent = min(1.0, e.spent)
+            bar = "#" * int(round(spent * width))
+            gauge = f"[{bar:<{width}}] {spent:6.1%}"
+        else:
+            gauge = "(unbounded)"
+        rows.append(
+            f"  +{e.t - t0:8.3f}s  {e.scope:<12} "
+            f"{e.charges}/{e.budget or '∞'}  {gauge}"
+        )
+    return ["", f"budget burn-down ({len(charges)} charges):"] + _clip(
+        rows, limit, "charges")
+
+
+def _phase_table(events: Sequence[TraceEvent]) -> List[str]:
+    spans = [e for e in events if isinstance(e, SpanEvent)]
+    out: List[str] = []
+    if spans:
+        # Aggregate by depth in the parent chain, then by name — a
+        # flamegraph flattened to one row per (depth, name).
+        parent_of = {e.id: e.span for e in spans if e.id is not None}
+
+        def depth(e: SpanEvent) -> int:
+            d, seen, cur = 0, set(), e.span
+            while cur is not None and cur not in seen:
+                seen.add(cur)
+                cur = parent_of.get(cur)
+                d += 1
+            return d
+
+        agg: Dict[Tuple[int, str], List[float]] = {}
+        for e in spans:
+            agg.setdefault((depth(e), e.name), []).append(e.seconds)
+        out += ["", "span phases:",
+                f"  {'phase':<24} {'count':>6} {'total s':>10} {'mean ms':>10}"]
+        for (d, name), durs in sorted(agg.items()):
+            label = "  " * d + name
+            total = sum(durs)
+            out.append(
+                f"  {label:<24} {len(durs):>6} {total:>10.4f} "
+                f"{1000.0 * total / len(durs):>10.3f}"
+            )
+    phase_events = [e for e in events if isinstance(e, PhasesEvent)]
+    if phase_events:
+        merged: Dict[str, float] = {}
+        for e in phase_events:
+            for key, sec in (e.phases or {}).items():
+                merged[key] = merged.get(key, 0.0) + float(sec)
+        out += ["", "session phase totals (s):"]
+        for key in sorted(merged):
+            out.append(f"  {key:<24} {merged[key]:>10.4f}")
+    if not out:
+        out = ["", "phases: (no span or phases events)"]
+    return out

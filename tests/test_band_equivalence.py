@@ -413,3 +413,64 @@ class TestEpochEquivalence:
         assert t0 == t1
         assert direct._published == engined._published
         assert direct.heavy_hitters() == engined.heavy_hitters()
+
+
+class TestTelemetryEquivalence:
+    """ISSUE 7: telemetry observes only — no RNG draws, no protocol
+    state — so enabling full tracing leaves every published output and
+    switch count bit-for-bit identical on every path."""
+
+    @staticmethod
+    def _traced(est):
+        from repro.obs import RingSink, Telemetry
+
+        est._copies.telemetry = Telemetry(sinks=[RingSink(capacity=1 << 16)])
+        return est
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 255), min_size=150, max_size=500),
+        chunk=st.sampled_from([48, 96, 200, 333]),
+        restart=st.booleans(),
+    )
+    def test_tracing_is_invisible_per_item_and_chunked(
+        self, items, chunk, restart
+    ):
+        t0 = _per_item_trace(_kmv_estimator(restart), items, chunk)
+        t0t = _per_item_trace(self._traced(_kmv_estimator(restart)),
+                              items, chunk)
+        t1 = _chunked_trace(_kmv_estimator(restart), items, chunk)
+        t1t = _chunked_trace(self._traced(_kmv_estimator(restart)),
+                             items, chunk)
+        assert t0 == t0t
+        assert t1 == t1t
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 255), min_size=150, max_size=500),
+        chunk=st.sampled_from([48, 96, 200]),
+    )
+    def test_tracing_is_invisible_dp_serial_engine(self, items, chunk):
+        t1 = _chunked_trace(_dp_estimator(), items, chunk, SerialEngine())
+        t1t = _chunked_trace(self._traced(_dp_estimator()), items, chunk,
+                             SerialEngine())
+        assert t1 == t1t
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        items=st.lists(st.integers(0, 255), min_size=150, max_size=400),
+        chunk=st.sampled_from([48, 96, 200]),
+    )
+    def test_tracing_is_invisible_ladder(self, items, chunk):
+        t1 = _chunked_trace(_ladder_estimator(), items, chunk)
+        t1t = _chunked_trace(self._traced(_ladder_estimator()), items, chunk)
+        assert t1 == t1t
+
+    @needs_fork
+    def test_tracing_is_invisible_process_engine(self):
+        items = [i % 200 for i in range(600)] + list(range(200, 450))
+        t1 = _chunked_trace(_dp_estimator(), items, 128,
+                            ProcessEngine(workers=2))
+        t1t = _chunked_trace(self._traced(_dp_estimator()), items, 128,
+                             ProcessEngine(workers=2))
+        assert t1 == t1t
