@@ -63,6 +63,7 @@ from repro.sketches.countmin import CountMinSketch
 from repro.sketches.countsketch import CountSketch
 from repro.streams.frequency import FrequencyVector
 from repro.streams.model import StreamChunk, StreamParameters
+from repro.streams.sources import GeneratorChunkSource
 from repro.streams.store import write_stream
 from tables import OUT_DIR, emit, emit_json, format_row
 
@@ -95,6 +96,11 @@ STK_COPIES = 24
 STK_WIDTH = 256
 STK_ROWS = 5
 MIN_STACKED_SPEEDUP = 2.0
+
+# Spec-shipped chunk sources (ISSUE 8): driving the stacked DP workload
+# from a ChunkSource description instead of staged bytes must be at
+# least this much faster than the bytes-shipped stacked serial row.
+MIN_SPEC_SPEEDUP = 1.3
 
 # Full tracing (every protocol event to a JSONL sink + live metrics) may
 # cost at most this fraction of stacked-run throughput.  Events ride
@@ -336,6 +342,91 @@ def test_parallel_engine_throughput(benchmark):
             ("stacked_traced_engine_serial", f"{traced_rate:,.0f}",
              f"{traced_speedup:.2f}x", traced_est.switches, "-"), WIDTHS,
         ))
+
+        # Spec-shipped chunk sources (ISSUE 8): the same stacked DP
+        # workload, driven from a ChunkSource *description* of the
+        # stream instead of staged bytes.  Serial: the source's declared
+        # item universe licenses the counts-based prepare fast path
+        # (one bincount over the chunk + a column gather at the
+        # support, instead of hashing every update).  Process: the
+        # picklable spec is broadcast once and every worker regenerates
+        # its own chunks — the per-chunk shared-memory copy, staging
+        # barrier, and coordinator generation loop all disappear.
+        # Outputs, switch counts, and DP budget state must be
+        # bit-for-bit identical to the bytes-shipped rows.
+        spec_src = GeneratorChunkSource(
+            "uniform", n=STK_N, m=STK_M, seed=11, chunk_size=CHUNK
+        )
+        stk_object_rate = stk_results["stacked_object_engine_serial"][0]
+        spec_est = _stacked_switching(True)
+        start = time.perf_counter()
+        with SerialEngine().session(spec_est, source=spec_src) as session:
+            assert session.source_mode == "universe", session.source_mode
+            session.feed_source(spec_src)
+        spec_rate = STK_M / (time.perf_counter() - start)
+        assert spec_est.query() == stk_est.query(), (
+            "spec-shipped serial diverged from the bytes-shipped output"
+        )
+        assert spec_est.switches == stk_est.switches, (
+            "spec-shipped serial changed the switch count"
+        )
+        assert (spec_est.discipline.budget_state()
+                == stk_est.discipline.budget_state()), (
+            "spec-shipped serial changed the DP budget state"
+        )
+        spec_vs_bytes = spec_rate / stk_results["stacked_engine_serial"][0]
+        payload["results"]["stacked_spec_engine_serial"] = {
+            "items_per_sec": round(spec_rate),
+            "speedup_vs_pr1": round(spec_rate / stk_object_rate, 2),
+            "speedup_vs_bytes": round(spec_vs_bytes, 2),
+            "switches": spec_est.switches,
+            "final_estimate": round(spec_est.query(), 1),
+        }
+        rows.append(format_row(
+            ("stacked_spec_engine_serial", f"{spec_rate:,.0f}",
+             f"{spec_rate / stk_object_rate:.2f}x", spec_est.switches,
+             "-"), WIDTHS,
+        ))
+        assert spec_vs_bytes >= MIN_SPEC_SPEEDUP, (
+            f"spec-shipped serial only {spec_vs_bytes:.2f}x over the "
+            f"bytes-shipped stacked row (required >= {MIN_SPEC_SPEEDUP}x)"
+        )
+        if fork_available():
+            spec_proc = _stacked_switching(True)
+            start = time.perf_counter()
+            with ProcessEngine(workers=WORKERS).session(
+                spec_proc, source=spec_src
+            ) as session:
+                assert session.spec_shipped, "spec mode did not engage"
+                assert session.source_mode == "spec"
+                session.feed_source(spec_src)
+            proc_spec_rate = STK_M / (time.perf_counter() - start)
+            assert spec_proc.query() == stk_est.query(), (
+                "spec-shipped process diverged from the bytes-shipped output"
+            )
+            assert spec_proc.switches == stk_est.switches, (
+                "spec-shipped process changed the switch count"
+            )
+            assert (spec_proc.discipline.budget_state()
+                    == stk_est.discipline.budget_state()), (
+                "spec-shipped process changed the DP budget state"
+            )
+            payload["results"][f"stacked_spec_engine_process_{WORKERS}w"] = {
+                "items_per_sec": round(proc_spec_rate),
+                "speedup_vs_pr1": round(proc_spec_rate / stk_object_rate, 2),
+                "speedup_vs_bytes": round(
+                    proc_spec_rate / stk_results["stacked_engine_serial"][0],
+                    2,
+                ),
+                "switches": spec_proc.switches,
+                "final_estimate": round(spec_proc.query(), 1),
+            }
+            rows.append(format_row(
+                (f"stacked_spec_engine_process_{WORKERS}w",
+                 f"{proc_spec_rate:,.0f}",
+                 f"{proc_spec_rate / stk_object_rate:.2f}x",
+                 spec_proc.switches, "-"), WIDTHS,
+            ))
 
         # Per-partial merge sharding: CountMin across workers, exact table.
         serial_cm = CountMinSketch(2048, 5, np.random.default_rng(7))

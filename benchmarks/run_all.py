@@ -58,12 +58,50 @@ def report_key(name: str) -> str:
     )
 
 
+def physical_cores() -> int | None:
+    """Distinct physical cores from /proc/cpuinfo, or None off-Linux.
+
+    ``os.cpu_count()`` counts logical CPUs (hyperthreads included), but
+    multi-worker speedup rows are only meaningful on distinct physical
+    cores; counting unique ``(physical id, core id)`` pairs tells the
+    regression gate whether a process-engine row measured real
+    parallelism.
+    """
+    try:
+        with open("/proc/cpuinfo") as fh:
+            cores = set()
+            phys_id = core_id = None
+            for line in fh:
+                key, _, value = line.partition(":")
+                key = key.strip()
+                if key == "physical id":
+                    phys_id = value.strip()
+                elif key == "core id":
+                    core_id = value.strip()
+                elif not line.strip():  # per-processor blocks are blank-separated
+                    if core_id is not None:
+                        cores.add((phys_id, core_id))
+                    phys_id = core_id = None
+            if core_id is not None:
+                cores.add((phys_id, core_id))
+            return len(cores) or None
+    except OSError:
+        return None
+
+
 def machine_metadata() -> dict:
     """What the throughput numbers were measured on."""
     import numpy
 
+    cores = physical_cores()
+    logical = os.cpu_count()
     meta = {
-        "cpu_count": os.cpu_count(),
+        "cpu_count": logical,
+        "physical_cores": cores,
+        # Whether process-engine rows in this report measured real
+        # parallelism; check_regression.py skips multi-worker speedup
+        # gates when a report says they could not have.
+        "multi_worker_meaningful": (cores or logical or 1) > 1,
         "machine": platform.machine(),
         "platform": platform.platform(),
         "python": sys.version.split()[0],

@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core.disciplines import resolve_discipline
 from repro.engine.executor import resolve_engine
-from repro.engine.prefetch import prefetch_chunks
+from repro.engine.prefetch import prefetch_chunks, source_chunks
 from repro.engine.shards import EpochShardPlan, SwitchingShardPlan, plan_shards
 from repro.obs import NULL_TELEMETRY, PlannerFallbackEvent, resolve_telemetry
 from repro.robust.bounded_deletion import RobustBoundedDeletionFp
@@ -65,6 +65,7 @@ from repro.robust.moments import (
 )
 from repro.sketches.base import Sketch
 from repro.streams.model import StreamParameters, chunk_updates
+from repro.streams.sources import ChunkSource, as_chunk_source
 from repro.streams.store import StreamWriter
 
 #: Reentrant no-op context for the untraced ingest path.
@@ -210,8 +211,17 @@ class IngestReport:
     #: "worker_feed", "worker_replace" — rather than folding them into
     #: the coordinator phases, which would double-count the blocking
     #: probe time; the worker keys are where fire-and-forget feed work
-    #: actually shows up.
+    #: actually shows up.  Spec-shipped sessions add "worker_generate"
+    #: (chunk materialization inside the workers) under the same
+    #: rule — never summed into a coordinator key, because worker
+    #: generation overlaps coordinator wall time entirely.
     phase_seconds: dict | None = None
+    #: How a ``source=`` chunk source was executed — "spec" (spec
+    #: broadcast; workers materialized locally), "universe" (serial
+    #: counts-based fast path), or "bytes: <reason>" (coordinator-side
+    #: materialization, with the planner's reason) — or None when no
+    #: chunk source drove the replay.
+    source_mode: str | None = None
     #: Merged telemetry snapshot (metric values, event counts by kind,
     #: span count) when :func:`ingest` ran with ``telemetry=`` enabled;
     #: None otherwise.  See :mod:`repro.obs`.
@@ -285,7 +295,7 @@ def discipline_state(estimator: Sketch) -> tuple[str | None, dict | None]:
 
 def ingest(
     estimator: Sketch,
-    stream,
+    stream=None,
     chunk_size: int = 65536,
     engine=None,
     prefetch: int = 0,
@@ -293,6 +303,7 @@ def ingest(
     telemetry=None,
     spill_store=None,
     spill_params: StreamParameters | None = None,
+    source=None,
 ) -> IngestReport:
     """Replay an **oblivious** stream through the batched pipeline.
 
@@ -352,10 +363,52 @@ def ingest(
     the header; when the source itself is a store, its params carry over
     by default.
 
+    ``source`` (mutually exclusive with ``stream``) replays a
+    :class:`repro.streams.sources.ChunkSource` — a *description* of the
+    stream (generator spec, or a store path plus row range) rather than
+    its bytes.  A parallel ProcessEngine switching session then ships
+    the picklable spec to the workers once and each worker materializes
+    its own chunks (regenerating via the seeded RNG tree, or memmapping
+    its own read-only store view): the per-chunk shared-memory copy and
+    wakeup disappear and generation overlaps compute inside the
+    workers.  Serial switching sessions use the source's declared item
+    universe for the counts-based fast path when the copy set licenses
+    it.  Everything else — plus ad-hoc iterables passed as ``source``,
+    and any replay teeing through ``spill_store`` — falls back to
+    coordinator-side materialization through the ordinary bytes path;
+    ``IngestReport.source_mode`` records which path ran and why.
+    Applies to oblivious replay only, like the rest of this surface.
+
     This is the high-throughput replay surface only: adaptive adversaries
     must go through :class:`repro.adversary.game.AdversarialGame`, which
     keeps per-update round granularity by design.
     """
+    if stream is not None and source is not None:
+        raise ValueError("pass either stream= or source=, not both")
+    if stream is None and source is None:
+        raise ValueError("ingest needs a stream= or a source=")
+    if isinstance(stream, ChunkSource):
+        # A ChunkSource in stream position is a source; redirect it.
+        source, stream = stream, None
+    src = None
+    src_reason = None
+    if source is not None:
+        src = as_chunk_source(source, chunk_size)
+        if src is None:
+            # Ad-hoc iterable with no picklable description: replay it
+            # as a plain stream through the bytes path.
+            stream = source
+            src_reason = (
+                f"{type(source).__name__} has no picklable chunk-source "
+                "spec; shipping bytes"
+            )
+        elif spill_store is not None:
+            # Teeing into a store needs every chunk coordinator-side
+            # anyway, which is exactly what spec-shipping removes.
+            src_reason = (
+                "spill_store tees chunks through the coordinator; "
+                "shipping bytes"
+            )
     resolved = resolve_engine(engine)
     wanted = resolve_discipline(discipline)
     if wanted is not None:
@@ -373,16 +426,25 @@ def ingest(
         # Bind the hub *after* any discipline swap so the installed
         # discipline is the one that gets observed.
         install_telemetry(estimator, tele)
-    if hasattr(stream, "chunks") and not isinstance(stream, Sketch):
-        # Chunked sources (ColumnarStreamStore) slice themselves.
-        chunk_iter = stream.chunks(chunk_size)
-        if spill_params is None:
-            spill_params = getattr(stream, "params", None)
-    else:
-        chunk_iter = chunk_updates(stream, chunk_size)
-    if prefetch:
-        chunk_iter = prefetch_chunks(chunk_iter, depth=prefetch,
-                                     telemetry=tele)
+    if spill_params is None and stream is not None:
+        spill_params = getattr(stream, "params", None)
+
+    def make_chunk_iter():
+        # Built lazily so a spec-shipped session (which never
+        # materializes coordinator-side) doesn't spin up a prefetch
+        # producer for chunks nobody will read.
+        if src is not None:
+            return source_chunks(src, depth=prefetch, telemetry=tele)
+        if hasattr(stream, "chunks") and not isinstance(stream, Sketch):
+            # Chunked sources (ColumnarStreamStore) slice themselves.
+            chunk_iter = stream.chunks(chunk_size)
+        else:
+            chunk_iter = chunk_updates(stream, chunk_size)
+        if prefetch:
+            chunk_iter = prefetch_chunks(chunk_iter, depth=prefetch,
+                                         telemetry=tele)
+        return chunk_iter
+
     writer = None
     if spill_store is not None:
         writer = StreamWriter(
@@ -401,6 +463,7 @@ def ingest(
             "ingest_chunk_updates", "updates per ingested chunk"
         ) if traced else None
     )
+    source_mode = None
     start = time.perf_counter()
     try:
         with tele.span("ingest") if traced else _NOOP_CTX:
@@ -408,7 +471,12 @@ def ingest(
                 # Direct path: no session planned the estimator, so
                 # resolve the policy name from the planner ourselves.
                 policy = band_policy_name(estimator)
-                for chunk in chunk_iter:
+                if src is not None or src_reason is not None:
+                    source_mode = "bytes: " + (
+                        src_reason
+                        or "direct path has no engine session; shipping bytes"
+                    )
+                for chunk in make_chunk_iter():
                     if writer is not None:
                         writer.append(chunk.items, chunk.deltas)
                     if traced:
@@ -420,18 +488,33 @@ def ingest(
                     count += len(chunk)
                     chunks += 1
             else:
-                with resolved.session(estimator) as session:
+                session_src = src if src_reason is None else None
+                with resolved.session(estimator, source=session_src) as session:
                     mode = session.mode
                     policy = session.policy
                     fallback = session.fallback_reason
-                    for chunk in chunk_iter:
-                        if writer is not None:
-                            writer.append(chunk.items, chunk.deltas)
-                        session.feed(chunk.items, chunk.deltas)
-                        if traced:
-                            chunk_sizes.observe(len(chunk))
-                        count += len(chunk)
-                        chunks += 1
+                    source_mode = session.source_mode
+                    if src_reason is not None:
+                        source_mode = f"bytes: {src_reason}"
+                    if session.spec_shipped:
+                        # Workers materialize; the coordinator only
+                        # drives per-chunk advance commands.
+                        lengths = src.chunk_lengths()
+                        session.feed_source(src)
+                        for length in lengths:
+                            if traced:
+                                chunk_sizes.observe(length)
+                            count += length
+                            chunks += 1
+                    else:
+                        for chunk in make_chunk_iter():
+                            if writer is not None:
+                                writer.append(chunk.items, chunk.deltas)
+                            session.feed(chunk.items, chunk.deltas)
+                            if traced:
+                                chunk_sizes.observe(len(chunk))
+                            count += len(chunk)
+                            chunks += 1
                 # Read after the session has finalized: ProcessEngine
                 # worker phase timings only exist once collect() merged
                 # them on session exit.
@@ -466,6 +549,7 @@ def ingest(
         dp_budget=budget,
         fallback_reason=fallback,
         phase_seconds=phases,
+        source_mode=source_mode,
         telemetry=tele.snapshot() if traced else None,
         spill_path=None if spill_store is None else str(writer.path),
     )

@@ -731,3 +731,161 @@ class LocalCopyBackend:
         self._snap_stack.clear()
         self._prep.clear()
         self._items = self._deltas = self._sub = None
+
+
+#: Cap on resident universe-column elements (planes * rows * universe)
+#: per stack before the counts-based fast path declines to engage; at 16
+#: bytes per element the default is ~64 MB.
+UNIVERSE_PREP_CAP = 4_000_000
+
+
+def universe_licensed(
+    copies: CopyManager,
+    universe: int | None,
+    unit_deltas: bool,
+    cap: int = UNIVERSE_PREP_CAP,
+) -> bool:
+    """Whether the counts-based serial fast path applies to this copy set.
+
+    Requires a known item universe, unit insertions (so a chunk's
+    ``bincount`` support *is* its sorted distinct-item set — cancelling
+    deltas would drop zero-sum items the aggregation path keeps), at
+    least one stacked copy group whose stack supports universe columns,
+    and a universe small enough that the resident columns stay under
+    ``cap`` elements.
+    """
+    if universe is None or universe < 1 or not unit_deltas:
+        return False
+    if not copies.stacks:
+        return False
+    return any(
+        getattr(stack, "supports_universe", False)
+        and stack.planes * getattr(stack, "rows", 1) * universe <= cap
+        for stack in copies.stacks.values()
+    )
+
+
+class UniverseLocalBackend(LocalCopyBackend):
+    """Serial copy backend specialised for a known item universe.
+
+    When a :class:`~repro.streams.sources.ChunkSource` promises every
+    item lies in ``[0, universe)`` with unit deltas, the per-chunk
+    aggregation pipeline collapses: the stacked hash columns for the
+    *whole universe* are evaluated once per session
+    (``SketchStack.prepare_universe``), and every prepared chunk —
+    boundary probe, non-probed fan-out, bisection subrange, catch-up —
+    becomes an ``np.bincount`` over the staged slice plus a column
+    gather at the nonzero support (``prepare_counts``).  That eliminates
+    both the per-chunk ``np.unique`` sort and the per-chunk stacked hash
+    pass of the bytes-shipped path while producing bit-for-bit identical
+    preps: the sorted nonzero support of an insertion-only count vector
+    equals ``np.unique`` of the slice, and the counts at the support
+    equal the aggregated deltas.
+
+    Bisection leaf scans get the same treatment: ``step_probed`` routes
+    per-item updates through one fancy-indexed scatter-add across all
+    probed planes (``step_item``) instead of k template ``update``
+    calls, gated off when candidate tracking is live (heuristic state
+    the fast path does not mirror).
+
+    Stacks that do not support universe columns — and any overweight
+    universe — fall back per-stack to the inherited prepare path, so
+    mixing stacked and unstacked groups stays correct.
+    """
+
+    def __init__(
+        self, copies: CopyManager, universe: int, unique_hint: bool = False
+    ):
+        super().__init__(copies, unique_hint=unique_hint)
+        if universe < 1:
+            raise ValueError(f"universe must be >= 1, got {universe}")
+        self.universe = int(universe)
+        #: id(stack) -> universe columns (None = stack unsupported).
+        self._ucols: dict[int, object] = {}
+        #: id(stack) -> whether the vectorized leaf step is safe.
+        self._fast: dict[int, bool] = {}
+        #: (lo, hi) -> bincount of the staged slice over the universe.
+        self._counts: dict[tuple[int, int], np.ndarray] = {}
+
+    def _universe_cols(self, stack):
+        cols = self._ucols.get(id(stack))
+        if cols is None and id(stack) not in self._ucols:
+            eligible = (
+                getattr(stack, "supports_universe", False)
+                and stack.planes * getattr(stack, "rows", 1) * self.universe
+                <= UNIVERSE_PREP_CAP
+            )
+            cols = stack.prepare_universe(self.universe) if eligible else None
+            self._ucols[id(stack)] = cols
+        return cols
+
+    def _step_fast(self, stack) -> bool:
+        flag = self._fast.get(id(stack))
+        if flag is None:
+            flag = (
+                self._universe_cols(stack) is not None
+                and hasattr(stack, "step_item")
+                and all(
+                    getattr(s, "_track_candidates", 1) == 0
+                    for s in stack.sketches
+                )
+            )
+            self._fast[id(stack)] = flag
+        return flag
+
+    def _range_counts(self, lo: int, hi: int) -> np.ndarray:
+        key = (lo, hi)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = np.bincount(self._items[lo:hi], minlength=self.universe)
+            if len(counts) > self.universe:
+                raise ValueError(
+                    f"staged chunk contains items >= universe {self.universe}; "
+                    "the chunk source's universe promise is violated"
+                )
+            self._counts[key] = counts
+        return counts
+
+    def stage(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        super().stage(items, deltas)
+        self._counts.clear()
+
+    def _raw_prepared(self, stack, lo: int, hi: int):
+        cols = self._universe_cols(stack)
+        if cols is None:
+            return super()._raw_prepared(stack, lo, hi)
+        key = ("raw", id(stack), lo, hi)
+        prep = self._prep.get(key)
+        if prep is None:
+            prep = stack.prepare_counts(cols, self._range_counts(lo, hi))
+            self._prep[key] = prep
+        return prep
+
+    def step_probed(self, pos: int, probes: tuple[int, ...]) -> np.ndarray:
+        copies = self._copies
+        if not copies.stacks:
+            return super().step_probed(pos, probes)
+        item, delta = int(self._items[pos]), int(self._deltas[pos])
+        ys = np.empty(len(probes), dtype=np.float64)
+        parts, rest = copies.stack_plan(probes)
+        for stack, planes, positions in parts:
+            if self._step_fast(stack):
+                stack.step_item(self._universe_cols(stack), item, delta, planes)
+            else:
+                for p in planes:
+                    stack.sketches[p].update(item, delta)
+            if len(planes) > 1:
+                ys[positions] = stack.query_all()[planes]
+            else:
+                ys[positions[0]] = stack.sketches[planes[0]].query()
+        for i, idx in rest:
+            sk = copies.sketches[idx]
+            sk.update(item, delta)
+            ys[i] = sk.query()
+        return ys
+
+    def close(self) -> None:
+        super().close()
+        self._ucols.clear()
+        self._fast.clear()
+        self._counts.clear()

@@ -62,7 +62,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bands import BandPolicy
-from repro.core.copies import CopyManager
+from repro.core.copies import CopyManager, universe_licensed
 from repro.core.sketch_switching import SwitchingEstimator
 from repro.sketches.base import Sketch
 
@@ -326,3 +326,38 @@ def plan_shards(estimator: Sketch) -> ShardPlan:
     if isinstance(estimator, Sketch) and estimator.mergeable:
         return MergeShardPlan(sketch=estimator)
     return SerialPlan(estimator=estimator)
+
+
+def source_mode_for(plan: ShardPlan, source, parallel: bool):
+    """How a session should consume a chunk source: ``(mode, reason)``.
+
+    The planner's spec-vs-bytes decision for ``api.ingest(source=...)``:
+
+    * ``"spec"`` — a parallel switching session broadcasts the picklable
+      spec and workers materialize chunks locally (no per-chunk staging);
+    * ``"universe"`` — a serial switching session whose copy set
+      licenses the counts-based fast path materializes coordinator-side
+      but prepares chunks from ``bincount`` over the source's promised
+      universe;
+    * ``"bytes"`` — coordinator-side materialization through the
+      ordinary staged-bytes path, with ``reason`` saying why (surfaced
+      in ``IngestReport`` so the fallback is observable, not silent).
+
+    ``mode`` is ``None`` when no source is involved.
+    """
+    if source is None:
+        return None, None
+    if not isinstance(plan, SwitchingShardPlan):
+        return "bytes", (
+            f"{type(plan).__name__} sessions have no spec-shipped path; "
+            "shipping bytes"
+        )
+    if parallel and plan.switcher.copies > 1:
+        return "spec", None
+    copies = plan.switcher._copies
+    if universe_licensed(copies, source.universe, source.unit_deltas):
+        return "universe", None
+    return "bytes", (
+        "universe fast path not licensed (needs a known item universe, "
+        "unit deltas, and a stacked copy group); shipping bytes"
+    )

@@ -270,6 +270,8 @@ class CountSketchStack(SketchStack):
     bookkeeping stays on the per-plane templates (it is heuristic scalar
     state), exactly mirroring ``update_batch``."""
 
+    supports_universe = True
+
     def _adopt(self):
         first = self.sketches[0]
         self.rows, self.width = first.rows, first.width
@@ -294,6 +296,61 @@ class CountSketchStack(SketchStack):
         sign_cols = sign_many_stacked(signs, unique).reshape(shape)
         weighted = sign_cols * summed.astype(np.float64)
         return _CountSketchPrep(unique, cols.reshape(shape), sign_cols, weighted)
+
+    def prepare_universe(self, universe: int):
+        """Bucket/sign columns for all of ``[0, universe)``, hashed once.
+
+        Returned as a :class:`_CountSketchPrep` whose ``unique`` is the
+        full identity ``arange(universe)`` and whose ``weighted`` is
+        unset — :meth:`prepare_counts` gathers per-chunk supports out of
+        it, and :meth:`step_item` single items.  This trades
+        ``planes * rows * universe * 16`` bytes (held for the session)
+        for never hashing or sorting a chunk again.
+        """
+        ids = np.arange(universe, dtype=np.int64)
+        buckets = [h for s in self.sketches for h in s._buckets]
+        signs = [g for s in self.sketches for g in s._signs]
+        cols = (
+            hash_many_stacked(buckets, ids) % np.uint64(self.width)
+        ).astype(np.intp)
+        shape = (self.planes, self.rows, universe)
+        sign_cols = sign_many_stacked(signs, ids).reshape(shape)
+        return _CountSketchPrep(ids, cols.reshape(shape), sign_cols, None)
+
+    def prepare_counts(self, ucols, counts):
+        """Prepared chunk from a dense count vector over the universe.
+
+        For an insertion-only chunk, ``np.nonzero(counts)`` is exactly
+        ``np.unique(items)`` and ``counts`` at the support is exactly
+        ``aggregate_batch``'s summed deltas, so the result equals
+        :meth:`prepare` bit for bit while skipping both the sort and the
+        hash pass.
+        """
+        support = np.nonzero(counts)[0]
+        if len(support) == 0:
+            return None
+        cols = ucols.buckets[:, :, support]
+        sign_cols = ucols.signs[:, :, support]
+        weighted = sign_cols * counts[support].astype(np.float64)
+        return _CountSketchPrep(
+            support.astype(np.int64), cols, sign_cols, weighted
+        )
+
+    def step_item(self, ucols, item, delta, planes) -> None:
+        """One per-item update across a set of planes, via universe columns.
+
+        The same scatter-adds ``CountSketch.update`` issues — one cell
+        per (plane, row), no duplicate targets — grouped into a single
+        fancy-indexed add.  Candidate bookkeeping is *not* mirrored;
+        callers gate on ``_track_candidates == 0``.
+        """
+        sel = np.asarray(list(planes), dtype=np.intp)
+        if len(sel) == 0:
+            return
+        buckets = ucols.buckets[sel, :, item]
+        signs = ucols.signs[sel, :, item]
+        rows = np.arange(self.rows)
+        self.tables[sel[:, None], rows[None, :], buckets] += signs * float(delta)
 
     def subset(self, prepared, items, deltas=None):
         items, deltas = as_batch_arrays(items, deltas)

@@ -58,6 +58,10 @@ class SketchStack(abc.ABC):
     outside :meth:`install` silently detaches it from the stack.
     """
 
+    #: Whether :meth:`prepare_universe` / :meth:`prepare_counts` are
+    #: implemented (the counts-based serial fast path checks this).
+    supports_universe = False
+
     def __init__(self, sketches):
         self.sketches = list(sketches)
         if not self.sketches:
@@ -82,6 +86,34 @@ class SketchStack(abc.ABC):
         passes over the same staged chunk.  Must perform the same input
         validation, in the same order, as the sketch's ``update_batch``.
         """
+
+    def prepare_universe(self, universe: int):
+        """Hash columns for *every* item of ``[0, universe)``, or ``None``.
+
+        A stack that supports counts-based preparation returns an opaque
+        columns object covering the whole item universe — one hash pass
+        per session instead of one per chunk.  :meth:`prepare_counts`
+        then builds prepared chunks from a dense count vector without
+        sorting or re-hashing anything.  The base implementation returns
+        ``None`` (unsupported), which keeps the per-chunk prepare path.
+        """
+        return None
+
+    def prepare_counts(self, ucols, counts):
+        """Prepared chunk from universe columns plus a dense count vector.
+
+        ``counts[i]`` is the summed delta of item ``i`` over the chunk
+        (``np.bincount`` of the chunk's items); ``ucols`` comes from
+        :meth:`prepare_universe`.  The result is bit-for-bit the
+        :meth:`prepare` of the same chunk: the nonzero support of an
+        insertion-only count vector *is* the sorted distinct-item set,
+        and the gathered hash columns are the same hash evaluations.
+        Only stacks whose :meth:`prepare_universe` returns non-``None``
+        implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support counts-based prepare"
+        )
 
     def subset(self, prepared, items, deltas):
         """Prepared chunk for a *subrange* of an already-prepared chunk.

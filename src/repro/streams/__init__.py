@@ -23,6 +23,13 @@ from repro.streams.model import (
     chunk_updates,
     iter_updates,
 )
+from repro.streams.sources import (
+    ChunkSource,
+    GeneratorChunkSource,
+    StoreChunkSource,
+    as_chunk_source,
+    source_from_spec,
+)
 from repro.streams.store import ColumnarStreamStore, StreamWriter, write_stream
 from repro.streams.validators import (
     StreamValidationError,
@@ -34,6 +41,11 @@ from repro.streams.validators import (
 )
 
 __all__ = [
+    "ChunkSource",
+    "GeneratorChunkSource",
+    "StoreChunkSource",
+    "as_chunk_source",
+    "source_from_spec",
     "ColumnarStreamStore",
     "StreamWriter",
     "FrequencyVector",

@@ -227,6 +227,22 @@ def distinct_ramp_chunks(
         produced += take
 
 
+#: Spec-shippable chunked generators, by name: the registry
+#: :class:`repro.streams.sources.GeneratorChunkSource` materializes
+#: through.  Every entry takes ``(n, m, [rng,] chunk_size=..., **params)``
+#: and regenerates bit-for-bit from the same seed regardless of where it
+#: runs — that is the property that lets the process engine ship the
+#: spec instead of the bytes.
+CHUNKED_GENERATORS = {
+    "uniform": uniform_stream_chunks,
+    "zipfian": zipfian_stream_chunks,
+    "distinct-ramp": distinct_ramp_chunks,
+}
+
+#: Registry entries that are deterministic (no RNG argument).
+SEEDLESS_CHUNKED = frozenset({"distinct-ramp"})
+
+
 def turnstile_wave_stream(
     n: int, m: int, rng: np.random.Generator, waves: int = 4
 ) -> list[Update]:

@@ -33,6 +33,7 @@ involvement.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import numpy as np
@@ -240,6 +241,20 @@ class ColumnarStreamStore:
         self._items: np.memmap | None = None
         self._deltas: np.memmap | None = None
         self._ones: np.ndarray | None = None
+        # Lazily opened memmaps are stamped with the opening pid: a
+        # store forked into a worker process must not keep serving
+        # column views through the parent's inherited mapping (closing
+        # or remapping in either process would corrupt the other's
+        # view), so the properties drop inherited handles and reopen
+        # the worker's own read-only mapping on first post-fork access.
+        self._map_pid = os.getpid()
+
+    def _own_maps(self) -> None:
+        """Drop memmaps inherited across ``fork``; reopen lazily."""
+        if self._map_pid != os.getpid():
+            self._items = None
+            self._deltas = None
+            self._map_pid = os.getpid()
 
     @property
     def params(self) -> StreamParameters | None:
@@ -252,6 +267,7 @@ class ColumnarStreamStore:
     @property
     def items(self) -> np.ndarray:
         """The full item column as a lazily opened read-only memmap."""
+        self._own_maps()
         if self._items is None:
             if self.updates == 0:
                 self._items = np.zeros(0, dtype=np.int64)
@@ -267,6 +283,7 @@ class ColumnarStreamStore:
         """The delta column, or ``None`` for a unit-insertion store."""
         if self.unit_deltas:
             return None
+        self._own_maps()
         if self._deltas is None:
             self._deltas = np.memmap(
                 self.path / DELTAS_FILE, dtype=_DTYPE, mode="r",

@@ -1,0 +1,410 @@
+"""Chunk sources: spec round-trips, fork safety, and path equivalence.
+
+The load-bearing suite for spec-shipped execution: a stream described by
+a picklable spec must materialize bit-for-bit identically wherever the
+spec travels — coordinator, serial fast path, or forked worker — so
+published outputs, switch counts, and DP budget state agree across the
+per-item path, the bytes-shipped engines, and the spec-shipped process
+engine.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ingest
+from repro.core.bands import MultiplicativeBand
+from repro.core.disciplines import PrivateAggregateDiscipline
+from repro.core.sketch_switching import SwitchingEstimator
+from repro.engine.executor import (
+    EngineError,
+    ProcessEngine,
+    SerialEngine,
+    fork_available,
+)
+from repro.obs import RingSink, Telemetry
+from repro.sketches.countsketch import CountSketch
+from repro.streams.model import Update
+from repro.streams.sources import (
+    ChunkSource,
+    GeneratorChunkSource,
+    StoreChunkSource,
+    as_chunk_source,
+    source_from_spec,
+)
+from repro.streams.store import ColumnarStreamStore, write_stream
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="process engine requires the fork start method"
+)
+
+
+def _materialize(source: ChunkSource):
+    items = [c.items for c in source.chunks()]
+    deltas = [c.deltas for c in source.chunks()]
+    return (np.concatenate(items) if items else np.empty(0, np.int64),
+            np.concatenate(deltas) if deltas else np.empty(0, np.int64))
+
+
+# ----------------------------------------------------------------------
+# Specs and round-trips
+# ----------------------------------------------------------------------
+
+
+class TestGeneratorSource:
+    def test_spec_round_trip_is_bit_identical(self):
+        src = GeneratorChunkSource("zipfian", n=500, m=7_000, seed=21,
+                                   chunk_size=1234, s=1.4)
+        twin = source_from_spec(src.spec())
+        a_i, a_d = _materialize(src)
+        b_i, b_d = _materialize(twin)
+        np.testing.assert_array_equal(a_i, b_i)
+        np.testing.assert_array_equal(a_d, b_d)
+
+    def test_rematerialization_is_repeatable(self):
+        src = GeneratorChunkSource("uniform", n=100, m=5_000, seed=3,
+                                   chunk_size=512)
+        a_i, _ = _materialize(src)
+        b_i, _ = _materialize(src)  # chunks() rebuilds the RNG every call
+        np.testing.assert_array_equal(a_i, b_i)
+
+    def test_chunked_draws_match_monolithic(self):
+        # The licensing fact for worker-side regeneration: chunk-by-chunk
+        # RNG draws concatenate to the monolithic stream bit for bit.
+        src = GeneratorChunkSource("uniform", n=256, m=10_000, seed=11,
+                                   chunk_size=999)
+        items, _ = _materialize(src)
+        whole = np.random.default_rng(11).integers(
+            0, 256, size=10_000, dtype=np.int64
+        )
+        np.testing.assert_array_equal(items, whole)
+
+    def test_chunk_lengths_match_geometry(self):
+        src = GeneratorChunkSource("uniform", n=10, m=2_500, seed=0,
+                                   chunk_size=1_000)
+        lengths = src.chunk_lengths()
+        assert lengths == [1_000, 1_000, 500]
+        assert sum(lengths) == src.total == len(src)
+        assert [len(c.items) for c in src.chunks()] == lengths
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown chunked generator"):
+            GeneratorChunkSource("nope", n=10, m=10, seed=1)
+        with pytest.raises(ValueError, match="needs a seed"):
+            GeneratorChunkSource("uniform", n=10, m=10)
+        with pytest.raises(ValueError, match="seed must be None"):
+            GeneratorChunkSource("distinct-ramp", n=10, m=10, seed=1)
+        with pytest.raises(ValueError, match="chunk size"):
+            GeneratorChunkSource("uniform", n=10, m=10, seed=1, chunk_size=0)
+
+    def test_seedless_generator_is_spec_shippable(self):
+        src = GeneratorChunkSource("distinct-ramp", n=64, m=200,
+                                   chunk_size=33)
+        twin = source_from_spec(src.spec())
+        np.testing.assert_array_equal(_materialize(src)[0],
+                                      _materialize(twin)[0])
+
+
+class TestStoreSource:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        updates = [Update(i % 17, (-1) ** i * (1 + i % 3)) for i in range(400)]
+        write_stream(tmp_path / "s", updates, chunk_size=64)
+        return tmp_path / "s"
+
+    def test_spec_round_trip(self, store_path):
+        src = StoreChunkSource(store_path, chunk_size=100, start=50, stop=350)
+        assert src.total == 300
+        twin = source_from_spec(src.spec())
+        a_i, a_d = _materialize(src)
+        b_i, b_d = _materialize(twin)
+        np.testing.assert_array_equal(a_i, b_i)
+        np.testing.assert_array_equal(a_d, b_d)
+
+    def test_row_range_validation(self, store_path):
+        with pytest.raises(ValueError, match="out of bounds"):
+            StoreChunkSource(store_path, start=10, stop=1_000)
+        with pytest.raises(ValueError, match="out of bounds"):
+            StoreChunkSource(store_path, start=-1)
+
+    def test_as_chunk_source_coercions(self, store_path):
+        store = ColumnarStreamStore(store_path)
+        assert isinstance(as_chunk_source(store, 128), StoreChunkSource)
+        assert isinstance(as_chunk_source(str(store_path), 128),
+                          StoreChunkSource)
+        src = GeneratorChunkSource("uniform", n=4, m=4, seed=0)
+        assert as_chunk_source(src, 128) is src
+        assert as_chunk_source([1, 2, 3], 128) is None
+        assert as_chunk_source("/nonexistent/store/path", 128) is None
+
+
+# ----------------------------------------------------------------------
+# Fork safety (regression): inherited memmaps are dropped post-fork
+# ----------------------------------------------------------------------
+
+
+@needs_fork
+class TestForkSafety:
+    def test_child_reopens_own_mapping(self, tmp_path):
+        updates = [Update(i % 5, 1) for i in range(300)]
+        write_stream(tmp_path / "s", updates, chunk_size=50)
+        store = ColumnarStreamStore(tmp_path / "s")
+        parent_items = np.asarray(store.items[:]).copy()  # open the memmap
+        parent_pid = store._map_pid
+        assert parent_pid == os.getpid()
+
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+
+        def child(conn):
+            try:
+                # The inherited handle must be detected as foreign and
+                # dropped before first use...
+                stale = store._map_pid != os.getpid()
+                items = np.asarray(store.items[:]).copy()
+                # ...and the reopened mapping is stamped with this pid.
+                conn.send((stale, store._map_pid == os.getpid(), items))
+            finally:
+                conn.close()
+
+        proc = ctx.Process(target=child, args=(child_conn,), daemon=True)
+        proc.start()
+        child_conn.close()
+        stale, restamped, child_items = parent_conn.recv()
+        proc.join(timeout=10)
+        assert stale, "child should have seen the parent's pid stamp"
+        assert restamped, "child should own its mapping after first access"
+        np.testing.assert_array_equal(child_items, parent_items)
+        # The parent's mapping is untouched by the child's reopen.
+        assert store._map_pid == parent_pid
+        np.testing.assert_array_equal(store.items[:], parent_items)
+
+    def test_store_source_chunks_in_child(self, tmp_path):
+        # StoreChunkSource.chunks() opens its own store, so a worker
+        # materializing from a spec never shares parent file handles.
+        updates = [Update(i % 9, 1) for i in range(500)]
+        write_stream(tmp_path / "s", updates, chunk_size=64)
+        src = StoreChunkSource(tmp_path / "s", chunk_size=128)
+        expect_i, expect_d = _materialize(src)
+
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        spec = src.spec()
+
+        def child(conn):
+            try:
+                got = source_from_spec(spec)
+                i, d = _materialize(got)
+                conn.send((i, d))
+            finally:
+                conn.close()
+
+        proc = ctx.Process(target=child, args=(child_conn,), daemon=True)
+        proc.start()
+        child_conn.close()
+        child_i, child_d = parent_conn.recv()
+        proc.join(timeout=10)
+        np.testing.assert_array_equal(child_i, expect_i)
+        np.testing.assert_array_equal(child_d, expect_d)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: per-item vs bytes-shipped vs spec-shipped, bit for bit
+# ----------------------------------------------------------------------
+
+
+def _stacked_dp(copies=8, width=32, seed=1, band=0.5):
+    return SwitchingEstimator(
+        factory=lambda rng: CountSketch(width, 5, rng, track_candidates=0),
+        copies=copies,
+        rng=np.random.default_rng(seed),
+        band=MultiplicativeBand(band),
+        discipline=PrivateAggregateDiscipline(noise_scale=0.01),
+        stacked=True,
+    )
+
+
+def _state(est):
+    return (est.query(), est.switches, est.discipline.budget_state())
+
+
+class TestSerialEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.sampled_from([32, 64, 128]),
+        m=st.integers(1_000, 6_000),
+        chunk=st.sampled_from([97, 256, 1024]),
+    )
+    def test_per_item_vs_bytes_vs_universe(self, seed, n, m, chunk):
+        """The three serial drives agree bit for bit.
+
+        ``chunk`` exceeds REPLAY_LEAF for the larger draws, so band
+        crossings force mid-chunk bisection through the source-fed
+        chunks — the equivalence must hold through the replay machinery,
+        not just at clean boundaries.
+        """
+        src = GeneratorChunkSource("uniform", n=n, m=m, seed=seed,
+                                   chunk_size=chunk)
+        items, deltas = _materialize(src)
+
+        per_item = _stacked_dp()
+        for it in items.tolist():
+            per_item.update(it, 1)
+
+        chunked = _stacked_dp()
+        for c in src.chunks():
+            chunked.update_batch(c.items, c.deltas)
+
+        universe = _stacked_dp()
+        with SerialEngine().session(universe, source=src) as session:
+            assert session.source_mode == "universe"
+            session.feed_source(src)
+
+        assert _state(chunked) == _state(per_item)
+        assert _state(universe) == _state(per_item)
+
+    def test_mid_chunk_bisection_occurs(self):
+        # Sanity for the docstring above: this workload really does
+        # switch more often than it has chunk boundaries.
+        src = GeneratorChunkSource("uniform", n=64, m=20_000, seed=9,
+                                   chunk_size=777)
+        est = _stacked_dp()
+        with SerialEngine().session(est, source=src) as session:
+            session.feed_source(src)
+        assert est.switches > len(src.chunk_lengths())
+
+
+@needs_fork
+class TestProcessSpecEquivalence:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_spec_shipped_matches_per_item(self, workers):
+        src = GeneratorChunkSource("uniform", n=64, m=12_000, seed=9,
+                                   chunk_size=777)
+        items, _ = _materialize(src)
+        per_item = _stacked_dp()
+        for it in items.tolist():
+            per_item.update(it, 1)
+
+        spec = _stacked_dp()
+        with ProcessEngine(workers=workers).session(spec, source=src) as s:
+            assert s.spec_shipped and s.source_mode == "spec"
+            assert s.mode == f"process[{min(workers, 8)}]"
+            s.feed_source(src)
+
+        assert _state(spec) == _state(per_item)
+
+    def test_spec_shipped_store_source(self, tmp_path):
+        rng = np.random.default_rng(4)
+        updates = [Update(int(x), 1)
+                   for x in rng.integers(0, 64, size=6_000)]
+        write_stream(tmp_path / "s", updates, chunk_size=512)
+        src = StoreChunkSource(tmp_path / "s", chunk_size=512)
+
+        bytes_est = _stacked_dp(seed=2)
+        for c in src.chunks():
+            bytes_est.update_batch(c.items, c.deltas)
+
+        spec_est = _stacked_dp(seed=2)
+        with ProcessEngine(workers=2).session(spec_est, source=src) as s:
+            assert s.spec_shipped
+            s.feed_source(src)
+        assert _state(spec_est) == _state(bytes_est)
+
+    def test_spec_broadcast_event_and_generate_phase(self):
+        src = GeneratorChunkSource("uniform", n=32, m=4_000, seed=5,
+                                   chunk_size=512)
+        ring = RingSink()
+        report = ingest(_stacked_dp(), source=src, engine="process:2",
+                        telemetry=Telemetry(sinks=[ring]))
+        assert report.source_mode == "spec"
+        assert report.mode == "process[2]"
+        broadcasts = ring.by_kind("spec-broadcast")
+        assert len(broadcasts) == 1
+        ev = broadcasts[0]
+        assert ev.source == "generator"
+        assert ev.chunks == len(src.chunk_lengths())
+        assert ev.updates == src.total
+        assert ev.workers == 2
+        # worker_generate is its own key, never summed into a
+        # coordinator phase (same double-count rule as worker_probe).
+        phases = report.phase_seconds
+        assert "worker_generate" in phases
+        assert "generate" not in phases
+
+    def test_materialize_fault_surfaces(self):
+        class LyingSource(GeneratorChunkSource):
+            # Claims one more chunk than it materializes: the workers'
+            # chunk iterators exhaust and the advance command faults.
+            def chunk_lengths(self):
+                return super().chunk_lengths() + [1]
+
+        src = LyingSource("uniform", n=32, m=2_000, seed=5, chunk_size=512)
+        ring = RingSink()
+        with pytest.raises(EngineError):
+            ingest(_stacked_dp(), source=src, engine="process:2",
+                   telemetry=Telemetry(sinks=[ring]))
+        faults = ring.by_kind("materialize-fault")
+        assert len(faults) == 1 and faults[0].detail
+
+
+# ----------------------------------------------------------------------
+# api.ingest surface
+# ----------------------------------------------------------------------
+
+
+class TestIngestSourceSurface:
+    def test_stream_and_source_are_exclusive(self):
+        src = GeneratorChunkSource("uniform", n=4, m=4, seed=0)
+        with pytest.raises(ValueError, match="not both"):
+            ingest(_stacked_dp(), [1, 2], source=src)
+        with pytest.raises(ValueError, match="stream= or a source="):
+            ingest(_stacked_dp())
+
+    def test_source_positional_and_keyword_agree(self):
+        src = GeneratorChunkSource("uniform", n=32, m=3_000, seed=7,
+                                   chunk_size=500)
+        a = ingest(_stacked_dp(), src, engine="serial")
+        b = ingest(_stacked_dp(), source=src, engine="serial")
+        assert a.final_estimate == b.final_estimate
+        assert a.source_mode == b.source_mode == "universe"
+
+    def test_adhoc_iterable_falls_back_to_bytes(self):
+        report = ingest(_stacked_dp(), source=[1, 2, 3, 1, 2],
+                        engine="serial")
+        assert report.source_mode.startswith("bytes:")
+        assert "no picklable chunk-source spec" in report.source_mode
+
+    def test_direct_path_reports_bytes(self):
+        src = GeneratorChunkSource("uniform", n=32, m=2_000, seed=7,
+                                   chunk_size=500)
+        report = ingest(_stacked_dp(), source=src)
+        assert report.source_mode.startswith("bytes:")
+        assert report.updates == 2_000
+
+    def test_spill_store_forces_bytes(self, tmp_path):
+        src = GeneratorChunkSource("uniform", n=32, m=2_000, seed=7,
+                                   chunk_size=500)
+        report = ingest(_stacked_dp(), source=src, engine="serial",
+                        spill_store=tmp_path / "tee")
+        assert "spill_store" in report.source_mode
+        replay = ColumnarStreamStore(tmp_path / "tee")
+        np.testing.assert_array_equal(
+            np.asarray(replay.items[:]), _materialize(src)[0]
+        )
+
+    def test_universe_gate_reason_surfaced(self, tmp_path):
+        # A store written without stream parameters promises no item
+        # universe, so the serial fast path isn't licensed; the planner
+        # must say so rather than silently shipping bytes.
+        updates = [Update(i % 16, 1) for i in range(1_000)]
+        write_stream(tmp_path / "s", updates, chunk_size=128)
+        src = StoreChunkSource(tmp_path / "s", chunk_size=500)
+        assert src.universe is None
+        report = ingest(_stacked_dp(), source=src, engine="serial")
+        assert report.source_mode.startswith("bytes:")
+        assert "not licensed" in report.source_mode
